@@ -1,0 +1,266 @@
+// Command pghive discovers the schema of a property graph and prints
+// it as PG-Schema (LOOSE or STRICT) or XSD.
+//
+// The input is a JSONL graph file (one {"kind":"node"|"edge", ...}
+// object per line — see pghive.WriteJSONL), a pair of neo4j-admin
+// style CSV files, or one of the built-in synthetic evaluation
+// datasets.
+//
+// Usage:
+//
+//	pghive -input graph.jsonl -format pgschema -mode strict
+//	pghive -dataset LDBC -scale 0.5 -method minhash -format xsd
+//	pghive -dataset POLE -noise 0.2 -labels 0.5 -stats
+//	pghive -dataset POLE -batches 5            # incremental run
+//	pghive -nodes-csv n.csv -edges-csv e.csv -format dot
+//	pghive -dataset MB6 -export mb6.jsonl      # dump a dataset
+//	pghive -dataset LDBC -schema-out s.json    # persist the schema
+//	pghive -dataset LDBC -schema-in s.json -validate strict
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	pghive "github.com/pghive/pghive"
+	"github.com/pghive/pghive/internal/datagen"
+	"github.com/pghive/pghive/internal/lsh"
+)
+
+func main() {
+	var (
+		input     = flag.String("input", "", "JSONL graph file to discover (mutually exclusive with -dataset)")
+		nodesCSV  = flag.String("nodes-csv", "", "neo4j-style node CSV file (repeatable via comma separation)")
+		edgesCSV  = flag.String("edges-csv", "", "neo4j-style relationship CSV file (comma separated)")
+		dataset   = flag.String("dataset", "", "built-in dataset: POLE, MB6, HET.IO, FIB25, ICIJ, CORD19, LDBC, IYP")
+		scale     = flag.Float64("scale", 1, "dataset scale factor")
+		noise     = flag.Float64("noise", 0, "property-removal probability (0-1)")
+		labels    = flag.Float64("labels", 1, "label availability (0-1)")
+		method    = flag.String("method", "elsh", "clustering method: elsh or minhash")
+		format    = flag.String("format", "pgschema", "output: pgschema, xsd, dot, or none")
+		mode      = flag.String("mode", "strict", "PG-Schema mode: strict or loose")
+		name      = flag.String("name", "DiscoveredGraphType", "graph type name in PG-Schema output")
+		seed      = flag.Int64("seed", 1, "random seed")
+		theta     = flag.Float64("theta", 0, "Jaccard merge threshold (0 = paper default 0.9)")
+		tables    = flag.Int("tables", 0, "pin LSH table count T (0 = adaptive)")
+		bucket    = flag.Float64("bucket", 0, "pin ELSH bucket length b (0 = adaptive)")
+		batches   = flag.Int("batches", 1, "process the graph incrementally in N random batches")
+		stats     = flag.Bool("stats", true, "print run statistics to stderr")
+		export    = flag.String("export", "", "write the (noisy) input graph as JSONL to this file and exit")
+		alignFlag = flag.Bool("align", false, "semantically align synonym labels after discovery")
+		validateF = flag.String("validate", "", "validate the graph against the discovered schema: loose or strict")
+		schemaOut = flag.String("schema-out", "", "persist the discovered schema (with statistics) as JSON")
+		schemaIn  = flag.String("schema-in", "", "resume from a persisted schema before processing")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*input, *nodesCSV, *edgesCSV, *dataset, *scale, *noise, *labels, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pghive:", err)
+		os.Exit(1)
+	}
+
+	if *export != "" {
+		f, err := os.Create(*export)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pghive:", err)
+			os.Exit(1)
+		}
+		if err := pghive.WriteJSONL(f, g); err != nil {
+			fmt.Fprintln(os.Stderr, "pghive:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "pghive:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d nodes, %d edges to %s\n", g.NumNodes(), g.NumEdges(), *export)
+		return
+	}
+
+	opts := pghive.Options{Seed: *seed, Theta: *theta}
+	switch strings.ToLower(*method) {
+	case "elsh":
+	case "minhash":
+		opts.Method = pghive.MinHash
+	default:
+		fmt.Fprintf(os.Stderr, "pghive: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+	if *tables > 0 {
+		p := &lsh.Params{Tables: *tables, BucketLength: *bucket}
+		opts.NodeParams, opts.EdgeParams = p, p
+	}
+
+	var resume *pghive.Schema
+	if *schemaIn != "" {
+		f, err := os.Open(*schemaIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pghive:", err)
+			os.Exit(1)
+		}
+		resume, err = pghive.ReadSchemaJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pghive:", err)
+			os.Exit(1)
+		}
+	}
+
+	start := time.Now()
+	res := discover(g, opts, *batches, *seed, resume)
+	elapsed := time.Since(start)
+
+	if *alignFlag {
+		for _, m := range pghive.AlignNodeTypes(res.Schema, g, pghive.AlignOptions{}) {
+			fmt.Fprintf(os.Stderr, "align: %s\n", m)
+		}
+	}
+
+	if *validateF != "" {
+		mode := pghive.ValidateLoose
+		if strings.ToLower(*validateF) == "strict" {
+			mode = pghive.ValidateStrict
+		}
+		report := pghive.Validate(g, res.Schema, mode)
+		fmt.Fprintf(os.Stderr, "validation: %d checked, %d violations\n",
+			report.Checked, len(report.Violations))
+		for i, v := range report.Violations {
+			if i >= 20 {
+				fmt.Fprintf(os.Stderr, "  ... %d more\n", len(report.Violations)-20)
+				break
+			}
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+	}
+
+	if *schemaOut != "" {
+		f, err := os.Create(*schemaOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pghive:", err)
+			os.Exit(1)
+		}
+		if err := pghive.WriteSchemaJSON(f, res.Schema); err != nil {
+			fmt.Fprintln(os.Stderr, "pghive:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "pghive:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *stats {
+		st := pghive.ComputeStats(g)
+		fmt.Fprintf(os.Stderr, "graph: %d nodes, %d edges, %d node patterns, %d edge patterns\n",
+			st.Nodes, st.Edges, st.NodePatterns, st.EdgePatterns)
+		fmt.Fprintf(os.Stderr, "schema: %d node types, %d edge types (raw clusters: %d nodes, %d edges)\n",
+			len(res.Schema.NodeTypes), len(res.Schema.EdgeTypes), res.NodeClusters, res.EdgeClusters)
+		fmt.Fprintf(os.Stderr, "time: %v total (preprocess %v, cluster %v, extract %v, post %v)\n",
+			elapsed.Round(time.Millisecond),
+			res.Timing.Preprocess.Round(time.Millisecond),
+			res.Timing.Cluster.Round(time.Millisecond),
+			res.Timing.Extract.Round(time.Millisecond),
+			res.Timing.PostProcess.Round(time.Millisecond))
+	}
+
+	switch strings.ToLower(*format) {
+	case "pgschema":
+		m := pghive.Strict
+		if strings.ToLower(*mode) == "loose" {
+			m = pghive.Loose
+		}
+		fmt.Print(pghive.PGSchema(res.Schema, m, *name))
+	case "xsd":
+		fmt.Print(pghive.XSD(res.Schema))
+	case "dot":
+		fmt.Print(pghive.DOT(res.Schema, *name))
+	case "none":
+	default:
+		fmt.Fprintf(os.Stderr, "pghive: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+}
+
+func loadGraph(input, nodesCSV, edgesCSV, dataset string, scale, noise, labels float64, seed int64) (*pghive.Graph, error) {
+	sources := 0
+	for _, s := range []string{input, nodesCSV, dataset} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources > 1 {
+		return nil, fmt.Errorf("-input, -nodes-csv and -dataset are mutually exclusive")
+	}
+	switch {
+	case nodesCSV != "":
+		g := pghive.NewGraph()
+		for _, path := range strings.Split(nodesCSV, ",") {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			_, err = pghive.ReadNodesCSV(f, g)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+		}
+		if edgesCSV != "" {
+			for _, path := range strings.Split(edgesCSV, ",") {
+				f, err := os.Open(path)
+				if err != nil {
+					return nil, err
+				}
+				_, err = pghive.ReadEdgesCSV(f, g)
+				f.Close()
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", path, err)
+				}
+			}
+		}
+		return g, nil
+	case input != "":
+		f, err := os.Open(input)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return pghive.ReadJSONL(f, false)
+	case dataset != "":
+		spec := datagen.ByName(dataset)
+		if spec == nil {
+			return nil, fmt.Errorf("unknown dataset %q", dataset)
+		}
+		d := datagen.Generate(spec, scale, seed)
+		if noise > 0 || labels < 1 {
+			d = datagen.InjectNoise(d, noise, labels, seed+7)
+		}
+		return d.Graph, nil
+	default:
+		return nil, fmt.Errorf("provide -input FILE or -dataset NAME (see -h)")
+	}
+}
+
+func discover(g *pghive.Graph, opts pghive.Options, batches int, seed int64, resume *pghive.Schema) *pghive.Result {
+	if batches <= 1 && resume == nil {
+		return pghive.Discover(g, opts)
+	}
+	inc := pghive.ResumeIncremental(opts, resume)
+	if batches <= 1 {
+		inc.ProcessBatch(&pghive.Batch{Graph: g, Resolver: g, Index: 1})
+		return inc.Finalize()
+	}
+	rng := newRand(seed + 21)
+	for _, b := range pghive.SplitBatches(g, batches, rng) {
+		bt := inc.ProcessBatch(b)
+		fmt.Fprintf(os.Stderr, "batch %d: %v\n", bt.Index, bt.Timing.Discovery().Round(time.Millisecond))
+	}
+	return inc.Finalize()
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

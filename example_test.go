@@ -1,0 +1,73 @@
+package pghive_test
+
+import (
+	"fmt"
+
+	pghive "github.com/pghive/pghive"
+)
+
+// ExampleDiscover demonstrates end-to-end schema discovery on a tiny
+// graph: two node types, one edge type, an unlabeled node merged by
+// structural similarity.
+func ExampleDiscover() {
+	g := pghive.NewGraph()
+	ann := g.AddNode([]string{"Person"}, map[string]pghive.Value{
+		"name": pghive.Str("Ann"),
+		"bday": pghive.ParseLexical("1990-04-01"),
+	})
+	// Unlabeled, but structurally a Person.
+	g.AddNode(nil, map[string]pghive.Value{
+		"name": pghive.Str("Ben"),
+		"bday": pghive.ParseLexical("1988-11-23"),
+	})
+	post := g.AddNode([]string{"Post"}, map[string]pghive.Value{
+		"content": pghive.Str("hello world"),
+	})
+	if _, err := g.AddEdge([]string{"LIKES"}, ann, post, nil); err != nil {
+		panic(err)
+	}
+
+	res := pghive.Discover(g, pghive.Options{Seed: 1})
+	fmt.Print(pghive.PGSchema(res.Schema, pghive.Strict, "Tiny"))
+	// Output:
+	// CREATE GRAPH TYPE Tiny STRICT {
+	//   (personType : Person { bday DATE, name STRING }),
+	//   (postType : Post { content STRING }),
+	//   (: personType)-[likesType : LIKES]->(: postType) /* cardinality 1:1 */
+	// }
+}
+
+// ExampleValidate shows conformance checking against a discovered
+// schema.
+func ExampleValidate() {
+	g := pghive.NewGraph()
+	for i := 0; i < 5; i++ {
+		g.AddNode([]string{"City"}, map[string]pghive.Value{
+			"name": pghive.Str(fmt.Sprintf("city-%d", i)),
+			"pop":  pghive.Int(int64(1000 * (i + 1))),
+		})
+	}
+	res := pghive.Discover(g, pghive.Options{Seed: 1})
+
+	// A city missing its mandatory population violates STRICT mode.
+	g.AddNode([]string{"City"}, map[string]pghive.Value{"name": pghive.Str("ghost town")})
+	report := pghive.Validate(g, res.Schema, pghive.ValidateStrict)
+	fmt.Println(report.Violations[0])
+	// Output:
+	// node 5: mandatory: mandatory property "pop" of type City missing
+}
+
+// ExampleComputeStats reports Table 2-style statistics of a graph.
+func ExampleComputeStats() {
+	g := pghive.NewGraph()
+	a := g.AddNode([]string{"A"}, map[string]pghive.Value{"x": pghive.Int(1)})
+	b := g.AddNode([]string{"B"}, nil)
+	if _, err := g.AddEdge([]string{"R"}, a, b, nil); err != nil {
+		panic(err)
+	}
+	s := pghive.ComputeStats(g)
+	fmt.Printf("nodes=%d edges=%d nodeLabels=%d nodePatterns=%d\n",
+		s.Nodes, s.Edges, s.NodeLabels, s.NodePatterns)
+	// Output:
+	// nodes=2 edges=1 nodeLabels=2 nodePatterns=2
+}

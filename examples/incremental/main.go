@@ -1,0 +1,58 @@
+// Incremental streams a social-network dataset into PG-HIVE in ten
+// random batches (§4.6) and shows the schema growing monotonically:
+// every batch can only add labels, properties and types, never remove
+// them, and per-batch cost stays flat instead of growing with the
+// accumulated graph. Run with:
+//
+//	go run ./examples/incremental
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	pghive "github.com/pghive/pghive"
+	"github.com/pghive/pghive/internal/datagen"
+)
+
+func main() {
+	// A scaled-down LDBC social network (Posts and Comments share the
+	// Message label; several edge labels are reused across endpoint
+	// pairs).
+	d := datagen.Generate(datagen.LDBC(), 0.5, 42)
+	fmt.Printf("streaming %d nodes and %d edges in 10 batches\n\n",
+		d.Graph.NumNodes(), d.Graph.NumEdges())
+
+	inc := pghive.NewIncremental(pghive.Options{Seed: 42})
+	batches := pghive.SplitBatches(d.Graph, 10, rand.New(rand.NewSource(7)))
+
+	fmt.Printf("%-6s %10s %10s %12s %12s\n", "batch", "nodes", "edges", "node types", "batch time")
+	for _, b := range batches {
+		bt := inc.ProcessBatch(b)
+		fmt.Printf("%-6d %10d %10d %12d %12s\n",
+			b.Index, b.Graph.NumNodes(), b.Graph.NumEdges(),
+			len(inc.Schema().NodeTypes), bt.Timing.Discovery().Round(100_000).String())
+	}
+
+	res := inc.Finalize()
+	fmt.Printf("\nfinal schema: %d node types, %d edge types\n",
+		len(res.Schema.NodeTypes), len(res.Schema.EdgeTypes))
+	for _, nt := range res.Schema.NodeTypes {
+		fmt.Printf("  %-20s %6d instances, %d properties\n",
+			nt.Name(), nt.Instances, len(nt.Props))
+	}
+
+	// The incremental result matches a from-scratch run on the full
+	// graph: same labeled types, nothing lost (monotonicity, §4.7).
+	static := pghive.Discover(d.Graph, pghive.Options{Seed: 42})
+	missing := 0
+	for _, nt := range static.Schema.NodeTypes {
+		if nt.Abstract {
+			continue
+		}
+		if res.Schema.NodeTypeByToken(nt.Token) == nil {
+			missing++
+		}
+	}
+	fmt.Printf("\nlabeled node types missing vs a static run: %d\n", missing)
+}

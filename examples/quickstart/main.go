@@ -1,0 +1,72 @@
+// Quickstart builds the paper's running example (Fig. 1) by hand,
+// discovers its schema with PG-HIVE, and prints the STRICT PG-Schema
+// declaration. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pghive "github.com/pghive/pghive"
+)
+
+func main() {
+	g := pghive.NewGraph()
+
+	// People. Alice has no label — PG-HIVE will merge her into the
+	// Person type by structural similarity (paper Example 5).
+	bob := g.AddNode([]string{"Person"}, map[string]pghive.Value{
+		"name":   pghive.Str("Bob"),
+		"gender": pghive.Str("male"),
+		"bday":   pghive.ParseLexical("1980-05-02"),
+	})
+	alice := g.AddNode(nil, map[string]pghive.Value{
+		"name":   pghive.Str("Alice"),
+		"gender": pghive.Str("female"),
+		"bday":   pghive.ParseLexical("1999-12-19"),
+	})
+	john := g.AddNode([]string{"Person"}, map[string]pghive.Value{
+		"name":   pghive.Str("John"),
+		"gender": pghive.Str("male"),
+		"bday":   pghive.ParseLexical("2005-09-24"),
+	})
+
+	// Posts with two different structural patterns, one type.
+	post1 := g.AddNode([]string{"Post"}, map[string]pghive.Value{"imgFile": pghive.Str("screenshot.png")})
+	post2 := g.AddNode([]string{"Post"}, map[string]pghive.Value{"content": pghive.Str("bazinga!")})
+
+	org := g.AddNode([]string{"Org"}, map[string]pghive.Value{
+		"url": pghive.Str("example.com"), "name": pghive.Str("Example")})
+	place := g.AddNode([]string{"Place"}, map[string]pghive.Value{"name": pghive.Str("Greece")})
+
+	edge := func(label string, src, dst pghive.ID, props map[string]pghive.Value) {
+		if _, err := g.AddEdge([]string{label}, src, dst, props); err != nil {
+			log.Fatal(err)
+		}
+	}
+	edge("KNOWS", alice, john, map[string]pghive.Value{"since": pghive.Int(2025)})
+	edge("KNOWS", bob, alice, nil)
+	edge("LIKES", john, post2, nil)
+	edge("LIKES", alice, post1, nil)
+	edge("WORKS_AT", bob, org, map[string]pghive.Value{"from": pghive.Int(2000)})
+	edge("LOCATED_IN", org, place, nil)
+
+	res := pghive.Discover(g, pghive.Options{Seed: 1})
+
+	fmt.Printf("discovered %d node types and %d edge types:\n\n",
+		len(res.Schema.NodeTypes), len(res.Schema.EdgeTypes))
+	fmt.Print(pghive.PGSchema(res.Schema, pghive.Strict, "Figure1"))
+
+	person := res.Schema.NodeTypeByToken("Person")
+	fmt.Printf("\nPerson has %d instances (the unlabeled Alice merged in).\n", person.Instances)
+	for _, key := range person.PropertyKeys() {
+		ps := person.Props[key]
+		opt := "mandatory"
+		if !ps.Mandatory {
+			opt = "optional"
+		}
+		fmt.Printf("  %-8s %-9s %s\n", key, ps.DataType, opt)
+	}
+}

@@ -1,0 +1,35 @@
+// Serialization discovers the schema of a biomedical knowledge graph
+// and exports it in both interchange formats of §4.5: a LOOSE and a
+// STRICT PG-Schema declaration, and an XSD document. Run with:
+//
+//	go run ./examples/serialization
+package main
+
+import (
+	"fmt"
+
+	pghive "github.com/pghive/pghive"
+	"github.com/pghive/pghive/internal/datagen"
+)
+
+func main() {
+	d := datagen.Generate(datagen.HETIO(), 0.5, 21)
+	res := pghive.Discover(d.Graph, pghive.Options{Seed: 21})
+
+	fmt.Println("=== STRICT PG-Schema (data types, OPTIONAL markers, cardinalities) ===")
+	fmt.Print(pghive.PGSchema(res.Schema, pghive.Strict, "Hetionet"))
+
+	fmt.Println("\n=== LOOSE PG-Schema (open content, tolerant of noisy data) ===")
+	fmt.Print(pghive.PGSchema(res.Schema, pghive.Loose, "Hetionet"))
+
+	fmt.Println("\n=== XSD (first 40 lines) ===")
+	xsd := pghive.XSD(res.Schema)
+	lines := 0
+	for i := 0; i < len(xsd) && lines < 40; i++ {
+		fmt.Print(string(xsd[i]))
+		if xsd[i] == '\n' {
+			lines++
+		}
+	}
+	fmt.Println("...")
+}

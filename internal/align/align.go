@@ -1,0 +1,150 @@
+// Package align implements semantic label alignment across discovered
+// types — the integration scenario the paper lists as future work
+// (§6c: "support integration scenarios when label semantics are not
+// consistent (e.g., labels in different languages)", and §1's
+// "Organization vs Company" example).
+//
+// The paper proposes aligning labels with large language models; this
+// implementation uses the machinery already in the repository: the
+// Word2Vec model trained on the label corpus embeds labels by the
+// structural contexts they appear in, so two labels naming the same
+// conceptual entity (used with the same properties and the same edge
+// neighbourhoods) land nearby. Alignment merges labeled types whose
+// label embeddings are close *and* whose property structure overlaps;
+// requiring both keeps semantically distinct but structurally similar
+// types apart.
+package align
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/pghive/pghive/internal/pg"
+	"github.com/pghive/pghive/internal/schema"
+	"github.com/pghive/pghive/internal/vectorize"
+	"github.com/pghive/pghive/internal/word2vec"
+)
+
+// Options tunes alignment.
+type Options struct {
+	// MinLabelSimilarity is the cosine-similarity floor between the
+	// types' label-token embeddings (default 0.60).
+	MinLabelSimilarity float64
+	// MinStructureSimilarity is the property-key Jaccard floor
+	// (default 0.60).
+	MinStructureSimilarity float64
+	// W2V overrides the embedding training configuration.
+	W2V word2vec.Config
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinLabelSimilarity <= 0 {
+		o.MinLabelSimilarity = 0.60
+	}
+	if o.MinStructureSimilarity <= 0 {
+		o.MinStructureSimilarity = 0.60
+	}
+	return o
+}
+
+// Merge records one alignment decision.
+type Merge struct {
+	// Kept is the surviving type's name, Absorbed the merged-away
+	// one's.
+	Kept, Absorbed string
+	// LabelSimilarity and StructureSimilarity are the evidence values.
+	LabelSimilarity     float64
+	StructureSimilarity float64
+}
+
+// String renders the merge decision.
+func (m Merge) String() string {
+	return fmt.Sprintf("%s <= %s (labels %.2f, structure %.2f)",
+		m.Kept, m.Absorbed, m.LabelSimilarity, m.StructureSimilarity)
+}
+
+// NodeTypes aligns the labeled node types of a schema against the
+// label semantics observable in g (the graph the schema was discovered
+// from, or any corpus exhibiting the same label usage). Types are
+// compared pairwise; qualifying pairs merge smaller-into-larger.
+// The merge log is returned in application order.
+func NodeTypes(s *schema.Schema, g *pg.Graph, opts Options) []Merge {
+	opts = opts.withDefaults()
+	model := vectorize.TrainEmbedder(g, opts.W2V)
+
+	var merges []Merge
+	for {
+		dst, src, lsim, ssim := bestPair(s, model, opts)
+		if dst == nil {
+			break
+		}
+		merges = append(merges, Merge{
+			Kept: dst.Name(), Absorbed: src.Name(),
+			LabelSimilarity: lsim, StructureSimilarity: ssim,
+		})
+		s.UnifyNodeTypes(dst, src)
+	}
+	return merges
+}
+
+// bestPair finds the highest-evidence qualifying pair of distinct
+// labeled node types, returning larger type first.
+func bestPair(s *schema.Schema, model *word2vec.Model, opts Options) (dst, src *schema.NodeType, lsim, ssim float64) {
+	// Deterministic order: by token.
+	types := make([]*schema.NodeType, 0, len(s.NodeTypes))
+	for _, nt := range s.NodeTypes {
+		if !nt.Abstract && nt.Token != "" {
+			types = append(types, nt)
+		}
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i].Token < types[j].Token })
+
+	bestScore := math.Inf(-1)
+	for i := 0; i < len(types); i++ {
+		for j := i + 1; j < len(types); j++ {
+			a, b := types[i], types[j]
+			if sharesLabel(a, b) {
+				// Labels that co-occur with each other on instances
+				// (Person & Student) are roles, not synonyms; exact
+				// same-token types were already merged by Alg. 2.
+				continue
+			}
+			ls := model.Similarity(a.Token, b.Token)
+			if ls < opts.MinLabelSimilarity {
+				continue
+			}
+			ss := schema.Jaccard(propSet(a), propSet(b))
+			if ss < opts.MinStructureSimilarity {
+				continue
+			}
+			if score := ls + ss; score > bestScore {
+				bestScore = score
+				lsim, ssim = ls, ss
+				if a.Instances >= b.Instances {
+					dst, src = a, b
+				} else {
+					dst, src = b, a
+				}
+			}
+		}
+	}
+	return dst, src, lsim, ssim
+}
+
+func sharesLabel(a, b *schema.NodeType) bool {
+	for l, c := range a.Labels {
+		if c > 0 && b.HasLabel(l) {
+			return true
+		}
+	}
+	return false
+}
+
+func propSet(t *schema.NodeType) map[string]bool {
+	out := make(map[string]bool, len(t.Props))
+	for k := range t.Props {
+		out[k] = true
+	}
+	return out
+}

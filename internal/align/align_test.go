@@ -1,0 +1,149 @@
+package align
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/pghive/pghive/internal/core"
+	"github.com/pghive/pghive/internal/pg"
+	"github.com/pghive/pghive/internal/word2vec"
+)
+
+// integrationGraph builds the paper's §1 integration scenario: two
+// data sources contribute the same conceptual entity under different
+// labels (Organization vs Company), with identical structure and
+// identical edge contexts, alongside a genuinely different type
+// (Person) that shares the edge context but not the structure.
+func integrationGraph(seed int64) *pg.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := pg.NewGraph()
+	var orgs, companies, people, places []pg.ID
+	for i := 0; i < 80; i++ {
+		props := map[string]pg.Value{
+			"name": pg.Str(fmt.Sprintf("o%d", i)), "url": pg.Str("u"),
+			"founded": pg.Int(int64(1990 + i%30)),
+		}
+		if i%2 == 0 {
+			orgs = append(orgs, g.AddNode([]string{"Organization"}, props))
+		} else {
+			companies = append(companies, g.AddNode([]string{"Company"}, props))
+		}
+	}
+	for i := 0; i < 120; i++ {
+		people = append(people, g.AddNode([]string{"Person"}, map[string]pg.Value{
+			"name": pg.Str("p"), "bday": pg.ParseLexical("1990-01-01")}))
+	}
+	for i := 0; i < 20; i++ {
+		places = append(places, g.AddNode([]string{"Place"}, map[string]pg.Value{"name": pg.Str("pl")}))
+	}
+	pick := func(ids []pg.ID) pg.ID { return ids[rng.Intn(len(ids))] }
+	for _, p := range people {
+		// People work at orgs AND companies: identical edge contexts.
+		if rng.Intn(2) == 0 {
+			_, _ = g.AddEdge([]string{"WORKS_AT"}, p, pick(orgs), nil)
+		} else {
+			_, _ = g.AddEdge([]string{"WORKS_AT"}, p, pick(companies), nil)
+		}
+	}
+	for _, o := range orgs {
+		_, _ = g.AddEdge([]string{"LOCATED_IN"}, o, pick(places), nil)
+	}
+	for _, c := range companies {
+		_, _ = g.AddEdge([]string{"LOCATED_IN"}, c, pick(places), nil)
+	}
+	return g
+}
+
+func TestAlignMergesSynonymLabels(t *testing.T) {
+	g := integrationGraph(1)
+	res := core.Discover(g, core.Options{Seed: 1})
+	if res.Schema.NodeTypeByToken("Organization") == nil || res.Schema.NodeTypeByToken("Company") == nil {
+		t.Fatal("discovery should initially keep Organization and Company apart")
+	}
+	before := len(res.Schema.NodeTypes)
+
+	merges := NodeTypes(res.Schema, g, Options{W2V: word2vec.Config{Seed: 2, Epochs: 30}})
+	if len(merges) == 0 {
+		t.Fatal("alignment found no synonym pair")
+	}
+	found := false
+	for _, m := range merges {
+		pair := m.Kept + "/" + m.Absorbed
+		if pair == "Organization/Company" || pair == "Company/Organization" {
+			found = true
+			if m.LabelSimilarity <= 0.6 || m.StructureSimilarity < 0.99 {
+				t.Errorf("merge evidence weak: %v", m)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("Organization/Company not aligned; merges: %v", merges)
+	}
+	if len(res.Schema.NodeTypes) >= before {
+		t.Error("schema must shrink after alignment")
+	}
+	// The unified type carries both labels and all instances.
+	uni := res.Schema.NodeTypeByToken("Organization")
+	if uni == nil {
+		uni = res.Schema.NodeTypeByToken("Company")
+	}
+	if uni == nil {
+		t.Fatal("unified type lost from token index")
+	}
+	if !uni.HasLabel("Organization") || !uni.HasLabel("Company") {
+		t.Errorf("unified labels = %v", uni.SortedLabels())
+	}
+	if uni.Instances != 80 {
+		t.Errorf("unified instances = %d, want 80", uni.Instances)
+	}
+	// Both tokens must now resolve to the unified type, so later
+	// incremental batches merge correctly.
+	if res.Schema.NodeTypeByToken("Company") != res.Schema.NodeTypeByToken("Organization") {
+		t.Error("token index must alias both labels to the unified type")
+	}
+}
+
+func TestAlignKeepsDistinctTypesApart(t *testing.T) {
+	g := integrationGraph(3)
+	res := core.Discover(g, core.Options{Seed: 3})
+	NodeTypes(res.Schema, g, Options{W2V: word2vec.Config{Seed: 4, Epochs: 30}})
+	// Person (different structure) and Place (different context) must
+	// survive as their own types.
+	if res.Schema.NodeTypeByToken("Person") == nil {
+		t.Error("Person must not be absorbed")
+	}
+	if res.Schema.NodeTypeByToken("Place") == nil {
+		t.Error("Place must not be absorbed")
+	}
+	person := res.Schema.NodeTypeByToken("Person")
+	if person.HasLabel("Organization") || person.HasLabel("Company") {
+		t.Error("Person wrongly unified with organizations")
+	}
+}
+
+func TestAlignSkipsCooccurringLabels(t *testing.T) {
+	// Person and Student co-occur on instances: roles, not synonyms.
+	g := pg.NewGraph()
+	for i := 0; i < 30; i++ {
+		g.AddNode([]string{"Person"}, map[string]pg.Value{"name": pg.Str("a"), "bday": pg.Str("b")})
+	}
+	for i := 0; i < 30; i++ {
+		g.AddNode([]string{"Person", "Student"}, map[string]pg.Value{"name": pg.Str("a"), "bday": pg.Str("b")})
+	}
+	res := core.Discover(g, core.Options{Seed: 5})
+	merges := NodeTypes(res.Schema, g, Options{W2V: word2vec.Config{Seed: 5, Epochs: 20}})
+	for _, m := range merges {
+		if (m.Kept == "Person" && m.Absorbed == "Person&Student") ||
+			(m.Kept == "Person&Student" && m.Absorbed == "Person") {
+			t.Fatalf("co-occurring label sets must not be aligned: %v", m)
+		}
+	}
+}
+
+func TestMergeString(t *testing.T) {
+	m := Merge{Kept: "A", Absorbed: "B", LabelSimilarity: 0.91, StructureSimilarity: 1}
+	if got := m.String(); got != "A <= B (labels 0.91, structure 1.00)" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,557 @@
+// Package hive implements the PG-HIVE schema-discovery pipeline of
+// §4 (Algorithm 1): preprocessing into representation vectors, LSH
+// clustering (ELSH or MinHash), type extraction and merging
+// (Algorithm 2), optional post-processing (constraints, data types,
+// cardinalities), and the incremental batch mode of §4.6.
+package core
+
+import (
+	"time"
+
+	"github.com/pghive/pghive/internal/infer"
+	"github.com/pghive/pghive/internal/lsh"
+	"github.com/pghive/pghive/internal/pg"
+	"github.com/pghive/pghive/internal/schema"
+	"github.com/pghive/pghive/internal/vectorize"
+	"github.com/pghive/pghive/internal/word2vec"
+)
+
+// Method selects the LSH clustering scheme (§4.2).
+type Method uint8
+
+const (
+	// ELSH is Euclidean (p-stable / bucketed random projection) LSH
+	// over the hybrid representation vectors.
+	ELSH Method = iota
+	// MinHash is MinHash LSH over label/property token sets.
+	MinHash
+)
+
+// String names the method the way the paper's figures do.
+func (m Method) String() string {
+	if m == MinHash {
+		return "PG-HIVE-MinHash"
+	}
+	return "PG-HIVE-ELSH"
+}
+
+// EmbeddingMode selects how label tokens are embedded for ELSH.
+type EmbeddingMode uint8
+
+const (
+	// EmbedWord2Vec trains a skip-gram model on the label corpus of
+	// each processed graph or batch (the paper's approach, §4.1).
+	EmbedWord2Vec EmbeddingMode = iota
+	// EmbedHashed derives deterministic hash-based unit vectors per
+	// token with no training: cheaper, and stable across batches.
+	EmbedHashed
+)
+
+// Options configures a discovery run.
+type Options struct {
+	// Method is the clustering scheme (default ELSH).
+	Method Method
+	// Theta is the Jaccard merge threshold θ (default 0.9, §4.3).
+	Theta float64
+	// Embedding selects the label-embedding provider for ELSH.
+	Embedding EmbeddingMode
+	// EmbedDim is the Word2Vec dimension d (default 16).
+	EmbedDim int
+	// LabelWeight scales the label-embedding block of the hybrid
+	// vectors relative to the binary property block (default 3). A
+	// weight above 1 keeps semantically different but structurally
+	// similar elements apart under heavy property noise — the role
+	// §4.1 assigns to the hybrid representation.
+	LabelWeight float64
+	// W2V optionally overrides the full Word2Vec configuration; the
+	// zero value uses defaults with EmbedDim and Seed applied.
+	W2V word2vec.Config
+	// NodeParams / EdgeParams pin the LSH parameters; nil selects the
+	// adaptive strategy of §4.2.
+	NodeParams *lsh.Params
+	EdgeParams *lsh.Params
+	// PostProcess runs §4.4 inference after every batch (Algorithm 1
+	// line 7 flag); the final batch always runs it.
+	PostProcess bool
+	// DisableMerging skips the Algorithm 2 type-extraction merge and
+	// turns every raw LSH cluster into its own type. Only useful for
+	// the merge-step ablation; incremental discovery degenerates to
+	// per-batch schemas under it.
+	DisableMerging bool
+	// Infer configures data-type inference sampling.
+	Infer infer.Options
+	// Seed drives every random choice in the pipeline.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Theta <= 0 {
+		o.Theta = schema.DefaultTheta
+	}
+	if o.EmbedDim <= 0 {
+		o.EmbedDim = 16
+	}
+	if o.LabelWeight <= 0 {
+		o.LabelWeight = 3
+	}
+	return o
+}
+
+// scaledEmbedder multiplies an inner embedder's vectors by a constant
+// weight, giving the label block more influence on Euclidean
+// distances than individual property bits. Vectors are memoized per
+// token; not safe for concurrent use.
+type scaledEmbedder struct {
+	inner vectorize.Embedder
+	w     float64
+	cache map[string][]float64
+}
+
+func newScaledEmbedder(inner vectorize.Embedder, w float64) *scaledEmbedder {
+	return &scaledEmbedder{inner: inner, w: w, cache: map[string][]float64{}}
+}
+
+func (s *scaledEmbedder) Dim() int { return s.inner.Dim() }
+
+func (s *scaledEmbedder) Vector(token string) []float64 {
+	if v, ok := s.cache[token]; ok {
+		return v
+	}
+	v := s.inner.Vector(token)
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x * s.w
+	}
+	s.cache[token] = out
+	return out
+}
+
+// anchoredEmbedder concatenates a trained semantic embedding with a
+// hash-based identity embedding of the same token. The semantic half
+// keeps co-occurring labels close (what §4.1 wants from Word2Vec); the
+// identity half lower-bounds the distance between *distinct* label
+// tokens, so labels that appear in identical contexts (CALLER/CALLED
+// between the same endpoint types) cannot collapse to
+// indistinguishable vectors and silently merge their types.
+type anchoredEmbedder struct {
+	sem   vectorize.Embedder
+	id    *word2vec.HashedEmbedder
+	cache map[string][]float64
+}
+
+func newAnchoredEmbedder(sem vectorize.Embedder, id *word2vec.HashedEmbedder) *anchoredEmbedder {
+	return &anchoredEmbedder{sem: sem, id: id, cache: map[string][]float64{}}
+}
+
+func (a *anchoredEmbedder) Dim() int { return a.sem.Dim() + a.id.Dim() }
+
+func (a *anchoredEmbedder) Vector(token string) []float64 {
+	if v, ok := a.cache[token]; ok {
+		return v
+	}
+	out := make([]float64, 0, a.Dim())
+	out = append(out, a.sem.Vector(token)...)
+	out = append(out, a.id.Vector(token)...)
+	a.cache[token] = out
+	return out
+}
+
+// Timing breaks a run into the phases reported by the efficiency
+// experiments (Fig. 5 measures preprocessing + clustering + type
+// extraction).
+type Timing struct {
+	Preprocess  time.Duration
+	Cluster     time.Duration
+	Extract     time.Duration
+	PostProcess time.Duration
+}
+
+// Discovery returns the time until type discovery: preprocessing +
+// clustering + extraction, the quantity Fig. 5 plots.
+func (t Timing) Discovery() time.Duration {
+	return t.Preprocess + t.Cluster + t.Extract
+}
+
+// Total returns the full pipeline time including post-processing.
+func (t Timing) Total() time.Duration {
+	return t.Discovery() + t.PostProcess
+}
+
+func (t *Timing) add(o Timing) {
+	t.Preprocess += o.Preprocess
+	t.Cluster += o.Cluster
+	t.Extract += o.Extract
+	t.PostProcess += o.PostProcess
+}
+
+// Result is the outcome of a discovery run.
+type Result struct {
+	// Schema is the discovered schema graph.
+	Schema *schema.Schema
+	// NodeAssign / EdgeAssign map every element to its final type,
+	// for downstream validation and for the F1* evaluation.
+	NodeAssign map[pg.ID]*schema.NodeType
+	EdgeAssign map[pg.ID]*schema.EdgeType
+	// NodeClusters / EdgeClusters count the raw LSH clusters before
+	// merging.
+	NodeClusters int
+	EdgeClusters int
+	// NodeChoice / EdgeChoice record the adaptive parameter choices
+	// (zero-valued when parameters were pinned).
+	NodeChoice lsh.AdaptiveChoice
+	EdgeChoice lsh.AdaptiveChoice
+	// Timing records phase durations (accumulated across batches in
+	// incremental mode).
+	Timing Timing
+}
+
+// Discover runs the full static pipeline over a graph.
+func Discover(g *pg.Graph, opts Options) *Result {
+	inc := NewIncremental(opts)
+	batch := &pg.Batch{Graph: g, Resolver: g, Index: 1}
+	inc.ProcessBatch(batch)
+	return inc.Finalize()
+}
+
+// Incremental is the streaming pipeline of §4.6: feed batches with
+// ProcessBatch, read the evolving schema at any time, and call
+// Finalize to run post-processing and obtain the final result.
+type Incremental struct {
+	opts   Options
+	sch    *schema.Schema
+	result *Result
+}
+
+// NewIncremental returns a streaming pipeline with an empty schema.
+func NewIncremental(opts Options) *Incremental {
+	return ResumeIncremental(opts, schema.New())
+}
+
+// ResumeIncremental returns a streaming pipeline that continues from a
+// previously discovered (e.g. persisted and reloaded) schema: new
+// batches merge into the existing types per the §4.6 rules.
+func ResumeIncremental(opts Options, s *schema.Schema) *Incremental {
+	opts = opts.withDefaults()
+	if s == nil {
+		s = schema.New()
+	}
+	return &Incremental{
+		opts: opts,
+		sch:  s,
+		result: &Result{
+			Schema:     s,
+			NodeAssign: map[pg.ID]*schema.NodeType{},
+			EdgeAssign: map[pg.ID]*schema.EdgeType{},
+		},
+	}
+}
+
+// Schema exposes the current (evolving) schema.
+func (inc *Incremental) Schema() *schema.Schema { return inc.sch }
+
+// BatchTiming is the per-batch cost record used by the Fig. 7
+// experiment.
+type BatchTiming struct {
+	Index  int
+	Timing Timing
+}
+
+// ProcessBatch runs preprocess → cluster → extract on one batch and
+// merges the discovered types into the schema (Algorithm 1 lines
+// 3–6). If Options.PostProcess is set, §4.4 inference runs too.
+func (inc *Incremental) ProcessBatch(b *pg.Batch) BatchTiming {
+	o := inc.opts
+	var tm Timing
+
+	// (b) Preprocess nodes: embeddings + representation structures.
+	start := time.Now()
+	nodes := b.Graph.Nodes()
+	edges := b.Graph.Edges()
+	distinctNodeLabels := len(b.Graph.DistinctNodeLabels())
+	distinctEdgeLabels := len(b.Graph.DistinctEdgeLabels())
+
+	var emb vectorize.Embedder
+	var nodeMat *vectorize.Matrix
+	var nodeSets [][]string
+	switch o.Method {
+	case MinHash:
+		nodeSets = nodeTokenSets(nodes)
+	default:
+		emb = inc.embedder(b.Graph)
+		nodeMat = vectorize.Nodes(nodes, b.Graph.DistinctNodePropertyKeys(), emb)
+	}
+	tm.Preprocess = time.Since(start)
+
+	// (c) Cluster nodes.
+	start = time.Now()
+	var nodeCl *lsh.Clustering
+	switch o.Method {
+	case MinHash:
+		np := inc.minhashParams(len(nodeSets), distinctNodeLabels, &inc.result.NodeChoice, o.NodeParams)
+		nodeCl = lsh.ClusterMinHash(nodeSets, np)
+	default:
+		np := inc.elshParams(nodeMat.Vecs, distinctNodeLabels, &inc.result.NodeChoice, o.NodeParams, true)
+		nodeCl = lsh.ClusterEuclidean(nodeMat.Vecs, np)
+	}
+	inc.result.NodeClusters += nodeCl.NumClusters
+	tm.Cluster += time.Since(start)
+
+	// (d) Extract node types first: edge endpoints resolve to the
+	// *discovered node type* when the endpoint node is unlabeled (the
+	// paper's edge vectors embed the source and target node types,
+	// §4.1 — Example 2 lists unlabeled Alice's KNOWS edge with a
+	// Person source).
+	start = time.Now()
+	ncands := schema.BuildNodeCandidates(nodes, nodeCl.Assign, nodeCl.NumClusters)
+	var ntypes []*schema.NodeType
+	if o.DisableMerging {
+		ntypes = inc.sch.AppendNodeTypes(ncands)
+	} else {
+		ntypes = inc.sch.ExtractNodeTypes(ncands, o.Theta)
+	}
+	for row := range nodes {
+		inc.result.NodeAssign[nodes[row].ID] = ntypes[nodeCl.Assign[row]]
+	}
+	tm.Extract += time.Since(start)
+
+	// (b') Preprocess edges with type-resolved endpoint tokens.
+	start = time.Now()
+	srcToks := make([]string, len(edges))
+	dstToks := make([]string, len(edges))
+	ep := vectorize.BatchEndpoints(b)
+	for i := range edges {
+		e := &edges[i]
+		srcToks[i], dstToks[i] = ep(e)
+		if srcToks[i] == "" {
+			srcToks[i] = inc.endpointTypeToken(e.Src)
+		}
+		if dstToks[i] == "" {
+			dstToks[i] = inc.endpointTypeToken(e.Dst)
+		}
+	}
+	var edgeMat *vectorize.Matrix
+	var edgeSets [][]string
+	switch o.Method {
+	case MinHash:
+		edgeSets = edgeTokenSets(edges, srcToks, dstToks)
+	default:
+		edgeMat = vectorize.EdgesWithTokens(edges, b.Graph.DistinctEdgePropertyKeys(), emb, srcToks, dstToks)
+	}
+	tm.Preprocess += time.Since(start)
+
+	// (c') Cluster edges.
+	start = time.Now()
+	var edgeCl *lsh.Clustering
+	switch o.Method {
+	case MinHash:
+		epp := inc.minhashParams(len(edgeSets), distinctEdgeLabels, &inc.result.EdgeChoice, o.EdgeParams)
+		edgeCl = lsh.ClusterMinHash(edgeSets, epp)
+	default:
+		epp := inc.elshParams(edgeMat.Vecs, distinctEdgeLabels, &inc.result.EdgeChoice, o.EdgeParams, false)
+		edgeCl = lsh.ClusterEuclidean(edgeMat.Vecs, epp)
+	}
+	inc.result.EdgeClusters += edgeCl.NumClusters
+	tm.Cluster += time.Since(start)
+
+	// (d') Extract edge types.
+	start = time.Now()
+	ecands := schema.BuildEdgeCandidates(edges, edgeCl.Assign, edgeCl.NumClusters, srcToks, dstToks)
+	var etypes []*schema.EdgeType
+	if o.DisableMerging {
+		etypes = inc.sch.AppendEdgeTypes(ecands)
+	} else {
+		etypes = inc.sch.ExtractEdgeTypes(ecands, o.Theta)
+	}
+	for row := range edges {
+		inc.result.EdgeAssign[edges[row].ID] = etypes[edgeCl.Assign[row]]
+	}
+	tm.Extract += time.Since(start)
+
+	// (e)-(g) Optional per-batch post-processing (Algorithm 1 line 7).
+	if o.PostProcess {
+		start = time.Now()
+		infer.Finalize(inc.sch, o.Infer)
+		tm.PostProcess = time.Since(start)
+	}
+
+	inc.result.Timing.add(tm)
+	return BatchTiming{Index: b.Index, Timing: tm}
+}
+
+// RetractBatch removes a batch of previously processed elements from
+// the schema — deletion support beyond the paper (§4.6 leaves it as
+// future work). Every node and edge in the batch must have been
+// processed earlier (its statistics were added then); elements never
+// seen are skipped. Types whose last instance disappears are removed
+// from the schema. Constraints and cardinalities reflect the
+// retraction after the next Finalize (or per-batch post-processing).
+func (inc *Incremental) RetractBatch(b *pg.Batch) BatchTiming {
+	start := time.Now()
+	nodes := b.Graph.Nodes()
+	for i := range nodes {
+		n := &nodes[i]
+		ty := inc.result.NodeAssign[n.ID]
+		if ty == nil {
+			continue
+		}
+		ty.Retract(n.Labels, n.Props)
+		delete(inc.result.NodeAssign, n.ID)
+	}
+	edges := b.Graph.Edges()
+	for i := range edges {
+		e := &edges[i]
+		ty := inc.result.EdgeAssign[e.ID]
+		if ty == nil {
+			continue
+		}
+		ty.RetractEdge(e.Labels, e.Props, e.Src, e.Dst)
+		delete(inc.result.EdgeAssign, e.ID)
+	}
+	inc.sch.Compact()
+	var tm Timing
+	tm.Extract = time.Since(start)
+	if inc.opts.PostProcess {
+		pp := time.Now()
+		infer.Finalize(inc.sch, inc.opts.Infer)
+		tm.PostProcess = time.Since(pp)
+	}
+	inc.result.Timing.add(tm)
+	return BatchTiming{Index: b.Index, Timing: tm}
+}
+
+// Finalize runs the §4.4 post-processing (always, per Algorithm 1
+// line 7's i = n case) and returns the accumulated result.
+func (inc *Incremental) Finalize() *Result {
+	start := time.Now()
+	infer.Finalize(inc.sch, inc.opts.Infer)
+	inc.result.Timing.PostProcess += time.Since(start)
+	return inc.result
+}
+
+// endpointTypeToken resolves an unlabeled endpoint node to the name of
+// the node type it was assigned to (in this or any earlier batch), or
+// "" when the node has not been seen yet.
+func (inc *Incremental) endpointTypeToken(id pg.ID) string {
+	if t := inc.result.NodeAssign[id]; t != nil {
+		return t.Name()
+	}
+	return ""
+}
+
+func (inc *Incremental) embedder(g *pg.Graph) vectorize.Embedder {
+	o := inc.opts
+	var inner vectorize.Embedder
+	if o.Embedding == EmbedHashed {
+		inner = word2vec.NewHashedEmbedder(o.EmbedDim)
+	} else {
+		// Word2Vec mode splits the budget between a trained semantic
+		// half and a hashed identity half (see anchoredEmbedder).
+		semDim := o.EmbedDim / 2
+		if semDim < 4 {
+			semDim = 4
+		}
+		cfg := o.W2V
+		if cfg.Dim == 0 {
+			cfg.Dim = semDim
+		}
+		if cfg.Seed == 0 {
+			cfg.Seed = o.Seed + 1
+		}
+		idDim := o.EmbedDim - cfg.Dim
+		if idDim < 4 {
+			idDim = 4
+		}
+		inner = newAnchoredEmbedder(vectorize.TrainEmbedder(g, cfg),
+			word2vec.NewHashedEmbedder(idDim))
+	}
+	if o.LabelWeight != 1 {
+		return newScaledEmbedder(inner, o.LabelWeight)
+	}
+	return inner
+}
+
+func (inc *Incremental) elshParams(vecs [][]float64, labels int, choice *lsh.AdaptiveChoice, pinned *lsh.Params, isNode bool) lsh.Params {
+	if pinned != nil {
+		p := *pinned
+		if p.Seed == 0 {
+			p.Seed = inc.opts.Seed + 2
+		}
+		return p
+	}
+	var ch lsh.AdaptiveChoice
+	if isNode {
+		ch = lsh.AdaptiveNodeParams(vecs, labels, inc.opts.Seed+2)
+	} else {
+		ch = lsh.AdaptiveEdgeParams(vecs, labels, inc.opts.Seed+3)
+	}
+	*choice = ch
+	return ch.Params
+}
+
+func (inc *Incremental) minhashParams(n, labels int, choice *lsh.AdaptiveChoice, pinned *lsh.Params) lsh.Params {
+	if pinned != nil {
+		p := *pinned
+		if p.Seed == 0 {
+			p.Seed = inc.opts.Seed + 4
+		}
+		return p
+	}
+	ch := lsh.AdaptiveMinHashParams(n, labels, inc.opts.Seed+4)
+	*choice = ch
+	return ch.Params
+}
+
+// nodeTokenSets builds the MinHash item set of each node: its label
+// token plus its property keys, each qualified by the label token.
+// Qualification is the set-world analogue of the hybrid vectors of
+// §4.1: items of differently labeled elements never coincide, so the
+// Jaccard similarity between semantically different types is 0 and
+// banding cannot chain them together, while unlabeled elements fall
+// back to raw property keys and are matched purely structurally.
+func nodeTokenSets(nodes []pg.Node) [][]string {
+	sets := make([][]string, len(nodes))
+	for i := range nodes {
+		n := &nodes[i]
+		tok := n.LabelToken()
+		keys := n.PropertyKeys()
+		set := make([]string, 0, len(keys)+1)
+		if tok != "" {
+			set = append(set, "\x00label:"+tok)
+			for _, k := range keys {
+				set = append(set, tok+"\x01"+k)
+			}
+		} else {
+			set = append(set, keys...)
+		}
+		sets[i] = set
+	}
+	return sets
+}
+
+// edgeTokenSets builds the MinHash item set of each edge. Every item
+// is qualified by the full (label, source, target) pattern triple —
+// Def. 3.6 makes the endpoint pair R part of an edge's pattern — so
+// edges of different patterns have Jaccard 0 and cannot chain
+// together, while same-pattern edges with noisy property sets still
+// collide in some band. Unlabeled, unresolvable edges degrade
+// gracefully to property-key sets.
+func edgeTokenSets(edges []pg.Edge, srcToks, dstToks []string) [][]string {
+	sets := make([][]string, len(edges))
+	for i := range edges {
+		e := &edges[i]
+		tok := e.LabelToken()
+		keys := e.PropertyKeys()
+		pattern := tok + "\x01" + srcToks[i] + "\x01" + dstToks[i]
+		set := make([]string, 0, len(keys)+1)
+		if pattern != "\x01\x01" {
+			set = append(set, "\x00pat:"+pattern)
+			for _, k := range keys {
+				set = append(set, pattern+"\x02"+k)
+			}
+		} else {
+			set = append(set, keys...)
+		}
+		sets[i] = set
+	}
+	return sets
+}

@@ -1,0 +1,450 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// specs.go declares the eight evaluation datasets of Table 2. Sizes
+// are scaled so the whole experiment grid runs on one machine;
+// structure (type/label multiplicities, multi-label co-occurrence,
+// shared integration labels, pattern heterogeneity, edge-label reuse
+// across endpoint pairs) follows each dataset's description in §5.
+//
+// Several specs declare multiple NodeSpecs with the same Name: these
+// are label-set variants of one ground-truth type (multi-label
+// datasets such as MB6/FIB25, where nodes of one type carry varying
+// co-occurring labels).
+
+func m(key string, g Gen) Prop            { return Prop{Key: key, Gen: g, Prob: 1} }
+func o(key string, g Gen, p float64) Prop { return Prop{Key: key, Gen: g, Prob: p} }
+
+// POLE is the Neo4j crime-investigation benchmark
+// (person–object–location–event): a small, flat, fully labeled graph.
+func POLE() *Spec {
+	return &Spec{
+		Name: "POLE", Real: false,
+		DefaultNodes: 300, DefaultEdges: 520,
+		Nodes: []NodeSpec{
+			{Name: "Person", Labels: []string{"Person"}, Weight: 3,
+				Props: []Prop{m("name", GString), m("surname", GString), m("age", GInt), o("nhs_no", GString, 0.8)}},
+			{Name: "Officer", Labels: []string{"Officer"}, Weight: 0.6,
+				Props: []Prop{m("rank", GString), m("badge_no", GInt), m("name", GString), m("surname", GString)}},
+			{Name: "Location", Labels: []string{"Location"}, Weight: 1.5,
+				Props: []Prop{m("address", GString), m("postcode", GString), m("latitude", GFloat), m("longitude", GFloat)}},
+			{Name: "Area", Labels: []string{"Area"}, Weight: 0.2,
+				Props: []Prop{m("areaCode", GString)}},
+			{Name: "Crime", Labels: []string{"Crime"}, Weight: 2,
+				Props: []Prop{m("date", GDateWithStrings), m("type", GString), o("outcome", GString, 0.7), o("charge", GString, 0.4)}},
+			{Name: "Object", Labels: []string{"Object"}, Weight: 0.5,
+				Props: []Prop{m("description", GString), m("type", GString)}},
+			{Name: "Phone", Labels: []string{"Phone"}, Weight: 1,
+				Props: []Prop{m("phoneNo", GString)}},
+			{Name: "PhoneCall", Labels: []string{"PhoneCall"}, Weight: 1.5,
+				Props: []Prop{m("call_date", GDate), m("call_duration", GIntWithFloats), m("call_type", GString)}},
+			{Name: "Vehicle", Labels: []string{"Vehicle"}, Weight: 0.5,
+				Props: []Prop{m("make", GString), m("model", GString), m("reg", GString), o("year", GInt, 0.6)}},
+			{Name: "Email", Labels: []string{"Email"}, Weight: 0.4,
+				Props: []Prop{m("email_address", GString)}},
+			{Name: "POI", Labels: []string{"POI"}, Weight: 0.3,
+				Props: []Prop{m("name", GString), o("reason", GString, 0.5)}},
+		},
+		Edges: []EdgeSpec{
+			{Name: "KNOWS", Labels: []string{"KNOWS"}, Src: "Person", Dst: "Person", Weight: 2},
+			{Name: "KNOWS_SN", Labels: []string{"KNOWS_SN"}, Src: "Person", Dst: "Person", Weight: 1},
+			{Name: "FAMILY_REL", Labels: []string{"FAMILY_REL"}, Src: "Person", Dst: "Person", Weight: 0.8},
+			{Name: "CALLER", Labels: []string{"CALLER"}, Src: "PhoneCall", Dst: "Phone", Weight: 1.2, Card: ManyToOne},
+			{Name: "CALLED", Labels: []string{"CALLED"}, Src: "PhoneCall", Dst: "Phone", Weight: 1.2, Card: ManyToOne},
+			{Name: "HAS_PHONE", Labels: []string{"HAS_PHONE"}, Src: "Person", Dst: "Phone", Weight: 0.9, Card: ManyToOne},
+			{Name: "HAS_EMAIL", Labels: []string{"HAS_EMAIL"}, Src: "Person", Dst: "Email", Weight: 0.4, Card: ManyToOne},
+			{Name: "CURRENT_ADDRESS", Labels: []string{"CURRENT_ADDRESS"}, Src: "Person", Dst: "Location", Weight: 1, Card: ManyToOne},
+			{Name: "COMMITTED", Labels: []string{"COMMITTED"}, Src: "Person", Dst: "Crime", Weight: 1.2},
+			{Name: "INVESTIGATED_BY", Labels: []string{"INVESTIGATED_BY"}, Src: "Crime", Dst: "Officer", Weight: 1, Card: ManyToOne},
+			{Name: "OCCURRED_AT", Labels: []string{"OCCURRED_AT"}, Src: "Crime", Dst: "Location", Weight: 1, Card: ManyToOne},
+			{Name: "INVOLVED_IN", Labels: []string{"INVOLVED_IN"}, Src: "Object", Dst: "Crime", Weight: 0.5},
+			{Name: "PARTY_TO", Labels: []string{"PARTY_TO"}, Src: "Vehicle", Dst: "Crime", Weight: 0.4},
+			{Name: "OWNER", Labels: []string{"OWNER"}, Src: "Person", Dst: "Vehicle", Weight: 0.4, Card: ManyToOne},
+			{Name: "FLAGGED_AS", Labels: []string{"FLAGGED_AS"}, Src: "Person", Dst: "POI", Weight: 0.3, Card: OneToOne},
+			// LOCATED_IN is reused across two endpoint pairs (17 edge
+			// types over 16 labels in Table 2).
+			{Name: "LOCATED_IN(Location)", Labels: []string{"LOCATED_IN"}, Src: "Location", Dst: "Area", Weight: 0.8, Card: ManyToOne},
+			{Name: "LOCATED_IN(Crime)", Labels: []string{"LOCATED_IN"}, Src: "Crime", Dst: "Area", Weight: 0.5, Card: ManyToOne},
+		},
+	}
+}
+
+// connectome builds the shared structure of the two fruit-fly
+// connectome datasets (MB6 mushroom body, FIB25 medulla): 4 node
+// types over 10 labels (heavily multi-labeled neurons), 5 edge types
+// over 3 labels (ConnectsTo and Contains reused across endpoint
+// pairs).
+func connectome(name string, defNodes, defEdges int, neuronOptionals float64) *Spec {
+	np := func(p float64) float64 { return p * neuronOptionals }
+	neuron := func(labels []string, w float64) NodeSpec {
+		return NodeSpec{Name: "Neuron", Labels: labels, Weight: w, Props: []Prop{
+			m("bodyId", GInt),
+			o("status", GString, 0.9),
+			o("pre", GInt, np(0.8)),
+			o("post", GInt, np(0.8)),
+			o("size", GIntWithFloats, np(0.7)),
+			o("name", GString, np(0.6)),
+		}}
+	}
+	return &Spec{
+		Name: name, Real: false,
+		DefaultNodes: defNodes, DefaultEdges: defEdges,
+		Nodes: []NodeSpec{
+			neuron([]string{"Neuron"}, 1.5),
+			neuron([]string{"Neuron", "KC"}, 1.2),
+			neuron([]string{"Neuron", "MBON"}, 0.4),
+			neuron([]string{"Neuron", "PN"}, 0.4),
+			neuron([]string{"Neuron", "APL"}, 0.1),
+			neuron([]string{"Neuron", "DAN"}, 0.2),
+			{Name: "Synapse", Labels: []string{"Synapse"}, Weight: 3, Props: []Prop{
+				m("type", GString), m("confidence", GFloatWithStrings), o("location", GString, 0.8)}},
+			{Name: "SynapseSet", Labels: []string{"SynapseSet"}, Weight: 1.5, Props: []Prop{
+				o("timeStamp", GDateTime, 0.5)}},
+			{Name: "Meta", Labels: []string{"DataModel", "Meta"}, Weight: 0.02, Props: []Prop{
+				m("lastDatabaseEdit", GDate), m("dataset", GString)}},
+		},
+		Edges: []EdgeSpec{
+			{Name: "ConnectsTo(Neuron)", Labels: []string{"ConnectsTo"}, Src: "Neuron", Dst: "Neuron", Weight: 2,
+				Props: []Prop{m("weight", GInt), o("roiInfo", GString, 0.5)}},
+			{Name: "ConnectsTo(SynapseSet)", Labels: []string{"ConnectsTo"}, Src: "SynapseSet", Dst: "SynapseSet", Weight: 1,
+				Props: []Prop{m("weight", GInt)}},
+			{Name: "Contains(SynapseSet)", Labels: []string{"Contains"}, Src: "Neuron", Dst: "SynapseSet", Weight: 1.5, Card: OneToMany},
+			{Name: "Contains(Synapse)", Labels: []string{"Contains"}, Src: "SynapseSet", Dst: "Synapse", Weight: 2.5, Card: OneToMany},
+			{Name: "SynapsesTo", Labels: []string{"SynapsesTo"}, Src: "Synapse", Dst: "Synapse", Weight: 2},
+		},
+	}
+}
+
+// MB6 models the mushroom-body connectome (many structural variants
+// per neuron).
+func MB6() *Spec { return connectome("MB6", 1200, 2400, 1.0) }
+
+// FIB25 models the medulla connectome (fewer structural variants).
+func FIB25() *Spec { return connectome("FIB25", 1600, 3200, 0.6) }
+
+// HETIO models the Hetionet biomedical knowledge graph: 11 specific
+// node types, each additionally tagged with a shared integration
+// label, and 24 edge types with distinct labels.
+func HETIO() *Spec {
+	node := func(name string, w float64, props ...Prop) NodeSpec {
+		return NodeSpec{Name: name, Labels: []string{"HetionetNode", name}, Weight: w, Props: props}
+	}
+	edge := func(label, src, dst string, w float64) EdgeSpec {
+		return EdgeSpec{Name: label, Labels: []string{label}, Src: src, Dst: dst, Weight: w}
+	}
+	return &Spec{
+		Name: "HET.IO", Real: true,
+		DefaultNodes: 470, DefaultEdges: 5600,
+		// Each metanode type carries the shared identifier/name pair
+		// plus the type-specific attributes Hetionet records (source
+		// ontology IDs, chemistry fields, genomic coordinates, ...).
+		Nodes: []NodeSpec{
+			node("Gene", 4, m("identifier", GInt), m("name", GString),
+				m("chromosome", GString), o("description", GString, 0.7)),
+			node("Disease", 0.4, m("identifier", GString), m("name", GString), m("mesh_id", GString)),
+			node("Compound", 1, m("identifier", GString), m("name", GString),
+				m("inchikey", GString), o("smiles", GString, 0.8)),
+			node("Anatomy", 0.4, m("identifier", GString), m("name", GString), m("bto_id", GString)),
+			node("BiologicalProcess", 2, m("identifier", GString), m("name", GString), m("go_domain", GString)),
+			node("CellularComponent", 0.4, m("identifier", GString), m("name", GString), m("go_component", GString)),
+			node("MolecularFunction", 0.8, m("identifier", GString), m("name", GString), m("go_function", GString)),
+			node("Pathway", 0.5, m("identifier", GString), m("name", GString), m("pc_source", GString)),
+			node("PharmacologicClass", 0.1, m("identifier", GString), m("name", GString), m("class_type", GString)),
+			node("SideEffect", 1.5, m("identifier", GString), m("name", GString), m("umls_id", GString)),
+			node("Symptom", 0.2, m("identifier", GString), m("name", GString), m("mesh_tree", GString)),
+		},
+		Edges: []EdgeSpec{
+			edge("GparticipatesBP", "Gene", "BiologicalProcess", 2),
+			edge("GparticipatesCC", "Gene", "CellularComponent", 1),
+			edge("GparticipatesMF", "Gene", "MolecularFunction", 1),
+			edge("GparticipatesPW", "Gene", "Pathway", 1),
+			edge("GinteractsG", "Gene", "Gene", 2),
+			edge("GcovariesG", "Gene", "Gene", 1.5),
+			edge("GregulatesG", "Gene", "Gene", 1.5),
+			edge("AexpressesA", "Anatomy", "Gene", 3),
+			edge("AupregulatesG", "Anatomy", "Gene", 1),
+			edge("AdownregulatesG", "Anatomy", "Gene", 1),
+			edge("CtreatsD", "Compound", "Disease", 0.3),
+			edge("CpalliatesD", "Compound", "Disease", 0.2),
+			edge("CbindsG", "Compound", "Gene", 1),
+			edge("CupregulatesG", "Compound", "Gene", 0.8),
+			edge("CdownregulatesG", "Compound", "Gene", 0.8),
+			edge("CresemblesC", "Compound", "Compound", 0.6),
+			edge("CcausesSE", "Compound", "SideEffect", 1.5),
+			edge("DassociatesG", "Disease", "Gene", 1),
+			edge("DupregulatesG", "Disease", "Gene", 0.6),
+			edge("DdownregulatesG", "Disease", "Gene", 0.6),
+			edge("DlocalizesA", "Disease", "Anatomy", 0.5),
+			edge("DpresentsS", "Disease", "Symptom", 0.5),
+			edge("DresemblesD", "Disease", "Disease", 0.2),
+			edge("PCincludesC", "PharmacologicClass", "Compound", 0.2),
+		},
+	}
+}
+
+// ICIJ models the offshore-leaks database: few types, very
+// heterogeneous property patterns (integration of several leaks).
+func ICIJ() *Spec {
+	return &Spec{
+		Name: "ICIJ", Real: true,
+		DefaultNodes: 2500, DefaultEdges: 4200,
+		Nodes: []NodeSpec{
+			{Name: "Entity", Labels: []string{"Entity"}, Weight: 3, Props: []Prop{
+				m("name", GString), o("jurisdiction", GString, 0.8),
+				o("incorporation_date", GDateWithStrings, 0.6), o("status", GString, 0.5),
+				o("address", GString, 0.4), o("country_codes", GString, 0.5),
+				o("service_provider", GString, 0.3), o("closed_date", GDate, 0.2),
+				o("ibcRUC", GIntWithManyStrings, 0.08)}},
+			{Name: "Officer", Labels: []string{"Officer"}, Weight: 2.5, Props: []Prop{
+				m("name", GString), o("country_codes", GString, 0.6), o("valid_until", GString, 0.5)}},
+			{Name: "Intermediary", Labels: []string{"Intermediary"}, Weight: 0.8, Props: []Prop{
+				m("name", GString), o("status", GString, 0.5), o("country_codes", GString, 0.6),
+				o("internal_id", GIntWithFloats, 0.4)}},
+			{Name: "Address", Labels: []string{"Address"}, Weight: 2, Props: []Prop{
+				m("address", GString), o("country_codes", GString, 0.7), o("sourceID", GString, 0.5)}},
+			{Name: "Other", Labels: []string{"Note", "Other"}, Weight: 0.3, Props: []Prop{
+				o("name", GString, 0.8), o("note", GString, 0.3)}},
+		},
+		Edges: []EdgeSpec{
+			{Name: "officer_of", Labels: []string{"officer_of"}, Src: "Officer", Dst: "Entity", Weight: 3,
+				Props: []Prop{o("link", GString, 0.5), o("start_date", GDate, 0.3)}},
+			{Name: "intermediary_of", Labels: []string{"intermediary_of"}, Src: "Intermediary", Dst: "Entity", Weight: 1.5,
+				Props: []Prop{o("link", GString, 0.4)}},
+			{Name: "registered_address", Labels: []string{"registered_address"}, Src: "Entity", Dst: "Address", Weight: 2, Card: ManyToOne},
+			{Name: "similar", Labels: []string{"similar"}, Src: "Entity", Dst: "Entity", Weight: 0.5},
+			{Name: "same_name_as", Labels: []string{"same_name_as"}, Src: "Officer", Dst: "Officer", Weight: 0.5},
+			{Name: "same_id_as", Labels: []string{"same_id_as"}, Src: "Entity", Dst: "Entity", Weight: 0.2},
+			{Name: "underlying", Labels: []string{"underlying"}, Src: "Entity", Dst: "Entity", Weight: 0.3},
+			{Name: "probably_same_officer_as", Labels: []string{"probably_same_officer_as"}, Src: "Officer", Dst: "Officer", Weight: 0.4},
+			{Name: "connected_to", Labels: []string{"connected_to"}, Src: "Other", Dst: "Entity", Weight: 0.3},
+			{Name: "same_company_as", Labels: []string{"same_company_as"}, Src: "Entity", Dst: "Entity", Weight: 0.2},
+			{Name: "shareholder_of", Labels: []string{"shareholder_of"}, Src: "Officer", Dst: "Entity", Weight: 1,
+				Props: []Prop{o("shares", GIntWithFloats, 0.5)}},
+			{Name: "director_of", Labels: []string{"director_of"}, Src: "Officer", Dst: "Entity", Weight: 1},
+			{Name: "beneficiary_of", Labels: []string{"beneficiary_of"}, Src: "Officer", Dst: "Entity", Weight: 0.6},
+			{Name: "secretary_of", Labels: []string{"secretary_of"}, Src: "Officer", Dst: "Entity", Weight: 0.4},
+		},
+	}
+}
+
+// LDBC models the LDBC social network benchmark: Post and Comment
+// share the Message label; HAS_CREATOR, REPLY_OF and IS_LOCATED_IN
+// labels are reused across endpoint pairs.
+func LDBC() *Spec {
+	return &Spec{
+		Name: "LDBC", Real: false,
+		DefaultNodes: 3200, DefaultEdges: 12500,
+		Nodes: []NodeSpec{
+			{Name: "Person", Labels: []string{"Person"}, Weight: 1, Props: []Prop{
+				m("firstName", GString), m("lastName", GString), m("birthday", GDate),
+				m("creationDate", GDateTime), m("browserUsed", GString), m("locationIP", GString),
+				m("gender", GString), o("email", GString, 0.7), o("speaks", GString, 0.6)}},
+			{Name: "Forum", Labels: []string{"Forum"}, Weight: 0.8, Props: []Prop{
+				m("title", GString), m("creationDate", GDateTime)}},
+			{Name: "Post", Labels: []string{"Message", "Post"}, Weight: 3, Props: []Prop{
+				m("creationDate", GDateTime), m("browserUsed", GString), m("locationIP", GString),
+				m("length", GInt), o("content", GString, 0.8), o("imageFile", GString, 0.25)}},
+			{Name: "Comment", Labels: []string{"Comment", "Message"}, Weight: 4, Props: []Prop{
+				m("creationDate", GDateTime), m("browserUsed", GString), m("locationIP", GString),
+				m("length", GInt), m("content", GString)}},
+			{Name: "Place", Labels: []string{"Place"}, Weight: 0.3, Props: []Prop{
+				m("name", GString), m("url", GString), m("type", GString)}},
+			{Name: "Organisation", Labels: []string{"Organisation"}, Weight: 0.4, Props: []Prop{
+				m("name", GString), m("url", GString), m("type", GString)}},
+			{Name: "Tag", Labels: []string{"Tag"}, Weight: 0.5, Props: []Prop{
+				m("name", GString), m("url", GString)}},
+		},
+		Edges: []EdgeSpec{
+			{Name: "KNOWS", Labels: []string{"KNOWS"}, Src: "Person", Dst: "Person", Weight: 2,
+				Props: []Prop{m("creationDate", GDateTime)}},
+			{Name: "HAS_CREATOR(Post)", Labels: []string{"HAS_CREATOR"}, Src: "Post", Dst: "Person", Weight: 2.5, Card: ManyToOne},
+			{Name: "HAS_CREATOR(Comment)", Labels: []string{"HAS_CREATOR"}, Src: "Comment", Dst: "Person", Weight: 3.5, Card: ManyToOne},
+			{Name: "REPLY_OF(Post)", Labels: []string{"REPLY_OF"}, Src: "Comment", Dst: "Post", Weight: 2, Card: ManyToOne},
+			{Name: "REPLY_OF(Comment)", Labels: []string{"REPLY_OF"}, Src: "Comment", Dst: "Comment", Weight: 1.5, Card: ManyToOne},
+			{Name: "CONTAINER_OF", Labels: []string{"CONTAINER_OF"}, Src: "Forum", Dst: "Post", Weight: 2.5, Card: OneToMany},
+			{Name: "HAS_MEMBER", Labels: []string{"HAS_MEMBER"}, Src: "Forum", Dst: "Person", Weight: 2,
+				Props: []Prop{m("joinDate", GDateTime)}},
+			{Name: "HAS_MODERATOR", Labels: []string{"HAS_MODERATOR"}, Src: "Forum", Dst: "Person", Weight: 0.8, Card: ManyToOne},
+			{Name: "HAS_TAG", Labels: []string{"HAS_TAG"}, Src: "Post", Dst: "Tag", Weight: 1.5},
+			{Name: "HAS_INTEREST", Labels: []string{"HAS_INTEREST"}, Src: "Person", Dst: "Tag", Weight: 1},
+			{Name: "LIKES", Labels: []string{"LIKES"}, Src: "Person", Dst: "Post", Weight: 2,
+				Props: []Prop{m("creationDate", GDateTime)}},
+			{Name: "WORK_AT", Labels: []string{"WORK_AT"}, Src: "Person", Dst: "Organisation", Weight: 0.7,
+				Card: ManyToOne, Props: []Prop{m("workFrom", GInt)}},
+			{Name: "STUDY_AT", Labels: []string{"STUDY_AT"}, Src: "Person", Dst: "Organisation", Weight: 0.5,
+				Card: ManyToOne, Props: []Prop{m("classYear", GIntWithFloats)}},
+			{Name: "IS_PART_OF", Labels: []string{"IS_PART_OF"}, Src: "Place", Dst: "Place", Weight: 0.3, Card: ManyToOne},
+			{Name: "IS_LOCATED_IN(Person)", Labels: []string{"IS_LOCATED_IN"}, Src: "Person", Dst: "Place", Weight: 1, Card: ManyToOne},
+			{Name: "IS_LOCATED_IN(Organisation)", Labels: []string{"IS_LOCATED_IN"}, Src: "Organisation", Dst: "Place", Weight: 0.4, Card: ManyToOne},
+			{Name: "HAS_TYPE", Labels: []string{"HAS_TYPE"}, Src: "Tag", Dst: "Tag", Weight: 0.4, Card: ManyToOne},
+		},
+	}
+}
+
+// CORD19 models the COVID-19 knowledge graph: many node types with
+// bibliographic and biomedical payloads and heterogeneous optionals.
+func CORD19() *Spec {
+	node := func(name string, w float64, props ...Prop) NodeSpec {
+		return NodeSpec{Name: name, Labels: []string{name}, Weight: w, Props: props}
+	}
+	edge := func(label, src, dst string, w float64, card EdgeCard) EdgeSpec {
+		return EdgeSpec{Name: label, Labels: []string{label}, Src: src, Dst: dst, Weight: w, Card: card}
+	}
+	return &Spec{
+		Name: "CORD19", Real: true,
+		DefaultNodes: 2700, DefaultEdges: 2900,
+		Nodes: []NodeSpec{
+			node("Paper", 2, m("title", GString), o("publish_time", GDateWithStrings, 0.8),
+				o("source", GString, 0.7), o("doi", GString, 0.6), o("license", GString, 0.4),
+				o("url", GString, 0.5)),
+			node("Author", 3, m("last", GString), o("first", GString, 0.9),
+				o("middle", GString, 0.3), o("email", GString, 0.2)),
+			node("Affiliation", 0.8, m("institution", GString), o("country", GString, 0.6), o("laboratory", GString, 0.3)),
+			node("Abstract", 1.5, m("text", GString)),
+			node("BodyText", 3, m("text", GString), o("section", GString, 0.7)),
+			node("Citation", 2.5, o("title", GString, 0.8), o("year", GIntWithFloats, 0.6), o("venue", GString, 0.4)),
+			node("Journal", 0.3, m("name", GString), o("issn", GString, 0.5)),
+			node("GeneSymbol", 0.6, m("sid", GString)),
+			node("Disease", 0.4, m("name", GString), o("icd10", GString, 0.4)),
+			node("Anatomy", 0.3, m("name", GString)),
+			node("ClinicalTrial", 0.2, m("trial_id", GString), o("phase", GString, 0.5), o("enrollment", GIntWithManyStrings, 0.5)),
+			node("Patent", 0.15, m("patent_id", GString), o("office", GString, 0.6), o("grant_year", GIntWithFloats, 0.6)),
+			node("Fraction", 1, m("kind", GString), o("score", GFloatWithStrings, 0.7)),
+			node("Word", 1.2, m("value", GString)),
+			node("PaperID", 1.4, m("type", GString), m("id", GString)),
+			node("Country", 0.1, m("name", GString), o("iso2", GString, 0.8)),
+		},
+		Edges: []EdgeSpec{
+			edge("PAPER_HAS_ABSTRACT", "Paper", "Abstract", 1.2, OneToMany),
+			edge("PAPER_HAS_BODYTEXT", "Paper", "BodyText", 2, OneToMany),
+			edge("PAPER_HAS_CITATION", "Paper", "Citation", 2, ManyToMany),
+			edge("AUTHOR_WROTE", "Author", "Paper", 2.5, ManyToMany),
+			edge("AUTHOR_AFFILIATED", "Author", "Affiliation", 1.2, ManyToOne),
+			edge("PAPER_IN_JOURNAL", "Paper", "Journal", 1, ManyToOne),
+			edge("MENTIONS_GENE", "BodyText", "GeneSymbol", 0.8, ManyToMany),
+			edge("MENTIONS_DISEASE", "BodyText", "Disease", 0.7, ManyToMany),
+			edge("MENTIONS_ANATOMY", "BodyText", "Anatomy", 0.4, ManyToMany),
+			edge("REFERS_TO_TRIAL", "Paper", "ClinicalTrial", 0.2, ManyToMany),
+			edge("REFERS_TO_PATENT", "Paper", "Patent", 0.15, ManyToMany),
+			edge("HAS_FRACTION", "Abstract", "Fraction", 0.9, OneToMany),
+			edge("CONTAINS_WORD", "Fraction", "Word", 1.2, ManyToMany),
+			edge("PAPER_HAS_ID", "Paper", "PaperID", 1.4, OneToMany),
+			edge("AFFILIATION_IN_COUNTRY", "Affiliation", "Country", 0.6, ManyToOne),
+			edge("CITATION_OF", "Citation", "Paper", 0.8, ManyToOne),
+		},
+	}
+}
+
+// IYP models the Internet Yellow Pages knowledge graph, the largest
+// and most heterogeneous dataset: 86 node types expressed as
+// co-occurring combinations of 33 labels, with very many property
+// patterns, and 25 edge types. The spec is generated programmatically
+// from a fixed seed so it is stable across runs.
+func IYP() *Spec {
+	rng := rand.New(rand.NewSource(20240101))
+	labels := []string{
+		"AS", "Organization", "Prefix", "IP", "DomainName", "HostName", "Country",
+		"IXP", "Facility", "AtlasProbe", "AtlasMeasurement", "BGPCollector", "Ranking",
+		"URL", "AuthoritativeNameServer", "Name", "PeeringLAN", "Tag", "OpaqueID",
+		"CaidaIXID", "PeeringdbOrgID", "PeeringdbIXID", "PeeringdbFacID", "PeeringdbNetID",
+		"Estimate", "ASDB", "GeoLocation", "Resolver", "Point", "Position", "Registry",
+		"RPKIStatus", "IRRStatus",
+	}
+	propPool := []Prop{
+		{Key: "name", Gen: GString}, {Key: "asn", Gen: GInt}, {Key: "prefix", Gen: GString},
+		{Key: "country_code", Gen: GString}, {Key: "reference_org", Gen: GString},
+		{Key: "reference_time", Gen: GDateWithStrings}, {Key: "af", Gen: GInt},
+		{Key: "value", Gen: GFloatWithStrings}, {Key: "rank", Gen: GIntWithFloats},
+		{Key: "ext_ref", Gen: GIntWithManyStrings},
+		{Key: "hege", Gen: GFloat}, {Key: "visibility", Gen: GFloat}, {Key: "registry", Gen: GString},
+		{Key: "status", Gen: GString}, {Key: "descr", Gen: GString}, {Key: "website", Gen: GString},
+		{Key: "id", Gen: GInt}, {Key: "lat", Gen: GFloat}, {Key: "lon", Gen: GFloat},
+	}
+	// 86 node types: each the combination of 1–3 labels with 2–7
+	// properties (several optional) drawn from the pool.
+	var nodes []NodeSpec
+	seen := map[string]bool{}
+	for len(nodes) < 86 {
+		nl := 1 + rng.Intn(3)
+		set := map[string]bool{}
+		for len(set) < nl {
+			set[labels[rng.Intn(len(labels))]] = true
+		}
+		var ls []string
+		for l := range set {
+			ls = append(ls, l)
+		}
+		sort.Strings(ls)
+		key := fmt.Sprint(ls)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		np := 2 + rng.Intn(6)
+		perm := rng.Perm(len(propPool))
+		var props []Prop
+		for i := 0; i < np; i++ {
+			pr := propPool[perm[i]]
+			if i >= 1 && rng.Float64() < 0.6 {
+				pr.Prob = 0.3 + rng.Float64()*0.6
+			} else {
+				pr.Prob = 1
+			}
+			props = append(props, pr)
+		}
+		nodes = append(nodes, NodeSpec{
+			Name:   fmt.Sprintf("T%02d_%s", len(nodes), key),
+			Labels: ls,
+			Weight: 0.2 + rng.Float64()*2,
+			Props:  props,
+		})
+	}
+	edgeLabels := []string{
+		"ORIGINATE", "DEPENDS_ON", "MANAGED_BY", "MEMBER_OF", "PEERS_WITH", "LOCATED_IN",
+		"COUNTRY", "RANK", "RESOLVES_TO", "ALIAS_OF", "PART_OF", "CATEGORIZED", "ASSIGNED",
+		"AVAILABLE", "REGISTERED", "ROUTE_ORIGIN_AUTHORIZATION", "WEBSITE", "NAME",
+		"QUERIED_FROM", "TARGET", "CENSORED", "EXTERNAL_ID", "SIBLING_OF", "POPULATION", "BASED_IN",
+	}
+	var edges []EdgeSpec
+	for _, el := range edgeLabels {
+		src := nodes[rng.Intn(len(nodes))].Name
+		dst := nodes[rng.Intn(len(nodes))].Name
+		var props []Prop
+		if rng.Float64() < 0.6 {
+			props = append(props, o("reference_time", GDate, 0.7))
+		}
+		if rng.Float64() < 0.3 {
+			props = append(props, o("count", GInt, 0.8))
+		}
+		edges = append(edges, EdgeSpec{
+			Name: el, Labels: []string{el}, Src: src, Dst: dst,
+			Weight: 0.2 + rng.Float64()*2, Props: props,
+		})
+	}
+	return &Spec{
+		Name: "IYP", Real: true,
+		DefaultNodes: 4500, DefaultEdges: 12600,
+		Nodes: nodes, Edges: edges,
+	}
+}
+
+// All returns the eight dataset specs in Table 2 order.
+func All() []*Spec {
+	return []*Spec{POLE(), MB6(), HETIO(), FIB25(), ICIJ(), CORD19(), LDBC(), IYP()}
+}
+
+// ByName returns the spec with the given name (case-sensitive), or
+// nil.
+func ByName(name string) *Spec {
+	for _, s := range All() {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,505 @@
+// Package experiments reproduces every table and figure of the
+// paper's evaluation (§5). It is shared by the cmd/experiments tool
+// and by the root bench suite: each experiment is a pure function from
+// a Config to printable results, deterministic per seed.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/pghive/pghive/internal/baselines/gmm"
+	"github.com/pghive/pghive/internal/baselines/schemi"
+	"github.com/pghive/pghive/internal/core"
+	"github.com/pghive/pghive/internal/datagen"
+	"github.com/pghive/pghive/internal/eval"
+	"github.com/pghive/pghive/internal/infer"
+	"github.com/pghive/pghive/internal/lsh"
+	"github.com/pghive/pghive/internal/pg"
+	"github.com/pghive/pghive/internal/schema"
+)
+
+// Method identifies one evaluated approach.
+type Method uint8
+
+const (
+	// MElsh is PG-HIVE with Euclidean LSH.
+	MElsh Method = iota
+	// MMinHash is PG-HIVE with MinHash LSH.
+	MMinHash
+	// MGMM is the GMMSchema baseline.
+	MGMM
+	// MSchemI is the SchemI baseline.
+	MSchemI
+)
+
+// Methods lists all approaches in the paper's order.
+var Methods = []Method{MElsh, MMinHash, MGMM, MSchemI}
+
+// String names the method as in the paper's figures.
+func (m Method) String() string {
+	switch m {
+	case MElsh:
+		return "PG-HIVE-ELSH"
+	case MMinHash:
+		return "PG-HIVE-MinHash"
+	case MGMM:
+		return "GMM"
+	default:
+		return "SchemI"
+	}
+}
+
+// Config scopes an experiment run.
+type Config struct {
+	// Scale multiplies every dataset's default size (default 1).
+	Scale float64
+	// Seed drives generation, noise and discovery.
+	Seed int64
+	// Datasets restricts the run (nil = all eight).
+	Datasets []string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+func (c Config) specs() []*datagen.Spec {
+	if len(c.Datasets) == 0 {
+		return datagen.All()
+	}
+	var out []*datagen.Spec
+	for _, n := range c.Datasets {
+		if s := datagen.ByName(n); s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Noises are the property-noise levels of §5 (0–40%).
+var Noises = []float64{0, 0.1, 0.2, 0.3, 0.4}
+
+// Avails are the label-availability scenarios of §5.
+var Avails = []float64{1.0, 0.5, 0.0}
+
+// Run is one method's outcome on one dataset configuration.
+type Run struct {
+	// NodeF1 and EdgeF1 are majority-based F1* scores; EdgeF1 is NaN
+	// for methods that do not discover edge types (GMM).
+	NodeF1 float64
+	EdgeF1 float64
+	// Discovery is the time until type discovery (Fig. 5's metric).
+	Discovery time.Duration
+	// OK is false when the method cannot run on the configuration
+	// (baselines on partially labeled data).
+	OK bool
+}
+
+// RunOn executes one method over a (possibly noisy) dataset.
+func RunOn(d *datagen.Dataset, m Method, seed int64) Run {
+	switch m {
+	case MElsh, MMinHash:
+		opts := core.Options{Seed: seed}
+		if m == MMinHash {
+			opts.Method = core.MinHash
+		}
+		res := core.Discover(d.Graph, opts)
+		return Run{
+			NodeF1:    eval.MajorityF1(eval.NodeAssignments(res.NodeAssign), d.NodeTruth),
+			EdgeF1:    eval.MajorityF1(eval.EdgeAssignments(res.EdgeAssign), d.EdgeTruth),
+			Discovery: res.Timing.Discovery(),
+			OK:        true,
+		}
+	case MGMM:
+		res, err := gmm.Discover(d.Graph, gmm.Options{Seed: seed})
+		if err != nil {
+			return Run{}
+		}
+		return Run{
+			NodeF1:    eval.MajorityF1(eval.NodeAssignments(res.NodeAssign), d.NodeTruth),
+			EdgeF1:    0, // GMM does not produce edge types (Table 1)
+			Discovery: res.Elapsed,
+			OK:        true,
+		}
+	default:
+		res, err := schemi.Discover(d.Graph)
+		if err != nil {
+			return Run{}
+		}
+		return Run{
+			NodeF1:    eval.MajorityF1(eval.NodeAssignments(res.NodeAssign), d.NodeTruth),
+			EdgeF1:    eval.MajorityF1(eval.EdgeAssignments(res.EdgeAssign), d.EdgeTruth),
+			Discovery: res.Elapsed,
+			OK:        true,
+		}
+	}
+}
+
+// Cell is one point of the Fig. 4 / Fig. 5 grid.
+type Cell struct {
+	Dataset string
+	Noise   float64
+	Avail   float64
+	Method  Method
+	Run
+}
+
+// Grid runs every method over every dataset × noise × availability
+// combination (the Fig. 4 and Fig. 5 data). Baselines are attempted
+// only at 100% label availability, where they are defined.
+func Grid(cfg Config) []Cell {
+	cfg = cfg.withDefaults()
+	var cells []Cell
+	for _, spec := range cfg.specs() {
+		base := datagen.Generate(spec, cfg.Scale, cfg.Seed)
+		for _, avail := range Avails {
+			for _, noise := range Noises {
+				d := datagen.InjectNoise(base, noise, avail, cfg.Seed+7)
+				for _, m := range Methods {
+					if avail < 1 && (m == MGMM || m == MSchemI) {
+						cells = append(cells, Cell{Dataset: spec.Name, Noise: noise, Avail: avail, Method: m})
+						continue
+					}
+					run := RunOn(d, m, cfg.Seed+13)
+					cells = append(cells, Cell{Dataset: spec.Name, Noise: noise, Avail: avail, Method: m, Run: run})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Fig3Result holds the Nemenyi analysis of Fig. 3.
+type Fig3Result struct {
+	// NodeRanks / EdgeRanks are Friedman average ranks per method
+	// (Methods order); NaN marks methods excluded from the comparison
+	// (GMM produces no edge types).
+	NodeRanks []float64
+	EdgeRanks []float64
+	// NodeCD / EdgeCD are the Nemenyi critical differences.
+	NodeCD float64
+	EdgeCD float64
+	// Cases is the number of compared test cases (8 datasets × 5
+	// noise levels in the paper).
+	Cases int
+}
+
+// Fig3 runs the statistical-significance analysis over the 100%-label
+// grid cells.
+func Fig3(cells []Cell) Fig3Result {
+	type key struct {
+		ds    string
+		noise float64
+	}
+	nodeScores := map[key][]float64{}
+	edgeScores := map[key][]float64{}
+	for _, c := range cells {
+		if c.Avail < 1 {
+			continue
+		}
+		k := key{c.Dataset, c.Noise}
+		if nodeScores[k] == nil {
+			nodeScores[k] = make([]float64, len(Methods))
+			edgeScores[k] = make([]float64, len(Methods))
+		}
+		nodeScores[k][c.Method] = c.NodeF1
+		edgeScores[k][c.Method] = c.EdgeF1
+	}
+	keys := make([]key, 0, len(nodeScores))
+	for k := range nodeScores {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ds != keys[j].ds {
+			return keys[i].ds < keys[j].ds
+		}
+		return keys[i].noise < keys[j].noise
+	})
+
+	var nodeRows, edgeRows [][]float64
+	for _, k := range keys {
+		nodeRows = append(nodeRows, nodeScores[k])
+		// Edge comparison excludes GMM (it discovers no edge types).
+		row := []float64{edgeScores[k][MElsh], edgeScores[k][MMinHash], edgeScores[k][MSchemI]}
+		edgeRows = append(edgeRows, row)
+	}
+	nodeRanks := eval.AverageRanks(nodeRows)
+	edge3 := eval.AverageRanks(edgeRows)
+	return Fig3Result{
+		NodeRanks: nodeRanks,
+		EdgeRanks: edge3,
+		NodeCD:    eval.NemenyiCD(len(Methods), len(nodeRows)),
+		EdgeCD:    eval.NemenyiCD(3, len(edgeRows)),
+		Cases:     len(nodeRows),
+	}
+}
+
+// Fig6Point is one heatmap cell of the adaptive-parameter experiment.
+type Fig6Point struct {
+	Tables     int
+	BucketMult float64
+	NodeF1     float64
+	EdgeF1     float64
+}
+
+// Fig6Result is one dataset's heatmap plus the adaptive choice.
+type Fig6Result struct {
+	Dataset        string
+	Points         []Fig6Point
+	AdaptiveNode   lsh.AdaptiveChoice
+	AdaptiveEdge   lsh.AdaptiveChoice
+	AdaptiveNodeF1 float64
+	AdaptiveEdgeF1 float64
+}
+
+// Fig6Tables and Fig6Mults define the explored (T, b) grid; the
+// bucket length is expressed as a multiple of the adaptive b.
+var (
+	Fig6Tables = []int{5, 10, 20, 30, 40}
+	Fig6Mults  = []float64{0.25, 0.5, 1.0, 2.0}
+)
+
+// Fig6 sweeps LSH parameters around the adaptive choice at 100% labels
+// and 0% noise (the paper's heatmap setting).
+func Fig6(cfg Config) []Fig6Result {
+	cfg = cfg.withDefaults()
+	var out []Fig6Result
+	for _, spec := range cfg.specs() {
+		d := datagen.Generate(spec, cfg.Scale, cfg.Seed)
+		adaptive := core.Discover(d.Graph, core.Options{Seed: cfg.Seed + 13})
+		r := Fig6Result{
+			Dataset:        spec.Name,
+			AdaptiveNode:   adaptive.NodeChoice,
+			AdaptiveEdge:   adaptive.EdgeChoice,
+			AdaptiveNodeF1: eval.MajorityF1(eval.NodeAssignments(adaptive.NodeAssign), d.NodeTruth),
+			AdaptiveEdgeF1: eval.MajorityF1(eval.EdgeAssignments(adaptive.EdgeAssign), d.EdgeTruth),
+		}
+		for _, tables := range Fig6Tables {
+			for _, mult := range Fig6Mults {
+				np := lsh.Params{
+					Tables:       tables,
+					BucketLength: adaptive.NodeChoice.Params.BucketLength * mult,
+					Seed:         cfg.Seed + 2,
+				}
+				ep := lsh.Params{
+					Tables:       tables,
+					BucketLength: adaptive.EdgeChoice.Params.BucketLength * mult,
+					Seed:         cfg.Seed + 3,
+				}
+				res := core.Discover(d.Graph, core.Options{
+					Seed: cfg.Seed + 13, NodeParams: &np, EdgeParams: &ep,
+				})
+				r.Points = append(r.Points, Fig6Point{
+					Tables:     tables,
+					BucketMult: mult,
+					NodeF1:     eval.MajorityF1(eval.NodeAssignments(res.NodeAssign), d.NodeTruth),
+					EdgeF1:     eval.MajorityF1(eval.EdgeAssignments(res.EdgeAssign), d.EdgeTruth),
+				})
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Fig7Row is one dataset's per-batch incremental cost series.
+type Fig7Row struct {
+	Dataset string
+	Method  Method
+	// BatchMillis holds the discovery time of each batch in order.
+	BatchMillis []float64
+	// NodeF1 is the final F1* after all batches, confirming the
+	// incremental schema is as good as the static one.
+	NodeF1 float64
+}
+
+// Fig7Batches is the batch count the paper uses.
+const Fig7Batches = 10
+
+// Fig7 splits every dataset into 10 random batches and measures
+// per-batch processing time for both PG-HIVE variants.
+func Fig7(cfg Config) []Fig7Row {
+	cfg = cfg.withDefaults()
+	var out []Fig7Row
+	for _, spec := range cfg.specs() {
+		d := datagen.Generate(spec, cfg.Scale, cfg.Seed)
+		for _, m := range []Method{MElsh, MMinHash} {
+			opts := core.Options{Seed: cfg.Seed + 13}
+			if m == MMinHash {
+				opts.Method = core.MinHash
+			}
+			inc := core.NewIncremental(opts)
+			batches := pg.SplitBatches(d.Graph, Fig7Batches, rand.New(rand.NewSource(cfg.Seed+21)))
+			row := Fig7Row{Dataset: spec.Name, Method: m}
+			for _, b := range batches {
+				bt := inc.ProcessBatch(b)
+				row.BatchMillis = append(row.BatchMillis, float64(bt.Timing.Discovery().Microseconds())/1000)
+			}
+			res := inc.Finalize()
+			row.NodeF1 = eval.MajorityF1(eval.NodeAssignments(res.NodeAssign), d.NodeTruth)
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Fig8Row is one dataset's sampling-error distribution.
+type Fig8Row struct {
+	Dataset    string
+	Method     Method
+	Properties int
+	// Bins holds the normalized share per eval.ErrorBin.
+	Bins [4]float64
+}
+
+// Fig8 measures, per dataset and PG-HIVE variant, the datatype
+// sampling error of every (type, property) pair: the sample-based
+// inference against the full-scan tally. The paper samples 10% with a
+// floor of 1000 values; the floor is scaled by the same factor as the
+// datasets (÷200 at scale 1) so sampling exercises the same relative
+// regime.
+func Fig8(cfg Config) []Fig8Row {
+	cfg = cfg.withDefaults()
+	minSample := int(1000.0 / 200.0 * cfg.Scale)
+	if minSample < 3 {
+		minSample = 3
+	}
+	var out []Fig8Row
+	for _, spec := range cfg.specs() {
+		d := datagen.Generate(spec, cfg.Scale, cfg.Seed)
+		for _, m := range []Method{MElsh, MMinHash} {
+			opts := core.Options{Seed: cfg.Seed + 13}
+			if m == MMinHash {
+				opts.Method = core.MinHash
+			}
+			res := core.Discover(d.Graph, opts)
+			// Each property is sampled in several independent trials;
+			// the distribution aggregates (property, trial) pairs, so a
+			// property whose sample misses outliers with probability p
+			// contributes p of its mass to the non-zero bins.
+			const trials = 5
+			var errs []float64
+			props := 0
+			collect := func(t *schema.Type) {
+				for key, ps := range t.Props {
+					props++
+					for trial := int64(0); trial < trials; trial++ {
+						sampled := infer.SampleTally(&ps.Kinds, 0.10, minSample, cfg.Seed+int64(len(key))+trial*101)
+						kind := infer.DataTypeFromTally(&sampled)
+						errs = append(errs, infer.SamplingError(&ps.Kinds, kind))
+					}
+				}
+			}
+			for _, nt := range res.Schema.NodeTypes {
+				collect(&nt.Type)
+			}
+			for _, et := range res.Schema.EdgeTypes {
+				collect(&et.Type)
+			}
+			out = append(out, Fig8Row{
+				Dataset:    spec.Name,
+				Method:     m,
+				Properties: props,
+				Bins:       eval.BinDistribution(errs),
+			})
+		}
+	}
+	return out
+}
+
+// Table2 generates every dataset and returns its statistics rows.
+func Table2(cfg Config) []datagen.TableStats {
+	cfg = cfg.withDefaults()
+	var out []datagen.TableStats
+	for _, spec := range cfg.specs() {
+		out = append(out, datagen.Generate(spec, cfg.Scale, cfg.Seed).Stats())
+	}
+	return out
+}
+
+// Summary derives the paper's headline claims from a grid: the maximum
+// F1* advantage of the best PG-HIVE variant over the best baseline
+// (nodes and edges) and the mean speedup over SchemI.
+type Summary struct {
+	MaxNodeGain   float64
+	MaxNodeGainAt string
+	MaxEdgeGain   float64
+	MaxEdgeGainAt string
+	// MeanSpeedupVsSchemI averages, over 100%-label cells, the ratio
+	// SchemI time / best PG-HIVE time.
+	MeanSpeedupVsSchemI float64
+}
+
+// Summarize computes the Summary from grid cells.
+func Summarize(cells []Cell) Summary {
+	type key struct {
+		ds    string
+		noise float64
+		avail float64
+	}
+	group := map[key]map[Method]Run{}
+	for _, c := range cells {
+		k := key{c.Dataset, c.Noise, c.Avail}
+		if group[k] == nil {
+			group[k] = map[Method]Run{}
+		}
+		group[k][c.Method] = c.Run
+	}
+	var s Summary
+	var speedups []float64
+	for k, runs := range group {
+		if k.avail < 1 {
+			continue
+		}
+		bestHiveNode := maxf(runs[MElsh].NodeF1, runs[MMinHash].NodeF1)
+		bestHiveEdge := maxf(runs[MElsh].EdgeF1, runs[MMinHash].EdgeF1)
+		bestBaseNode := 0.0
+		if runs[MGMM].OK {
+			bestBaseNode = runs[MGMM].NodeF1
+		}
+		if runs[MSchemI].OK {
+			bestBaseNode = maxf(bestBaseNode, runs[MSchemI].NodeF1)
+		}
+		if g := bestHiveNode - bestBaseNode; g > s.MaxNodeGain {
+			s.MaxNodeGain = g
+			s.MaxNodeGainAt = fmt.Sprintf("%s@%.0f%%noise", k.ds, k.noise*100)
+		}
+		if runs[MSchemI].OK {
+			if g := bestHiveEdge - runs[MSchemI].EdgeF1; g > s.MaxEdgeGain {
+				s.MaxEdgeGain = g
+				s.MaxEdgeGainAt = fmt.Sprintf("%s@%.0f%%noise", k.ds, k.noise*100)
+			}
+			bestHiveTime := runs[MElsh].Discovery
+			if runs[MMinHash].Discovery < bestHiveTime {
+				bestHiveTime = runs[MMinHash].Discovery
+			}
+			if bestHiveTime > 0 {
+				speedups = append(speedups, float64(runs[MSchemI].Discovery)/float64(bestHiveTime))
+			}
+		}
+	}
+	if len(speedups) > 0 {
+		var sum float64
+		for _, x := range speedups {
+			sum += x
+		}
+		s.MeanSpeedupVsSchemI = sum / float64(len(speedups))
+	}
+	return s
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

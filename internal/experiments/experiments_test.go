@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// smallCfg keeps experiment tests fast: two contrasting datasets at a
+// reduced scale.
+func smallCfg() Config {
+	return Config{Scale: 0.3, Seed: 5, Datasets: []string{"POLE", "MB6"}}
+}
+
+func TestGridShape(t *testing.T) {
+	cells := Grid(smallCfg())
+	want := 2 * len(Avails) * len(Noises) * len(Methods)
+	if len(cells) != want {
+		t.Fatalf("grid cells = %d, want %d", len(cells), want)
+	}
+	for _, c := range cells {
+		if c.Avail < 1 && (c.Method == MGMM || c.Method == MSchemI) {
+			if c.OK {
+				t.Fatalf("%v must not run below 100%% labels", c.Method)
+			}
+			continue
+		}
+		if !c.OK {
+			t.Fatalf("%v failed on %s (noise %.0f%%, avail %.0f%%)",
+				c.Method, c.Dataset, c.Noise*100, c.Avail*100)
+		}
+		if c.NodeF1 < 0 || c.NodeF1 > 1 {
+			t.Fatalf("NodeF1 out of range: %v", c.NodeF1)
+		}
+	}
+}
+
+func TestGridPaperShapes(t *testing.T) {
+	cells := Grid(Config{Scale: 0.5, Seed: 5, Datasets: []string{"POLE", "MB6", "LDBC"}})
+	get := func(ds string, noise, avail float64, m Method) Run {
+		for _, c := range cells {
+			if c.Dataset == ds && c.Noise == noise && c.Avail == avail && c.Method == m {
+				return c.Run
+			}
+		}
+		t.Fatalf("cell not found: %s %v %v %v", ds, noise, avail, m)
+		return Run{}
+	}
+	// PG-HIVE stays accurate under heavy noise at full labels.
+	for _, ds := range []string{"POLE", "MB6", "LDBC"} {
+		if f := get(ds, 0.4, 1, MElsh).NodeF1; f < 0.9 {
+			t.Errorf("%s: ELSH node F1 at 40%% noise = %.2f, want >= 0.9", ds, f)
+		}
+	}
+	// SchemI loses on multi-label MB6 edges (label reuse).
+	if hive, sch := get("MB6", 0, 1, MElsh).EdgeF1, get("MB6", 0, 1, MSchemI).EdgeF1; hive <= sch {
+		t.Errorf("MB6 edges: ELSH (%.2f) should beat SchemI (%.2f)", hive, sch)
+	}
+	// Only PG-HIVE produces results at 0%% labels.
+	if !get("POLE", 0.2, 0, MElsh).OK {
+		t.Error("ELSH must run without labels")
+	}
+	if get("POLE", 0.2, 0, MSchemI).OK {
+		t.Error("SchemI must not run without labels")
+	}
+}
+
+func TestFig3Ranks(t *testing.T) {
+	cells := Grid(smallCfg())
+	r := Fig3(cells)
+	if r.Cases != 2*len(Noises) {
+		t.Fatalf("cases = %d, want %d", r.Cases, 2*len(Noises))
+	}
+	if len(r.NodeRanks) != 4 || len(r.EdgeRanks) != 3 {
+		t.Fatalf("rank vector sizes: %d nodes, %d edges", len(r.NodeRanks), len(r.EdgeRanks))
+	}
+	// PG-HIVE variants must rank at least as well as both baselines
+	// on nodes (Fig. 3 top).
+	if r.NodeRanks[MElsh] > r.NodeRanks[MGMM] || r.NodeRanks[MElsh] > r.NodeRanks[MSchemI] {
+		t.Errorf("ELSH rank %.2f worse than a baseline (GMM %.2f, SchemI %.2f)",
+			r.NodeRanks[MElsh], r.NodeRanks[MGMM], r.NodeRanks[MSchemI])
+	}
+	if math.IsNaN(r.NodeCD) || math.IsNaN(r.EdgeCD) {
+		t.Error("critical differences must be defined")
+	}
+}
+
+func TestFig6AdaptiveNearBest(t *testing.T) {
+	results := Fig6(Config{Scale: 0.3, Seed: 5, Datasets: []string{"POLE"}})
+	if len(results) != 1 {
+		t.Fatalf("results = %d", len(results))
+	}
+	r := results[0]
+	if len(r.Points) != len(Fig6Tables)*len(Fig6Mults) {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	best := 0.0
+	for _, p := range r.Points {
+		if p.NodeF1 > best {
+			best = p.NodeF1
+		}
+	}
+	// The paper's claim: the adaptive choice is close to the best
+	// grid setting.
+	if r.AdaptiveNodeF1 < best-0.1 {
+		t.Errorf("adaptive node F1 %.3f far below grid best %.3f", r.AdaptiveNodeF1, best)
+	}
+}
+
+func TestFig7BatchesAndQuality(t *testing.T) {
+	rows := Fig7(Config{Scale: 0.4, Seed: 5, Datasets: []string{"POLE", "MB6"}})
+	if len(rows) != 4 { // 2 datasets × 2 PG-HIVE variants
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.BatchMillis) != Fig7Batches {
+			t.Fatalf("%s/%v: batches = %d, want %d", r.Dataset, r.Method, len(r.BatchMillis), Fig7Batches)
+		}
+		if r.NodeF1 < 0.85 {
+			t.Errorf("%s/%v: incremental final F1 = %.2f, want >= 0.85", r.Dataset, r.Method, r.NodeF1)
+		}
+	}
+}
+
+func TestFig8MostErrorsSmall(t *testing.T) {
+	rows := Fig8(Config{Scale: 1, Seed: 5, Datasets: []string{"POLE", "ICIJ"}})
+	for _, r := range rows {
+		if r.Properties == 0 {
+			t.Fatalf("%s: no properties measured", r.Dataset)
+		}
+		// The paper: most properties fall into the lowest bin.
+		if r.Bins[0] < 0.5 {
+			t.Errorf("%s/%v: lowest-error bin share = %.2f, want >= 0.5", r.Dataset, r.Method, r.Bins[0])
+		}
+	}
+}
+
+func TestTable2Rows(t *testing.T) {
+	rows := Table2(smallCfg())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Name != "POLE" || rows[1].Name != "MB6" {
+		t.Fatalf("row order wrong: %v %v", rows[0].Name, rows[1].Name)
+	}
+}
+
+func TestTable1Capabilities(t *testing.T) {
+	caps := Table1(Config{Seed: 5})
+	byName := map[string]Capability{}
+	for _, c := range caps {
+		byName[c.Name] = c
+	}
+	li := byName["Label independent"]
+	if li.SchemI || li.GMM || !li.PGHive {
+		t.Errorf("label independence matrix wrong: %+v", li)
+	}
+	et := byName["Edge types"]
+	if et.GMM || !et.PGHive || !et.SchemI {
+		t.Errorf("edge types matrix wrong: %+v", et)
+	}
+	cs := byName["Constraints (datatypes, optionality, cardinalities)"]
+	if !cs.PGHive || cs.GMM || cs.SchemI {
+		t.Errorf("constraints matrix wrong: %+v", cs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	cells := Grid(Config{Scale: 0.4, Seed: 5, Datasets: []string{"MB6", "HET.IO"}})
+	s := Summarize(cells)
+	if s.MaxNodeGain < 0 || s.MaxEdgeGain <= 0 {
+		t.Errorf("gains: %+v", s)
+	}
+	if s.MeanSpeedupVsSchemI <= 0 {
+		t.Errorf("speedup must be measured: %+v", s)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	cfg := smallCfg()
+	cells := Grid(cfg)
+	var buf bytes.Buffer
+	PrintTable1(&buf, Table1(cfg))
+	PrintTable2(&buf, Table2(cfg))
+	PrintFig3(&buf, Fig3(cells))
+	PrintFig4(&buf, cells)
+	PrintFig5(&buf, cells)
+	PrintFig6(&buf, Fig6(Config{Scale: 0.2, Seed: 5, Datasets: []string{"POLE"}}))
+	PrintFig7(&buf, Fig7(Config{Scale: 0.2, Seed: 5, Datasets: []string{"POLE"}}))
+	PrintFig8(&buf, Fig8(Config{Scale: 0.4, Seed: 5, Datasets: []string{"POLE"}}))
+	PrintSummary(&buf, Summarize(cells))
+	out := buf.String()
+	for _, want := range []string{
+		"Table 1", "Table 2", "Figure 3", "Figure 4", "Figure 5",
+		"Figure 6", "Figure 7", "Figure 8", "Headline",
+		"PG-HIVE-ELSH", "PG-HIVE-MinHash", "GMM", "SchemI",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"github.com/pghive/pghive/internal/datagen"
+)
+
+// render.go prints each experiment's results as the aligned text
+// tables the cmd/experiments tool emits — one renderer per paper
+// table/figure.
+
+// PrintTable2 renders the dataset statistics table.
+func PrintTable2(w io.Writer, rows []datagen.TableStats) {
+	fmt.Fprintln(w, "Table 2: dataset statistics (generated at the configured scale)")
+	fmt.Fprintf(w, "%-8s %8s %9s %6s %6s %7s %7s %9s %9s  %s\n",
+		"Dataset", "Nodes", "Edges", "NType", "EType", "NLabels", "ELabels", "NPatterns", "EPatterns", "R/S")
+	for _, r := range rows {
+		fmt.Fprintln(w, r.String())
+	}
+}
+
+// PrintFig3 renders the Nemenyi rank analysis.
+func PrintFig3(w io.Writer, r Fig3Result) {
+	fmt.Fprintf(w, "Figure 3: Nemenyi significance analysis over %d cases (datasets x noise levels, 100%% labels)\n", r.Cases)
+	fmt.Fprintf(w, "  Nodes (CD=%.3f at alpha=0.05, lower rank = better):\n", r.NodeCD)
+	for i, m := range Methods {
+		fmt.Fprintf(w, "    %-16s avg rank %.2f\n", m, r.NodeRanks[i])
+	}
+	fmt.Fprintf(w, "  Edges (CD=%.3f; GMM excluded — no edge types):\n", r.EdgeCD)
+	for i, m := range []Method{MElsh, MMinHash, MSchemI} {
+		fmt.Fprintf(w, "    %-16s avg rank %.2f\n", m, r.EdgeRanks[i])
+	}
+}
+
+// PrintFig4 renders the F1*-vs-noise grid per label availability.
+func PrintFig4(w io.Writer, cells []Cell) {
+	fmt.Fprintln(w, "Figure 4: F1* across noise levels (0-40%) and label availability (100/50/0%)")
+	printGrid(w, cells, func(c Cell) (float64, bool) { return c.NodeF1, c.OK }, "nodes")
+	printGrid(w, cells, func(c Cell) (float64, bool) {
+		if c.Method == MGMM {
+			return 0, false // GMM discovers no edge types
+		}
+		return c.EdgeF1, c.OK
+	}, "edges")
+}
+
+// PrintFig5 renders the execution-time grid at 100% labels.
+func PrintFig5(w io.Writer, cells []Cell) {
+	fmt.Fprintln(w, "Figure 5: execution time until type discovery (ms), 100% label availability")
+	var filtered []Cell
+	for _, c := range cells {
+		if c.Avail == 1 {
+			filtered = append(filtered, c)
+		}
+	}
+	printGrid(w, filtered, func(c Cell) (float64, bool) {
+		return float64(c.Discovery.Microseconds()) / 1000, c.OK
+	}, "time-ms")
+}
+
+func printGrid(w io.Writer, cells []Cell, value func(Cell) (float64, bool), caption string) {
+	type key struct {
+		avail   float64
+		dataset string
+	}
+	byKey := map[key]map[float64]map[Method]Cell{}
+	for _, c := range cells {
+		k := key{c.Avail, c.Dataset}
+		if byKey[k] == nil {
+			byKey[k] = map[float64]map[Method]Cell{}
+		}
+		if byKey[k][c.Noise] == nil {
+			byKey[k][c.Noise] = map[Method]Cell{}
+		}
+		byKey[k][c.Noise][c.Method] = c
+	}
+	keys := make([]key, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].avail != keys[j].avail {
+			return keys[i].avail > keys[j].avail
+		}
+		return keys[i].dataset < keys[j].dataset
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "  [%s] %s, %.0f%% labels\n", caption, k.dataset, k.avail*100)
+		fmt.Fprintf(w, "    %-7s", "noise")
+		for _, m := range Methods {
+			fmt.Fprintf(w, " %16s", m)
+		}
+		fmt.Fprintln(w)
+		for _, noise := range Noises {
+			fmt.Fprintf(w, "    %-7.0f", noise*100)
+			for _, m := range Methods {
+				c, ok := byKey[k][noise][m]
+				v, valid := 0.0, false
+				if ok {
+					v, valid = value(c)
+				}
+				if !valid {
+					fmt.Fprintf(w, " %16s", "-")
+				} else {
+					fmt.Fprintf(w, " %16.3f", v)
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// PrintFig6 renders the parameter-sweep heatmaps.
+func PrintFig6(w io.Writer, results []Fig6Result) {
+	fmt.Fprintln(w, "Figure 6: F1* heatmaps over (T, b) with the adaptive choice marked x (100% labels, 0% noise)")
+	for _, r := range results {
+		fmt.Fprintf(w, "  %s — adaptive: nodes (T=%d, b=%.2f) F1=%.3f; edges (T=%d, b=%.2f) F1=%.3f\n",
+			r.Dataset,
+			r.AdaptiveNode.Params.Tables, r.AdaptiveNode.Params.BucketLength, r.AdaptiveNodeF1,
+			r.AdaptiveEdge.Params.Tables, r.AdaptiveEdge.Params.BucketLength, r.AdaptiveEdgeF1)
+		fmt.Fprintf(w, "    %-10s", "b-mult\\T")
+		for _, t := range Fig6Tables {
+			fmt.Fprintf(w, " %11d", t)
+		}
+		fmt.Fprintln(w)
+		for _, mult := range Fig6Mults {
+			fmt.Fprintf(w, "    %-10.2f", mult)
+			for _, t := range Fig6Tables {
+				for _, p := range r.Points {
+					if p.Tables == t && p.BucketMult == mult {
+						fmt.Fprintf(w, " %5.2f/%5.2f", p.NodeF1, p.EdgeF1)
+					}
+				}
+			}
+			fmt.Fprintln(w, "   (node/edge)")
+		}
+	}
+}
+
+// PrintFig7 renders per-batch incremental times.
+func PrintFig7(w io.Writer, rows []Fig7Row) {
+	fmt.Fprintf(w, "Figure 7: incremental execution time per batch (ms), %d random batches\n", Fig7Batches)
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-8s %-16s", r.Dataset, r.Method)
+		for _, ms := range r.BatchMillis {
+			fmt.Fprintf(w, " %7.1f", ms)
+		}
+		fmt.Fprintf(w, "   (final node F1*=%.3f)\n", r.NodeF1)
+	}
+}
+
+// PrintFig8 renders the sampling-error distributions.
+func PrintFig8(w io.Writer, rows []Fig8Row) {
+	fmt.Fprintln(w, "Figure 8: datatype sampling-error distribution (share of properties per bin)")
+	fmt.Fprintf(w, "  %-8s %-16s %6s %8s %10s %10s %8s\n",
+		"Dataset", "Method", "#props", "0-0.05", "0.05-0.10", "0.10-0.20", ">=0.20")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-8s %-16s %6d %8.3f %10.3f %10.3f %8.3f\n",
+			r.Dataset, r.Method, r.Properties, r.Bins[0], r.Bins[1], r.Bins[2], r.Bins[3])
+	}
+}
+
+// PrintSummary renders the derived headline claims.
+func PrintSummary(w io.Writer, s Summary) {
+	fmt.Fprintln(w, "Headline claims derived from the grid:")
+	fmt.Fprintf(w, "  max node F1* gain over best baseline: %+.0f%% (%s)\n", s.MaxNodeGain*100, s.MaxNodeGainAt)
+	fmt.Fprintf(w, "  max edge F1* gain over SchemI:        %+.0f%% (%s)\n", s.MaxEdgeGain*100, s.MaxEdgeGainAt)
+	if !math.IsNaN(s.MeanSpeedupVsSchemI) {
+		fmt.Fprintf(w, "  mean speedup vs SchemI (best PG-HIVE variant): %.2fx\n", s.MeanSpeedupVsSchemI)
+	}
+}

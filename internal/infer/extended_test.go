@@ -1,0 +1,176 @@
+package infer
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/pghive/pghive/internal/pg"
+	"github.com/pghive/pghive/internal/schema"
+)
+
+func buildTypeFromValues(t *testing.T, key string, values []pg.Value) *schema.NodeType {
+	t.Helper()
+	nodes := make([]pg.Node, len(values))
+	for i, v := range values {
+		nodes[i] = pg.Node{ID: pg.ID(i), Labels: []string{"T"},
+			Props: map[string]pg.Value{key: v}}
+	}
+	assign := make([]int, len(nodes))
+	cands := schema.BuildNodeCandidates(nodes, assign, 1)
+	s := schema.New()
+	s.ExtractNodeTypes(cands, 0.9)
+	return s.NodeTypeByToken("T")
+}
+
+func TestEnumDetection(t *testing.T) {
+	var vals []pg.Value
+	for i := 0; i < 30; i++ {
+		vals = append(vals, pg.Str([]string{"red", "green", "blue"}[i%3]))
+	}
+	ty := buildTypeFromValues(t, "color", vals)
+	Constraints(&ty.Type)
+	DataTypes(&ty.Type, Options{})
+	RefineDataTypes(&ty.Type, EnumOptions{})
+	ps := ty.Props["color"]
+	if len(ps.Enum) != 3 {
+		t.Fatalf("Enum = %v, want 3 values", ps.Enum)
+	}
+	if ps.Enum[0] != "blue" || ps.Enum[1] != "green" || ps.Enum[2] != "red" {
+		t.Errorf("Enum must be sorted: %v", ps.Enum)
+	}
+}
+
+func TestEnumRejectsOpenDomains(t *testing.T) {
+	// Many distinct values: not an enum.
+	var vals []pg.Value
+	for i := 0; i < 100; i++ {
+		vals = append(vals, pg.Str(fmt.Sprintf("name-%d", i)))
+	}
+	ty := buildTypeFromValues(t, "name", vals)
+	DataTypes(&ty.Type, Options{})
+	RefineDataTypes(&ty.Type, EnumOptions{})
+	if ty.Props["name"].Enum != nil {
+		t.Errorf("open string domain must not be an enum: %v", ty.Props["name"].Enum)
+	}
+	if !ty.Props["name"].DistinctOverflow {
+		t.Error("tracker must have overflowed at 100 distinct values")
+	}
+}
+
+func TestEnumRejectsLowSupport(t *testing.T) {
+	// 4 values seen once each: too little support for a closed set.
+	vals := []pg.Value{pg.Str("a"), pg.Str("b"), pg.Str("c"), pg.Str("d")}
+	ty := buildTypeFromValues(t, "x", vals)
+	DataTypes(&ty.Type, Options{})
+	RefineDataTypes(&ty.Type, EnumOptions{})
+	if ty.Props["x"].Enum != nil {
+		t.Errorf("low-support domain must not be an enum: %v", ty.Props["x"].Enum)
+	}
+}
+
+func TestEnumRejectsMixedKinds(t *testing.T) {
+	// Strings generalized from a mixed column are not closed sets.
+	vals := []pg.Value{
+		pg.Str("a"), pg.Str("a"), pg.Str("b"), pg.Str("b"),
+		pg.Str("a"), pg.Str("b"), pg.Int(4), pg.Str("a"), pg.Str("b"),
+	}
+	ty := buildTypeFromValues(t, "x", vals)
+	DataTypes(&ty.Type, Options{})
+	RefineDataTypes(&ty.Type, EnumOptions{})
+	if ty.Props["x"].Enum != nil {
+		t.Errorf("mixed-kind column must not be an enum: %v", ty.Props["x"].Enum)
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	vals := []pg.Value{pg.Int(5), pg.Int(-3), pg.Int(40), pg.Int(12)}
+	ty := buildTypeFromValues(t, "n", vals)
+	DataTypes(&ty.Type, Options{})
+	RefineDataTypes(&ty.Type, EnumOptions{})
+	ps := ty.Props["n"]
+	if !ps.HasIntRange {
+		t.Fatal("integer column must carry a range")
+	}
+	if ps.MinInt != -3 || ps.MaxInt != 40 {
+		t.Errorf("range = [%d, %d], want [-3, 40]", ps.MinInt, ps.MaxInt)
+	}
+}
+
+func TestRangeMergesAcrossClusters(t *testing.T) {
+	// Two clusters of the same type: merged range must span both.
+	mk := func(base int64, ids int) []*schema.NodeType {
+		nodes := make([]pg.Node, 3)
+		for i := range nodes {
+			nodes[i] = pg.Node{ID: pg.ID(ids + i), Labels: []string{"T"},
+				Props: map[string]pg.Value{"n": pg.Int(base + int64(i))}}
+		}
+		return schema.BuildNodeCandidates(nodes, []int{0, 0, 0}, 1)
+	}
+	s := schema.New()
+	s.ExtractNodeTypes(mk(10, 0), 0.9)
+	s.ExtractNodeTypes(mk(-100, 10), 0.9)
+	ty := s.NodeTypeByToken("T")
+	DataTypes(&ty.Type, Options{})
+	RefineDataTypes(&ty.Type, EnumOptions{})
+	ps := ty.Props["n"]
+	if ps.MinInt != -100 || ps.MaxInt != 12 {
+		t.Errorf("merged range = [%d, %d], want [-100, 12]", ps.MinInt, ps.MaxInt)
+	}
+}
+
+func TestLowerBounds(t *testing.T) {
+	s := schema.New()
+	// Person nodes 0..3, Org node 10. Every person works somewhere →
+	// src lower bound 1. Only some orgs (here: the one org) have
+	// employees → dst lower bound 1 too. Then add an org with no
+	// employees via a second org node: dst bound drops to 0.
+	nodes := []pg.Node{
+		{ID: 0, Labels: []string{"Person"}, Props: map[string]pg.Value{"n": pg.Str("a")}},
+		{ID: 1, Labels: []string{"Person"}, Props: map[string]pg.Value{"n": pg.Str("b")}},
+		{ID: 10, Labels: []string{"Org"}, Props: map[string]pg.Value{"u": pg.Str("x")}},
+		{ID: 11, Labels: []string{"Org"}, Props: map[string]pg.Value{"u": pg.Str("y")}},
+	}
+	cands := schema.BuildNodeCandidates(nodes, []int{0, 0, 1, 1}, 2)
+	ntypes := s.ExtractNodeTypes(cands, 0.9)
+	nodeAssign := map[pg.ID]*schema.NodeType{}
+	for i, n := range nodes {
+		nodeAssign[n.ID] = ntypes[[]int{0, 0, 1, 1}[i]]
+	}
+
+	edges := []pg.Edge{
+		{ID: 0, Labels: []string{"WORKS_AT"}, Src: 0, Dst: 10},
+		{ID: 1, Labels: []string{"WORKS_AT"}, Src: 1, Dst: 10},
+	}
+	ecands := schema.BuildEdgeCandidates(edges, []int{0, 0}, 1,
+		[]string{"Person", "Person"}, []string{"Org", "Org"})
+	etypes := s.ExtractEdgeTypes(ecands, 0.9)
+	edgeAssign := map[pg.ID]*schema.EdgeType{0: etypes[0], 1: etypes[0]}
+
+	bounds := LowerBounds(s, nodeAssign, edgeAssign, edges)
+	b := bounds[etypes[0]]
+	if b.SrcLower != 1 {
+		t.Errorf("every Person participates: src lower = %d, want 1", b.SrcLower)
+	}
+	if b.DstLower != 0 {
+		t.Errorf("org 11 has no employees: dst lower = %d, want 0", b.DstLower)
+	}
+}
+
+func TestLowerBoundsFullParticipation(t *testing.T) {
+	s := schema.New()
+	nodes := []pg.Node{
+		{ID: 0, Labels: []string{"A"}},
+		{ID: 1, Labels: []string{"B"}},
+	}
+	cands := schema.BuildNodeCandidates(nodes, []int{0, 1}, 2)
+	ntypes := s.ExtractNodeTypes(cands, 0.9)
+	nodeAssign := map[pg.ID]*schema.NodeType{0: ntypes[0], 1: ntypes[1]}
+	edges := []pg.Edge{{ID: 0, Labels: []string{"R"}, Src: 0, Dst: 1}}
+	ecands := schema.BuildEdgeCandidates(edges, []int{0}, 1, []string{"A"}, []string{"B"})
+	etypes := s.ExtractEdgeTypes(ecands, 0.9)
+	bounds := LowerBounds(s, nodeAssign, map[pg.ID]*schema.EdgeType{0: etypes[0]}, edges)
+	b := bounds[etypes[0]]
+	if b.SrcLower != 1 || b.DstLower != 1 {
+		t.Errorf("full participation: bounds = %+v, want 1/1", b)
+	}
+}

@@ -1,0 +1,228 @@
+// Package lsh implements the two Locality-Sensitive Hashing schemes
+// PG-HIVE clusters with (§4.2): Euclidean LSH (the p-stable / bucketed
+// random-projection scheme of Datar et al.) for the hybrid
+// representation vectors, and MinHash LSH (Broder) for set-shaped
+// representations, plus the adaptive parameterization heuristics of
+// the paper.
+//
+// Amplification. Each of the T hash functions is assigned to a band;
+// within a band the hash values are concatenated into a single bucket
+// key (AND-amplification: all hashes in the band must agree), and an
+// element's bucket collisions across bands are OR-combined with a
+// union-find, so clusters are connected components of the collision
+// graph. ELSH defaults to a single band — the full T-hash signature
+// must match — because PG-HIVE deliberately over-fragments at this
+// stage ("we prefer more separate types, as we are going to perform a
+// merging step afterwards", §4.2) and the Alg. 2 merging step re-joins
+// fragments by label or property Jaccard. MinHash defaults to bands
+// of 4 rows, the textbook banding of Leskovec et al. ch. 3 that the
+// paper cites.
+package lsh
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Params controls one LSH clustering run.
+type Params struct {
+	// Tables is T, the total number of hash functions.
+	Tables int
+	// BucketLength is b, the Euclidean bucket width (ELSH only).
+	BucketLength float64
+	// RowsPerBand is the AND-amplification width r. 0 selects the
+	// scheme default: all T hashes in one band for ELSH, 4 rows per
+	// band for MinHash.
+	RowsPerBand int
+	// Seed drives projection and permutation generation.
+	Seed int64
+}
+
+func (p Params) rows(def int) int {
+	r := p.RowsPerBand
+	if r <= 0 {
+		r = def
+	}
+	if r > p.Tables {
+		r = p.Tables
+	}
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// Clustering is the result of an LSH run: a dense cluster ID per input
+// row.
+type Clustering struct {
+	// Assign maps row index to cluster ID in [0, NumClusters).
+	Assign []int
+	// NumClusters is the number of distinct clusters.
+	NumClusters int
+}
+
+// Members groups row indices by cluster ID.
+func (c *Clustering) Members() [][]int {
+	members := make([][]int, c.NumClusters)
+	for row, cl := range c.Assign {
+		members[cl] = append(members[cl], row)
+	}
+	return members
+}
+
+// ClusterEuclidean buckets vectors with p-stable projections:
+// h_i(v) = ⌊(a_i·v + u_i)/b⌋ with a_i ~ N(0,1)^D and u_i ~ U[0,b).
+// Rows whose per-band keys coincide are unioned.
+func ClusterEuclidean(vecs [][]float64, p Params) *Clustering {
+	n := len(vecs)
+	if n == 0 {
+		return &Clustering{Assign: []int{}, NumClusters: 0}
+	}
+	if p.Tables < 1 {
+		p.Tables = 1
+	}
+	if p.BucketLength <= 0 {
+		p.BucketLength = 1
+	}
+	dim := len(vecs[0])
+	rows := p.rows(p.Tables) // default: one band of T hashes
+	bands := (p.Tables + rows - 1) / rows
+
+	rng := rand.New(rand.NewSource(p.Seed))
+	proj := make([]float64, p.Tables*dim)
+	for i := range proj {
+		proj[i] = rng.NormFloat64()
+	}
+	offsets := make([]float64, p.Tables)
+	for i := range offsets {
+		offsets[i] = rng.Float64() * p.BucketLength
+	}
+
+	uf := newUnionFind(n)
+	hashes := make([]int64, p.Tables)
+	for band := 0; band < bands; band++ {
+		lo := band * rows
+		hi := lo + rows
+		if hi > p.Tables {
+			hi = p.Tables
+		}
+		buckets := make(map[uint64]int, n)
+		for row, v := range vecs {
+			for t := lo; t < hi; t++ {
+				a := proj[t*dim : (t+1)*dim]
+				var dot float64
+				for d, x := range v {
+					dot += a[d] * x
+				}
+				hashes[t] = int64(math.Floor((dot + offsets[t]) / p.BucketLength))
+			}
+			key := mixInts(uint64(band)+0x9e3779b97f4a7c15, hashes[lo:hi])
+			if first, ok := buckets[key]; ok {
+				uf.union(first, row)
+			} else {
+				buckets[key] = row
+			}
+		}
+	}
+	assign, k := uf.components()
+	return &Clustering{Assign: assign, NumClusters: k}
+}
+
+// ClusterMinHash buckets token sets with MinHash signatures of length
+// T, banded r rows at a time. Two sets land in the same band bucket
+// with probability J(A,B)^r; bands are OR-combined.
+func ClusterMinHash(sets [][]string, p Params) *Clustering {
+	n := len(sets)
+	if n == 0 {
+		return &Clustering{Assign: []int{}, NumClusters: 0}
+	}
+	if p.Tables < 1 {
+		p.Tables = 1
+	}
+	rows := p.rows(4)
+	bands := (p.Tables + rows - 1) / rows
+
+	rng := rand.New(rand.NewSource(p.Seed))
+	// One (mult, add) pair of odd multipliers per hash function
+	// implements a universal family over token hashes.
+	mult := make([]uint64, p.Tables)
+	add := make([]uint64, p.Tables)
+	for i := range mult {
+		mult[i] = rng.Uint64() | 1
+		add[i] = rng.Uint64()
+	}
+
+	// Pre-hash every distinct token once.
+	tokenHash := map[string]uint64{}
+	hashed := make([][]uint64, n)
+	for i, set := range sets {
+		hs := make([]uint64, len(set))
+		for j, tok := range set {
+			h, ok := tokenHash[tok]
+			if !ok {
+				h = fnv64(tok)
+				tokenHash[tok] = h
+			}
+			hs[j] = h
+		}
+		hashed[i] = hs
+	}
+
+	uf := newUnionFind(n)
+	sig := make([]int64, p.Tables)
+	sigs := make([][]int64, n)
+	for i := range sigs {
+		for t := 0; t < p.Tables; t++ {
+			minv := uint64(math.MaxUint64)
+			for _, h := range hashed[i] {
+				v := h*mult[t] + add[t]
+				if v < minv {
+					minv = v
+				}
+			}
+			sig[t] = int64(minv)
+		}
+		sigs[i] = append([]int64(nil), sig...)
+	}
+	for band := 0; band < bands; band++ {
+		lo := band * rows
+		hi := lo + rows
+		if hi > p.Tables {
+			hi = p.Tables
+		}
+		buckets := make(map[uint64]int, n)
+		for row := range sigs {
+			key := mixInts(uint64(band)+0x9e3779b97f4a7c15, sigs[row][lo:hi])
+			if first, ok := buckets[key]; ok {
+				uf.union(first, row)
+			} else {
+				buckets[key] = row
+			}
+		}
+	}
+	assign, k := uf.components()
+	return &Clustering{Assign: assign, NumClusters: k}
+}
+
+// mixInts hashes a slice of int64 hash values into one 64-bit bucket
+// key (FNV-1a over the little-endian bytes, seeded per band).
+func mixInts(seed uint64, vals []int64) uint64 {
+	h := seed ^ 14695981039346656037
+	for _, v := range vals {
+		u := uint64(v)
+		for b := 0; b < 8; b++ {
+			h ^= (u >> (8 * b)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+func fnv64(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,121 @@
+package lsh
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinHashDeterminism(t *testing.T) {
+	sets := [][]string{
+		{"a", "b", "c"}, {"a", "b", "d"}, {"x", "y"}, {"x", "y", "z"},
+	}
+	p := Params{Tables: 16, Seed: 9}
+	a := ClusterMinHash(sets, p)
+	b := ClusterMinHash(sets, p)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("MinHash clustering is not deterministic")
+		}
+	}
+}
+
+func TestMinHashSeedChangesBuckets(t *testing.T) {
+	// Near-duplicate sets: the collision outcome may vary with the
+	// seed, but identical sets must always co-cluster regardless.
+	sets := [][]string{
+		{"t", "a", "b", "c", "d"},
+		{"t", "a", "b", "c", "d"},
+		{"t", "a", "b", "c", "e"},
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		c := ClusterMinHash(sets, Params{Tables: 16, Seed: seed})
+		if c.Assign[0] != c.Assign[1] {
+			t.Fatalf("seed %d: identical sets split", seed)
+		}
+	}
+}
+
+// Property: identical sets always share a cluster, for any parameters.
+func TestMinHashIdenticalSetsProperty(t *testing.T) {
+	f := func(seed int64, tablesRaw, rowsRaw uint8) bool {
+		p := Params{
+			Tables:      int(tablesRaw%32) + 1,
+			RowsPerBand: int(rowsRaw % 9), // 0 = default
+			Seed:        seed,
+		}
+		set := []string{"alpha", "beta", "gamma"}
+		c := ClusterMinHash([][]string{set, set, {"zeta"}}, p)
+		return c.Assign[0] == c.Assign[1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMinHashBandingRecall: with fixed T, narrower bands (smaller r)
+// raise recall on similar pairs. Measured over many random
+// pair-samples, the merge rate with r=2 must be at least that of r=8.
+func TestMinHashBandingRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	merged := func(rows int) int {
+		count := 0
+		for trial := 0; trial < 60; trial++ {
+			// Two sets with Jaccard 0.8 (8 shared / 10 union).
+			shared := make([]string, 8)
+			for i := range shared {
+				shared[i] = fmt.Sprintf("s%d-%d", trial, rng.Intn(1000))
+			}
+			a := append(append([]string{}, shared...), fmt.Sprintf("a%d", trial))
+			b := append(append([]string{}, shared...), fmt.Sprintf("b%d", trial))
+			c := ClusterMinHash([][]string{a, b}, Params{Tables: 16, RowsPerBand: rows, Seed: int64(trial)})
+			if c.Assign[0] == c.Assign[1] {
+				count++
+			}
+		}
+		return count
+	}
+	low, high := merged(8), merged(2)
+	if high < low {
+		t.Fatalf("narrow bands must not lower recall: r=2 merged %d, r=8 merged %d", high, low)
+	}
+	if high < 40 {
+		t.Errorf("r=2 recall too low for J=0.8 pairs: %d/60", high)
+	}
+}
+
+func TestMinHashRowsPerBandCappedAtTables(t *testing.T) {
+	// RowsPerBand beyond Tables must behave like one full-signature
+	// band, not panic.
+	sets := [][]string{{"a", "b"}, {"a", "b"}, {"c"}}
+	c := ClusterMinHash(sets, Params{Tables: 4, RowsPerBand: 99, Seed: 1})
+	if c.Assign[0] != c.Assign[1] {
+		t.Fatal("identical sets split with oversized RowsPerBand")
+	}
+	if c.Assign[0] == c.Assign[2] {
+		t.Fatal("distinct sets merged")
+	}
+}
+
+func TestEuclideanRowsPerBandBands(t *testing.T) {
+	// Multiple ELSH bands (OR) must not lose the identical-vector
+	// guarantee and must raise recall on near vectors vs one band.
+	vecs := [][]float64{
+		{0, 0, 0, 0}, {0, 0, 0, 0}, {0.4, 0, 0, 0}, {9, 9, 9, 9},
+	}
+	oneBand := ClusterEuclidean(vecs, Params{Tables: 12, BucketLength: 1, Seed: 5})
+	banded := ClusterEuclidean(vecs, Params{Tables: 12, BucketLength: 1, RowsPerBand: 3, Seed: 5})
+	if banded.Assign[0] != banded.Assign[1] || oneBand.Assign[0] != oneBand.Assign[1] {
+		t.Fatal("identical vectors split")
+	}
+	// The far vector must stay apart under both configurations.
+	if banded.Assign[3] == banded.Assign[0] {
+		t.Fatal("distant vector merged under banding")
+	}
+	// Banding can only merge more (union over more buckets).
+	if banded.NumClusters > oneBand.NumClusters {
+		t.Fatalf("banding produced more clusters (%d) than one band (%d)",
+			banded.NumClusters, oneBand.NumClusters)
+	}
+}

@@ -1,0 +1,58 @@
+package lsh
+
+// unionFind is a classic disjoint-set structure with union by size and
+// path halving, used to OR-combine bucket collisions across bands into
+// connected-component clusters.
+type unionFind struct {
+	parent []int32
+	size   []int32
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int32, n), size: make([]int32, n)}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	p := int32(x)
+	for uf.parent[p] != p {
+		uf.parent[p] = uf.parent[uf.parent[p]] // path halving
+		p = uf.parent[p]
+	}
+	return int(p)
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := int32(uf.find(a)), int32(uf.find(b))
+	if ra == rb {
+		return
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+}
+
+// components relabels roots to dense cluster IDs 0..K-1 and returns
+// the assignment plus K.
+func (uf *unionFind) components() ([]int, int) {
+	assign := make([]int, len(uf.parent))
+	next := 0
+	remap := make(map[int]int)
+	for i := range uf.parent {
+		r := uf.find(i)
+		id, ok := remap[r]
+		if !ok {
+			id = next
+			next++
+			remap[r] = id
+		}
+		assign[i] = id
+	}
+	return assign, next
+}

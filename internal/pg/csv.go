@@ -1,0 +1,191 @@
+package pg
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// csv.go implements the neo4j-admin bulk-import CSV conventions the
+// paper's datasets ship in (POLE, MB6/FIB25, LDBC CSV dumps): node
+// files with an `:ID` column and an optional `:LABEL` column, and
+// relationship files with `:START_ID`, `:END_ID` and `:TYPE` columns.
+// Property columns may carry a type suffix (`age:int`, `score:float`,
+// `flag:boolean`, `since:date`, `at:datetime`, `name:string`); untyped
+// columns are inferred per the §4.4 priority rules.
+
+// ReadNodesCSV parses a node CSV into the graph. The header must
+// contain an ":ID" column (optionally named, e.g. "personId:ID");
+// a ":LABEL" column, when present, carries ;-separated labels.
+// Rows with a duplicate ID are rejected.
+func ReadNodesCSV(r io.Reader, g *Graph) (int, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("pg: csv header: %w", err)
+	}
+	idCol, labelCol := -1, -1
+	props := map[int]csvProp{}
+	for i, h := range header {
+		switch {
+		case strings.HasSuffix(h, ":ID"):
+			idCol = i
+		case h == ":LABEL" || strings.HasSuffix(h, ":LABEL"):
+			labelCol = i
+		case strings.HasSuffix(h, ":IGNORE"):
+		default:
+			props[i] = parseCSVHeader(h)
+		}
+	}
+	if idCol < 0 {
+		return 0, fmt.Errorf("pg: node csv needs an :ID column, header %v", header)
+	}
+	count := 0
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return count, fmt.Errorf("pg: csv line %d: %w", line, err)
+		}
+		id, err := strconv.ParseInt(rec[idCol], 10, 64)
+		if err != nil {
+			return count, fmt.Errorf("pg: csv line %d: node id %q: %w", line, rec[idCol], err)
+		}
+		var labels []string
+		if labelCol >= 0 && labelCol < len(rec) && rec[labelCol] != "" {
+			labels = strings.Split(rec[labelCol], ";")
+		}
+		pv, err := csvProps(rec, props)
+		if err != nil {
+			return count, fmt.Errorf("pg: csv line %d: %w", line, err)
+		}
+		if err := g.PutNode(ID(id), labels, pv); err != nil {
+			return count, fmt.Errorf("pg: csv line %d: %w", line, err)
+		}
+		count++
+	}
+	return count, nil
+}
+
+// ReadEdgesCSV parses a relationship CSV into the graph. The header
+// must contain ":START_ID", ":END_ID" and, optionally, ":TYPE"
+// (;-separated labels). Edge IDs are assigned sequentially.
+func ReadEdgesCSV(r io.Reader, g *Graph) (int, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("pg: csv header: %w", err)
+	}
+	srcCol, dstCol, typeCol := -1, -1, -1
+	props := map[int]csvProp{}
+	for i, h := range header {
+		switch {
+		case strings.HasSuffix(h, ":START_ID"):
+			srcCol = i
+		case strings.HasSuffix(h, ":END_ID"):
+			dstCol = i
+		case h == ":TYPE" || strings.HasSuffix(h, ":TYPE"):
+			typeCol = i
+		case strings.HasSuffix(h, ":IGNORE"):
+		default:
+			props[i] = parseCSVHeader(h)
+		}
+	}
+	if srcCol < 0 || dstCol < 0 {
+		return 0, fmt.Errorf("pg: relationship csv needs :START_ID and :END_ID columns, header %v", header)
+	}
+	count := 0
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return count, fmt.Errorf("pg: csv line %d: %w", line, err)
+		}
+		src, err := strconv.ParseInt(rec[srcCol], 10, 64)
+		if err != nil {
+			return count, fmt.Errorf("pg: csv line %d: start id %q: %w", line, rec[srcCol], err)
+		}
+		dst, err := strconv.ParseInt(rec[dstCol], 10, 64)
+		if err != nil {
+			return count, fmt.Errorf("pg: csv line %d: end id %q: %w", line, rec[dstCol], err)
+		}
+		var labels []string
+		if typeCol >= 0 && typeCol < len(rec) && rec[typeCol] != "" {
+			labels = strings.Split(rec[typeCol], ";")
+		}
+		pv, err := csvProps(rec, props)
+		if err != nil {
+			return count, fmt.Errorf("pg: csv line %d: %w", line, err)
+		}
+		if _, err := g.AddEdge(labels, ID(src), ID(dst), pv); err != nil {
+			return count, fmt.Errorf("pg: csv line %d: %w", line, err)
+		}
+		count++
+	}
+	return count, nil
+}
+
+// csvProp describes one property column: key plus declared type.
+type csvProp struct {
+	key  string
+	kind string // "", "int", "float", "boolean", "date", "datetime", "string"
+}
+
+func parseCSVHeader(h string) csvProp {
+	if i := strings.LastIndexByte(h, ':'); i >= 0 {
+		return csvProp{key: h[:i], kind: strings.ToLower(h[i+1:])}
+	}
+	return csvProp{key: h}
+}
+
+func csvProps(rec []string, cols map[int]csvProp) (map[string]Value, error) {
+	props := map[string]Value{}
+	for i, cp := range cols {
+		if i >= len(rec) || rec[i] == "" {
+			continue // absent property
+		}
+		raw := rec[i]
+		switch cp.kind {
+		case "int", "long":
+			v, err := strconv.ParseInt(raw, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("column %q: %w", cp.key, err)
+			}
+			props[cp.key] = Int(v)
+		case "float", "double":
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				return nil, fmt.Errorf("column %q: %w", cp.key, err)
+			}
+			props[cp.key] = Float(v)
+		case "boolean", "bool":
+			props[cp.key] = Bool(strings.EqualFold(raw, "true"))
+		case "string":
+			props[cp.key] = Str(raw)
+		case "date", "datetime":
+			v := ParseLexical(raw)
+			if v.Kind() != KindDate && v.Kind() != KindDateTime {
+				props[cp.key] = Str(raw) // malformed temporal: keep raw
+			} else {
+				props[cp.key] = v
+			}
+		default:
+			props[cp.key] = ParseLexical(raw)
+		}
+	}
+	return props, nil
+}

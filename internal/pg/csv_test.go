@@ -1,0 +1,147 @@
+package pg
+
+import (
+	"strings"
+	"testing"
+)
+
+const nodesCSV = `personId:ID,:LABEL,name,age:int,score:float,active:boolean,joined:date
+1,Person,Alice,30,1.5,true,2020-01-02
+2,Person;Student,Bob,22,,false,
+3,,Carol,,,,
+`
+
+const edgesCSV = `:START_ID,:END_ID,:TYPE,since:int,note
+1,2,KNOWS,2019,close friends
+2,3,KNOWS,,
+1,3,LIKES;FOLLOWS,,a note
+`
+
+func TestReadNodesCSV(t *testing.T) {
+	g := NewGraph()
+	n, err := ReadNodesCSV(strings.NewReader(nodesCSV), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || g.NumNodes() != 3 {
+		t.Fatalf("loaded %d nodes", n)
+	}
+	alice := g.Node(1)
+	if alice.LabelToken() != "Person" {
+		t.Errorf("alice labels = %v", alice.Labels)
+	}
+	if alice.Props["age"].Kind() != KindInt || alice.Props["age"].AsInt() != 30 {
+		t.Errorf("age = %#v", alice.Props["age"])
+	}
+	if alice.Props["score"].Kind() != KindFloat {
+		t.Errorf("score = %#v", alice.Props["score"])
+	}
+	if !alice.Props["active"].AsBool() {
+		t.Error("active should be true")
+	}
+	if alice.Props["joined"].Kind() != KindDate {
+		t.Errorf("joined = %#v", alice.Props["joined"])
+	}
+	bob := g.Node(2)
+	if bob.LabelToken() != "Person&Student" {
+		t.Errorf("bob labels = %v", bob.Labels)
+	}
+	if _, ok := bob.Props["score"]; ok {
+		t.Error("empty cell must be an absent property")
+	}
+	carol := g.Node(3)
+	if len(carol.Labels) != 0 {
+		t.Errorf("carol must be unlabeled: %v", carol.Labels)
+	}
+	if len(carol.Props) != 1 {
+		t.Errorf("carol props = %v", carol.Props)
+	}
+}
+
+func TestReadEdgesCSV(t *testing.T) {
+	g := NewGraph()
+	if _, err := ReadNodesCSV(strings.NewReader(nodesCSV), g); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ReadEdgesCSV(strings.NewReader(edgesCSV), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || g.NumEdges() != 3 {
+		t.Fatalf("loaded %d edges", n)
+	}
+	e := g.Edge(0)
+	if e.LabelToken() != "KNOWS" || e.Src != 1 || e.Dst != 2 {
+		t.Errorf("edge 0 = %+v", e)
+	}
+	if e.Props["since"].AsInt() != 2019 {
+		t.Errorf("since = %#v", e.Props["since"])
+	}
+	multi := g.Edge(2)
+	if multi.LabelToken() != "FOLLOWS&LIKES" {
+		t.Errorf("multi-label edge token = %q", multi.LabelToken())
+	}
+}
+
+func TestReadNodesCSVErrors(t *testing.T) {
+	g := NewGraph()
+	if _, err := ReadNodesCSV(strings.NewReader("name,age\nx,1\n"), g); err == nil {
+		t.Error("missing :ID column must error")
+	}
+	if _, err := ReadNodesCSV(strings.NewReader("id:ID\nnotanumber\n"), g); err == nil {
+		t.Error("non-numeric id must error")
+	}
+	if _, err := ReadNodesCSV(strings.NewReader("id:ID,n:int\n1,xyz\n"), g); err == nil {
+		t.Error("bad typed value must error")
+	}
+	dup := "id:ID\n5\n5\n"
+	g2 := NewGraph()
+	if _, err := ReadNodesCSV(strings.NewReader(dup), g2); err == nil {
+		t.Error("duplicate id must error")
+	}
+}
+
+func TestReadEdgesCSVErrors(t *testing.T) {
+	g := NewGraph()
+	_, _ = ReadNodesCSV(strings.NewReader("id:ID\n1\n2\n"), g)
+	if _, err := ReadEdgesCSV(strings.NewReader(":START_ID,:TYPE\n1,R\n"), g); err == nil {
+		t.Error("missing :END_ID must error")
+	}
+	if _, err := ReadEdgesCSV(strings.NewReader(":START_ID,:END_ID\n1,99\n"), g); err == nil {
+		t.Error("dangling endpoint must error on a strict graph")
+	}
+	g.AllowDanglingEdges(true)
+	if _, err := ReadEdgesCSV(strings.NewReader(":START_ID,:END_ID\n1,99\n"), g); err != nil {
+		t.Errorf("dangling endpoint should load with opt-in: %v", err)
+	}
+}
+
+func TestCSVMalformedTemporalKeptAsString(t *testing.T) {
+	g := NewGraph()
+	csv := "id:ID,d:date\n1,not-a-date\n"
+	if _, err := ReadNodesCSV(strings.NewReader(csv), g); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Node(1).Props["d"].Kind(); got != KindString {
+		t.Errorf("malformed date kind = %v, want STRING", got)
+	}
+}
+
+// TestCSVEndToEndDiscovery: the loaded graph behaves like any other
+// for stats purposes.
+func TestCSVEndToEndStats(t *testing.T) {
+	g := NewGraph()
+	if _, err := ReadNodesCSV(strings.NewReader(nodesCSV), g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEdgesCSV(strings.NewReader(edgesCSV), g); err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeStats(g)
+	if s.Nodes != 3 || s.Edges != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.NodeLabels != 2 { // Person, Student
+		t.Errorf("node labels = %d", s.NodeLabels)
+	}
+}

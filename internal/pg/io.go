@@ -1,0 +1,152 @@
+package pg
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonElement is the JSONL wire form of one node or edge. Property
+// values are written with an explicit type tag so round-trips preserve
+// kinds exactly; untagged plain JSON values are also accepted on input
+// and inferred with ParseLexical-equivalent rules.
+type jsonElement struct {
+	Kind   string               `json:"kind"` // "node" | "edge"
+	ID     int64                `json:"id"`
+	Labels []string             `json:"labels,omitempty"`
+	Src    int64                `json:"src,omitempty"`
+	Dst    int64                `json:"dst,omitempty"`
+	Props  map[string]jsonValue `json:"props,omitempty"`
+}
+
+type jsonValue struct {
+	T string `json:"t"`
+	V string `json:"v"`
+}
+
+func toJSONValue(v Value) jsonValue {
+	var t string
+	switch v.Kind() {
+	case KindInt:
+		t = "int"
+	case KindFloat:
+		t = "float"
+	case KindBool:
+		t = "bool"
+	case KindDate:
+		t = "date"
+	case KindDateTime:
+		t = "datetime"
+	default:
+		t = "string"
+	}
+	return jsonValue{T: t, V: v.Lexical()}
+}
+
+func fromJSONValue(jv jsonValue) (Value, error) {
+	switch jv.T {
+	case "int", "float", "bool", "date", "datetime":
+		v := ParseLexical(jv.V)
+		return v, nil
+	case "string", "":
+		return Str(jv.V), nil
+	default:
+		return Value{}, fmt.Errorf("pg: unknown value type tag %q", jv.T)
+	}
+}
+
+// WriteJSONL serializes the graph as one JSON object per line: all
+// nodes first, then all edges. The format is the library's native
+// interchange format for the CLI.
+func WriteJSONL(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range g.Nodes() {
+		n := &g.Nodes()[i]
+		el := jsonElement{Kind: "node", ID: int64(n.ID), Labels: n.Labels}
+		if len(n.Props) > 0 {
+			el.Props = make(map[string]jsonValue, len(n.Props))
+			for k, v := range n.Props {
+				el.Props[k] = toJSONValue(v)
+			}
+		}
+		if err := enc.Encode(&el); err != nil {
+			return err
+		}
+	}
+	for i := range g.Edges() {
+		e := &g.Edges()[i]
+		el := jsonElement{Kind: "edge", ID: int64(e.ID), Labels: e.Labels,
+			Src: int64(e.Src), Dst: int64(e.Dst)}
+		if len(e.Props) > 0 {
+			el.Props = make(map[string]jsonValue, len(e.Props))
+			for k, v := range e.Props {
+				el.Props[k] = toJSONValue(v)
+			}
+		}
+		if err := enc.Encode(&el); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL stream produced by WriteJSONL (or
+// hand-written in the same shape) into a new Graph. Edges may appear
+// before their endpoints; dangling edges are accepted during the read
+// and validated afterwards unless allowDangling is set.
+func ReadJSONL(r io.Reader, allowDangling bool) (*Graph, error) {
+	g := NewGraph()
+	g.AllowDanglingEdges(true)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var el jsonElement
+		if err := json.Unmarshal(raw, &el); err != nil {
+			return nil, fmt.Errorf("pg: line %d: %w", line, err)
+		}
+		props := make(map[string]Value, len(el.Props))
+		for k, jv := range el.Props {
+			v, err := fromJSONValue(jv)
+			if err != nil {
+				return nil, fmt.Errorf("pg: line %d, property %q: %w", line, k, err)
+			}
+			props[k] = v
+		}
+		switch el.Kind {
+		case "node":
+			if err := g.PutNode(ID(el.ID), el.Labels, props); err != nil {
+				return nil, fmt.Errorf("pg: line %d: %w", line, err)
+			}
+		case "edge":
+			if err := g.PutEdge(ID(el.ID), el.Labels, ID(el.Src), ID(el.Dst), props); err != nil {
+				return nil, fmt.Errorf("pg: line %d: %w", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("pg: line %d: unknown element kind %q", line, el.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !allowDangling {
+		for i := range g.Edges() {
+			e := &g.Edges()[i]
+			if g.Node(e.Src) == nil {
+				return nil, fmt.Errorf("pg: edge %d references missing source node %d", e.ID, e.Src)
+			}
+			if g.Node(e.Dst) == nil {
+				return nil, fmt.Errorf("pg: edge %d references missing target node %d", e.ID, e.Dst)
+			}
+		}
+		g.AllowDanglingEdges(false)
+	}
+	return g, nil
+}

@@ -1,0 +1,204 @@
+// Package pg implements the property-graph data model used throughout
+// PG-HIVE: typed property values, nodes, edges, and an in-memory graph
+// store with JSONL import/export and batch streaming.
+//
+// It is the stand-in for the Neo4j storage layer the paper loads from
+// (§4.1): PG-HIVE only needs the nodes, edges and their key-value
+// properties in memory, so a single-process store preserves all
+// algorithmic behaviour.
+package pg
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the dynamic types a property value can carry.
+// The ordering mirrors the inference priority of §4.4: integer before
+// float before bool before date/time, with string as the fallback.
+type Kind uint8
+
+const (
+	// KindInvalid is the zero Kind; it marks an absent value.
+	KindInvalid Kind = iota
+	// KindInt is a 64-bit signed integer (GQL INT).
+	KindInt
+	// KindFloat is a 64-bit IEEE float (GQL DOUBLE).
+	KindFloat
+	// KindBool is a boolean (GQL BOOLEAN).
+	KindBool
+	// KindDate is a calendar date without time-of-day (GQL DATE).
+	KindDate
+	// KindDateTime is a date with time-of-day (GQL TIMESTAMP).
+	KindDateTime
+	// KindString is an arbitrary UTF-8 string (GQL STRING).
+	KindString
+)
+
+// String returns the GQL-style name of the kind, as used by the
+// PG-Schema serializer.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "DOUBLE"
+	case KindBool:
+		return "BOOLEAN"
+	case KindDate:
+		return "DATE"
+	case KindDateTime:
+		return "TIMESTAMP"
+	case KindString:
+		return "STRING"
+	default:
+		return "INVALID"
+	}
+}
+
+// Value is a dynamically typed property value. The zero Value is
+// invalid (absent). Values are small (no heap indirection for numeric
+// kinds) so property maps stay compact for multi-million element
+// graphs.
+type Value struct {
+	kind Kind
+	num  int64   // int, bool (0/1), date/datetime (unix seconds)
+	f    float64 // float
+	str  string  // string
+}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, num: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	var n int64
+	if v {
+		n = 1
+	}
+	return Value{kind: KindBool, num: n}
+}
+
+// String returns a string value.
+func Str(v string) Value { return Value{kind: KindString, str: v} }
+
+// Date returns a date value (time-of-day truncated).
+func Date(t time.Time) Value {
+	y, m, d := t.Date()
+	tt := time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+	return Value{kind: KindDate, num: tt.Unix()}
+}
+
+// DateTime returns a timestamp value with second resolution.
+func DateTime(t time.Time) Value {
+	return Value{kind: KindDateTime, num: t.Truncate(time.Second).Unix()}
+}
+
+// Kind reports the dynamic kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsValid reports whether the value is present (non-zero).
+func (v Value) IsValid() bool { return v.kind != KindInvalid }
+
+// AsInt returns the integer payload; it is only meaningful for KindInt.
+func (v Value) AsInt() int64 { return v.num }
+
+// AsFloat returns the numeric payload as float64 for KindInt and
+// KindFloat values.
+func (v Value) AsFloat() float64 {
+	if v.kind == KindInt {
+		return float64(v.num)
+	}
+	return v.f
+}
+
+// AsBool returns the boolean payload; it is only meaningful for KindBool.
+func (v Value) AsBool() bool { return v.num != 0 }
+
+// AsString returns the string payload; it is only meaningful for
+// KindString.
+func (v Value) AsString() string { return v.str }
+
+// AsTime returns the time payload for KindDate and KindDateTime values.
+func (v Value) AsTime() time.Time { return time.Unix(v.num, 0).UTC() }
+
+// Equal reports whether two values have the same kind and payload.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindFloat:
+		return v.f == o.f || (math.IsNaN(v.f) && math.IsNaN(o.f))
+	case KindString:
+		return v.str == o.str
+	default:
+		return v.num == o.num
+	}
+}
+
+// Lexical returns the canonical textual form of the value, used by the
+// serializers and by the datatype-inference sampler (§4.4), which
+// re-parses lexical forms the way the paper's heuristics do.
+func (v Value) Lexical() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.num, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		if v.num != 0 {
+			return "true"
+		}
+		return "false"
+	case KindDate:
+		return v.AsTime().Format("2006-01-02")
+	case KindDateTime:
+		return v.AsTime().Format(time.RFC3339)
+	case KindString:
+		return v.str
+	default:
+		return ""
+	}
+}
+
+// GoString implements fmt.GoStringer for debugging output.
+func (v Value) GoString() string {
+	return fmt.Sprintf("pg.Value{%s %q}", v.kind, v.Lexical())
+}
+
+// ParseLexical applies the paper's priority-based inference (§4.4) to a
+// lexical form: integer, then float, then boolean, then ISO date /
+// date-time via format checks, defaulting to string. It returns the
+// most specific Value the text is compatible with.
+func ParseLexical(s string) Value {
+	if s == "" {
+		return Str(s)
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return Float(f)
+	}
+	switch s {
+	case "true", "false", "TRUE", "FALSE", "True", "False":
+		return Bool(strings.EqualFold(s, "true"))
+	}
+	if t, err := time.Parse("2006-01-02", s); err == nil {
+		return Date(t)
+	}
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return DateTime(t)
+	}
+	if t, err := time.Parse("2006-01-02 15:04:05", s); err == nil {
+		return DateTime(t)
+	}
+	return Str(s)
+}

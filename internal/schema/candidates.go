@@ -1,0 +1,53 @@
+package schema
+
+import "github.com/pghive/pghive/internal/pg"
+
+// BuildNodeCandidates turns an LSH clustering of nodes into candidate
+// node types: one per cluster, carrying the cluster representative
+// (§4.2 "Cluster representative": union of labels and properties over
+// the cluster's instances) plus the occurrence statistics the
+// post-processing steps need. assign maps node index to cluster ID in
+// [0, k).
+func BuildNodeCandidates(nodes []pg.Node, assign []int, k int) []*NodeType {
+	cands := make([]*NodeType, k)
+	for i := range cands {
+		cands[i] = NewNodeCandidate()
+	}
+	for row := range nodes {
+		n := &nodes[row]
+		cands[assign[row]].observe(n.Labels, n.Props)
+	}
+	for _, c := range cands {
+		c.Token = pg.LabelToken(c.SortedLabels())
+		c.Abstract = c.Token == ""
+	}
+	return cands
+}
+
+// BuildEdgeCandidates turns an LSH clustering of edges into candidate
+// edge types. srcToks and dstToks carry the resolved endpoint label
+// token per edge (aligned with edges); unresolvable endpoints are "".
+func BuildEdgeCandidates(edges []pg.Edge, assign []int, k int, srcToks, dstToks []string) []*EdgeType {
+	cands := make([]*EdgeType, k)
+	for i := range cands {
+		cands[i] = NewEdgeCandidate()
+	}
+	for row := range edges {
+		e := &edges[row]
+		c := cands[assign[row]]
+		c.observe(e.Labels, e.Props)
+		if srcToks[row] != "" {
+			c.SrcTokens[srcToks[row]] = true
+		}
+		if dstToks[row] != "" {
+			c.DstTokens[dstToks[row]] = true
+		}
+		c.SrcDeg[e.Src]++
+		c.DstDeg[e.Dst]++
+	}
+	for _, c := range cands {
+		c.Token = pg.LabelToken(c.SortedLabels())
+		c.Abstract = c.Token == ""
+	}
+	return cands
+}

@@ -1,0 +1,218 @@
+package schema
+
+// persist.go serializes a Schema — including the occurrence
+// statistics that power incremental merging and §4.4 inference — as
+// JSON, so a discovery session can be suspended and resumed: load the
+// schema, keep feeding batches, and constraints stay exact.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/pghive/pghive/internal/pg"
+)
+
+type jsonProp struct {
+	Count            int            `json:"count"`
+	Kinds            []int          `json:"kinds"`
+	MinInt           int64          `json:"minInt,omitempty"`
+	MaxInt           int64          `json:"maxInt,omitempty"`
+	Distinct         map[string]int `json:"distinct,omitempty"`
+	DistinctOverflow bool           `json:"distinctOverflow,omitempty"`
+	Mandatory        bool           `json:"mandatory,omitempty"`
+	DataType         uint8          `json:"dataType,omitempty"`
+	Enum             []string       `json:"enum,omitempty"`
+	HasIntRange      bool           `json:"hasIntRange,omitempty"`
+}
+
+type jsonType struct {
+	ID        int                 `json:"id"`
+	Labels    map[string]int      `json:"labels,omitempty"`
+	Token     string              `json:"token,omitempty"`
+	Abstract  bool                `json:"abstract,omitempty"`
+	Instances int                 `json:"instances"`
+	Props     map[string]jsonProp `json:"props,omitempty"`
+
+	// Edge-only fields.
+	SrcTokens   []string       `json:"srcTokens,omitempty"`
+	DstTokens   []string       `json:"dstTokens,omitempty"`
+	SrcDeg      map[string]int `json:"srcDeg,omitempty"`
+	DstDeg      map[string]int `json:"dstDeg,omitempty"`
+	Cardinality uint8          `json:"cardinality,omitempty"`
+}
+
+type jsonSchema struct {
+	Version   int        `json:"version"`
+	NodeTypes []jsonType `json:"nodeTypes"`
+	EdgeTypes []jsonType `json:"edgeTypes"`
+}
+
+const persistVersion = 1
+
+func propToJSON(ps *PropStat) jsonProp {
+	kinds := make([]int, len(ps.Kinds))
+	copy(kinds, ps.Kinds[:])
+	return jsonProp{
+		Count: ps.Count, Kinds: kinds,
+		MinInt: ps.MinInt, MaxInt: ps.MaxInt,
+		Distinct: ps.Distinct, DistinctOverflow: ps.DistinctOverflow,
+		Mandatory: ps.Mandatory, DataType: uint8(ps.DataType),
+		Enum: ps.Enum, HasIntRange: ps.HasIntRange,
+	}
+}
+
+func propFromJSON(jp jsonProp) (*PropStat, error) {
+	ps := &PropStat{
+		Count: jp.Count, MinInt: jp.MinInt, MaxInt: jp.MaxInt,
+		DistinctOverflow: jp.DistinctOverflow,
+		Mandatory:        jp.Mandatory, DataType: pg.Kind(jp.DataType),
+		Enum: jp.Enum, HasIntRange: jp.HasIntRange,
+	}
+	if len(jp.Kinds) > len(ps.Kinds) {
+		return nil, fmt.Errorf("schema: kind tally has %d entries, max %d", len(jp.Kinds), len(ps.Kinds))
+	}
+	copy(ps.Kinds[:], jp.Kinds)
+	if len(jp.Distinct) > 0 {
+		ps.Distinct = jp.Distinct
+	}
+	return ps, nil
+}
+
+func typeToJSON(t *Type) jsonType {
+	jt := jsonType{
+		ID: t.ID, Labels: t.Labels, Token: t.Token,
+		Abstract: t.Abstract, Instances: t.Instances,
+	}
+	if len(t.Props) > 0 {
+		jt.Props = make(map[string]jsonProp, len(t.Props))
+		for k, ps := range t.Props {
+			jt.Props[k] = propToJSON(ps)
+		}
+	}
+	return jt
+}
+
+func typeFromJSON(jt jsonType) (Type, error) {
+	t := newType()
+	t.ID = jt.ID
+	t.Token = jt.Token
+	t.Abstract = jt.Abstract
+	t.Instances = jt.Instances
+	for l, c := range jt.Labels {
+		t.Labels[l] = c
+	}
+	for k, jp := range jt.Props {
+		ps, err := propFromJSON(jp)
+		if err != nil {
+			return t, fmt.Errorf("property %q: %w", k, err)
+		}
+		t.Props[k] = ps
+	}
+	return t, nil
+}
+
+func degToJSON(m map[pg.ID]int) map[string]int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(m))
+	for id, d := range m {
+		out[fmt.Sprint(int64(id))] = d
+	}
+	return out
+}
+
+func degFromJSON(m map[string]int) (map[pg.ID]int, error) {
+	out := make(map[pg.ID]int, len(m))
+	for k, d := range m {
+		var id int64
+		if _, err := fmt.Sscanf(k, "%d", &id); err != nil {
+			return nil, fmt.Errorf("schema: bad degree key %q: %w", k, err)
+		}
+		out[pg.ID(id)] = d
+	}
+	return out, nil
+}
+
+// WriteJSON serializes the schema.
+func WriteJSON(w io.Writer, s *Schema) error {
+	js := jsonSchema{Version: persistVersion}
+	for _, nt := range s.NodeTypes {
+		js.NodeTypes = append(js.NodeTypes, typeToJSON(&nt.Type))
+	}
+	for _, et := range s.EdgeTypes {
+		jt := typeToJSON(&et.Type)
+		jt.SrcTokens = et.SortedSrcTokens()
+		jt.DstTokens = et.SortedDstTokens()
+		jt.SrcDeg = degToJSON(et.SrcDeg)
+		jt.DstDeg = degToJSON(et.DstDeg)
+		jt.Cardinality = uint8(et.Cardinality)
+		js.EdgeTypes = append(js.EdgeTypes, jt)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&js)
+}
+
+// ReadJSON restores a schema serialized by WriteJSON, rebuilding the
+// token indexes and the ID counter.
+func ReadJSON(r io.Reader) (*Schema, error) {
+	var js jsonSchema
+	if err := json.NewDecoder(r).Decode(&js); err != nil {
+		return nil, fmt.Errorf("schema: %w", err)
+	}
+	if js.Version != persistVersion {
+		return nil, fmt.Errorf("schema: unsupported version %d", js.Version)
+	}
+	s := New()
+	maxID := -1
+	for _, jt := range js.NodeTypes {
+		core, err := typeFromJSON(jt)
+		if err != nil {
+			return nil, fmt.Errorf("schema: node type %d: %w", jt.ID, err)
+		}
+		nt := &NodeType{Type: core}
+		s.NodeTypes = append(s.NodeTypes, nt)
+		if nt.Token != "" {
+			s.byNodeToken[nt.Token] = nt
+		}
+		if nt.ID > maxID {
+			maxID = nt.ID
+		}
+	}
+	for _, jt := range js.EdgeTypes {
+		core, err := typeFromJSON(jt)
+		if err != nil {
+			return nil, fmt.Errorf("schema: edge type %d: %w", jt.ID, err)
+		}
+		et := &EdgeType{
+			Type:        core,
+			SrcTokens:   map[string]bool{},
+			DstTokens:   map[string]bool{},
+			Cardinality: Cardinality(jt.Cardinality),
+		}
+		for _, tok := range jt.SrcTokens {
+			et.SrcTokens[tok] = true
+		}
+		for _, tok := range jt.DstTokens {
+			et.DstTokens[tok] = true
+		}
+		var err2 error
+		if et.SrcDeg, err2 = degFromJSON(jt.SrcDeg); err2 != nil {
+			return nil, err2
+		}
+		if et.DstDeg, err2 = degFromJSON(jt.DstDeg); err2 != nil {
+			return nil, err2
+		}
+		s.EdgeTypes = append(s.EdgeTypes, et)
+		if et.Token != "" {
+			s.byEdgeToken[et.Token] = append(s.byEdgeToken[et.Token], et)
+		}
+		if et.ID > maxID {
+			maxID = et.ID
+		}
+	}
+	s.nextID = maxID + 1
+	return s, nil
+}

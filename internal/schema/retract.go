@@ -1,0 +1,114 @@
+package schema
+
+// retract.go implements deletion support — the paper's §4.6 leaves
+// "handling updates and deletions" as future work, but because every
+// type statistic in this implementation is an additive tally
+// (instance counts, per-property counts and kind tallies, distinct
+// string values, endpoint degrees), retracting an element is exact:
+// subtract what observation added. Two approximations remain, both
+// sound over-approximations: integer min/max bounds are not tightened
+// (they stay valid upper/lower envelopes), and endpoint token sets
+// keep tokens whose last witness was deleted.
+
+import "github.com/pghive/pghive/internal/pg"
+
+// retractValue reverses observeValue for one concrete value.
+func (s *PropStat) retractValue(v pg.Value) {
+	s.Count--
+	s.Kinds[v.Kind()]--
+	if v.Kind() == pg.KindString && !s.DistinctOverflow && s.Distinct != nil {
+		sv := v.AsString()
+		if s.Distinct[sv] > 0 {
+			s.Distinct[sv]--
+			if s.Distinct[sv] == 0 {
+				delete(s.Distinct, sv)
+			}
+		}
+	}
+}
+
+// Retract reverses one observation of an instance with the given
+// labels and properties. The caller must pass the same labels and
+// property values the instance carried when it was merged in;
+// retracting data that was never observed corrupts the statistics.
+func (t *Type) Retract(labels []string, props map[string]pg.Value) {
+	t.Instances--
+	for _, l := range labels {
+		if t.Labels[l] > 0 {
+			t.Labels[l]--
+			if t.Labels[l] == 0 {
+				delete(t.Labels, l)
+			}
+		}
+	}
+	for k, v := range props {
+		ps := t.Props[k]
+		if ps == nil {
+			continue
+		}
+		ps.retractValue(v)
+		if ps.Count <= 0 {
+			delete(t.Props, k)
+		}
+	}
+}
+
+// RetractEdge reverses one edge observation, including the degree
+// evidence of its endpoints.
+func (t *EdgeType) RetractEdge(labels []string, props map[string]pg.Value, src, dst pg.ID) {
+	t.Retract(labels, props)
+	if t.SrcDeg[src] > 0 {
+		t.SrcDeg[src]--
+		if t.SrcDeg[src] == 0 {
+			delete(t.SrcDeg, src)
+		}
+	}
+	if t.DstDeg[dst] > 0 {
+		t.DstDeg[dst]--
+		if t.DstDeg[dst] == 0 {
+			delete(t.DstDeg, dst)
+		}
+	}
+}
+
+// Compact removes node and edge types whose instance count reached
+// zero, cleaning the token indexes. It returns the removed types.
+func (s *Schema) Compact() (removedNodes []*NodeType, removedEdges []*EdgeType) {
+	keptN := s.NodeTypes[:0]
+	for _, nt := range s.NodeTypes {
+		if nt.Instances > 0 {
+			keptN = append(keptN, nt)
+			continue
+		}
+		removedNodes = append(removedNodes, nt)
+		if nt.Token != "" && s.byNodeToken[nt.Token] == nt {
+			delete(s.byNodeToken, nt.Token)
+		}
+	}
+	s.NodeTypes = keptN
+
+	keptE := s.EdgeTypes[:0]
+	for _, et := range s.EdgeTypes {
+		if et.Instances > 0 {
+			keptE = append(keptE, et)
+			continue
+		}
+		removedEdges = append(removedEdges, et)
+		if et.Token != "" {
+			list := s.byEdgeToken[et.Token]
+			for i, x := range list {
+				if x == et {
+					list = append(list[:i], list[i+1:]...)
+					break
+				}
+			}
+			if len(list) == 0 {
+				delete(s.byEdgeToken, et.Token)
+			} else {
+				s.byEdgeToken[et.Token] = list
+			}
+		}
+	}
+	s.EdgeTypes = keptE
+	return removedNodes, removedEdges
+}

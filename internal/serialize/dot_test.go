@@ -1,0 +1,47 @@
+package serialize
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTOutput(t *testing.T) {
+	s := figure1Schema(t)
+	out := DOT(s, "fig1")
+	for _, want := range []string{
+		"digraph fig1 {",
+		"personType [label=\"{Person|bday : DATE|gender : STRING|name : STRING}\"]",
+		"personType -> orgType [label=\"WORKS_AT\\nN:1\"];",
+		"personType -> personType [label=\"KNOWS",
+		"(abstract)",
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Balanced braces.
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Error("unbalanced braces in DOT output")
+	}
+}
+
+func TestDOTOptionalMarker(t *testing.T) {
+	s := figure1Schema(t)
+	out := DOT(s, "")
+	if !strings.Contains(out, "digraph pghive_schema {") {
+		t.Error("default graph name missing")
+	}
+	// The abstract node's property is mandatory within its type, so
+	// check an optional marker from the Person type is absent and the
+	// record syntax is used.
+	if !strings.Contains(out, "shape=record") {
+		t.Error("record shape missing")
+	}
+}
+
+func TestDOTEscaping(t *testing.T) {
+	if got := dotEscape(`a"b{c}d|e<f>`); got != `a\"b\{c\}d\|e\<f\>` {
+		t.Errorf("dotEscape = %q", got)
+	}
+}

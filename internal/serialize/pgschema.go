@@ -1,0 +1,251 @@
+// Package serialize exports a discovered schema in the two formats of
+// §4.5: a PG-Schema graph type declaration (in LOOSE and STRICT
+// flavours, following Angles et al., "PG-Schema: Schemas for Property
+// Graphs") and an XML Schema (XSD) document for integration with
+// external tools.
+package serialize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/pghive/pghive/internal/schema"
+)
+
+// Mode selects the PG-Schema strictness flavour (§3 "Schema
+// constraint level"): STRICT enforces data types and mandatory
+// properties, LOOSE permits deviation for noisy data.
+type Mode uint8
+
+const (
+	// Loose emits a LOOSE graph type: labels and property names only,
+	// all content open.
+	Loose Mode = iota
+	// Strict emits a STRICT graph type: data types, OPTIONAL markers
+	// and cardinality comments included.
+	Strict
+)
+
+// String returns the PG-Schema keyword for the mode.
+func (m Mode) String() string {
+	if m == Strict {
+		return "STRICT"
+	}
+	return "LOOSE"
+}
+
+// PGSchema renders the schema as a PG-Schema CREATE GRAPH TYPE
+// declaration. Type names are derived from label tokens (ABSTRACT_<n>
+// for abstract types); edge types with several observed endpoint
+// pairs emit one connection pattern per pair.
+func PGSchema(s *schema.Schema, mode Mode, graphName string) string {
+	if graphName == "" {
+		graphName = "DiscoveredGraphType"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE GRAPH TYPE %s %s {\n", ident(graphName), mode)
+
+	var lines []string
+	for _, nt := range s.NodeTypes {
+		lines = append(lines, nodeTypeDecl(nt, mode))
+	}
+	for _, et := range s.EdgeTypes {
+		lines = append(lines, edgeTypeDecls(et, mode)...)
+	}
+	b.WriteString(strings.Join(lines, ",\n"))
+	if len(lines) > 0 {
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func nodeTypeDecl(nt *schema.NodeType, mode Mode) string {
+	var b strings.Builder
+	b.WriteString("  (")
+	b.WriteString(typeName(&nt.Type))
+	b.WriteString(" : ")
+	if nt.Abstract {
+		b.WriteString("ABSTRACT")
+	} else {
+		b.WriteString(strings.Join(labelIdents(nt.SortedLabels()), " & "))
+	}
+	b.WriteString(propsBlock(&nt.Type, mode))
+	b.WriteString(")")
+	return b.String()
+}
+
+func edgeTypeDecls(et *schema.EdgeType, mode Mode) []string {
+	srcs := et.SortedSrcTokens()
+	dsts := et.SortedDstTokens()
+	if len(srcs) == 0 {
+		srcs = []string{""}
+	}
+	if len(dsts) == 0 {
+		dsts = []string{""}
+	}
+	label := "ABSTRACT"
+	if !et.Abstract {
+		label = strings.Join(labelIdents(et.SortedLabels()), " & ")
+	}
+	var out []string
+	for _, src := range srcs {
+		for _, dst := range dsts {
+			var b strings.Builder
+			b.WriteString("  (: ")
+			b.WriteString(endpointName(src))
+			b.WriteString(")-[")
+			b.WriteString(typeName(&et.Type))
+			b.WriteString(" : ")
+			b.WriteString(label)
+			b.WriteString(propsBlock(&et.Type, mode))
+			b.WriteString("]->(: ")
+			b.WriteString(endpointName(dst))
+			b.WriteString(")")
+			if mode == Strict && et.Cardinality != schema.CardUnknown {
+				fmt.Fprintf(&b, " /* cardinality %s */", et.Cardinality)
+			}
+			out = append(out, b.String())
+		}
+	}
+	return out
+}
+
+// propsBlock renders the property list. STRICT includes data types
+// and OPTIONAL markers (§4.5); LOOSE lists names under OPEN content.
+func propsBlock(t *schema.Type, mode Mode) string {
+	keys := t.PropertyKeys()
+	if len(keys) == 0 {
+		if mode == Loose {
+			return " { OPEN }"
+		}
+		return ""
+	}
+	parts := make([]string, 0, len(keys)+1)
+	for _, k := range keys {
+		ps := t.Props[k]
+		switch mode {
+		case Strict:
+			decl := fmt.Sprintf("%s %s", ident(k), ps.DataType)
+			switch {
+			case len(ps.Enum) > 0:
+				decl += " /* enum: " + strings.Join(ps.Enum, " | ") + " */"
+			case ps.HasIntRange:
+				decl += fmt.Sprintf(" /* range: [%d, %d] */", ps.MinInt, ps.MaxInt)
+			}
+			if !ps.Mandatory {
+				decl = "OPTIONAL " + decl
+			}
+			parts = append(parts, decl)
+		default:
+			parts = append(parts, ident(k))
+		}
+	}
+	if mode == Loose {
+		parts = append(parts, "OPEN")
+	}
+	return " { " + strings.Join(parts, ", ") + " }"
+}
+
+// typeName derives the declared type-variable name from a type:
+// lowerCamel of the token plus "Type" (e.g. WORKS_AT → worksAtType,
+// Person&Student → personStudentType), or abstract<id>Type.
+func typeName(t *schema.Type) string {
+	if t.Abstract || t.Token == "" {
+		return fmt.Sprintf("abstract%dType", t.ID)
+	}
+	return camel(t.Token) + "Type"
+}
+
+// endpointName names an endpoint reference from a label token; the
+// empty token (unresolved endpoint) renders as the open pattern.
+func endpointName(token string) string {
+	if token == "" {
+		return ""
+	}
+	return camel(token) + "Type"
+}
+
+// camel folds a label token into lowerCamelCase on non-alphanumeric
+// boundaries, lowering runs of capitals (WORKS_AT → worksAt).
+func camel(s string) string {
+	var b strings.Builder
+	newWord := false
+	first := true
+	prevUpper := false
+	for _, r := range s {
+		isAlnum := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9'
+		if !isAlnum {
+			newWord = !first
+			continue
+		}
+		upper := r >= 'A' && r <= 'Z'
+		switch {
+		case first:
+			if upper {
+				r += 'a' - 'A'
+			}
+			first = false
+		case newWord:
+			if !upper && r >= 'a' && r <= 'z' {
+				r -= 'a' - 'A'
+			}
+			newWord = false
+		case upper && prevUpper:
+			// Run of capitals (WORKS): lower the tail.
+			r += 'a' - 'A'
+		}
+		prevUpper = upper
+		b.WriteRune(r)
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+func labelIdents(labels []string) []string {
+	out := make([]string, len(labels))
+	for i, l := range labels {
+		out[i] = ident(l)
+	}
+	return out
+}
+
+// ident sanitizes a label or key into a PG-Schema identifier:
+// alphanumerics and underscores, with every other rune folded to '_'.
+func ident(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// SortedTypeNames returns every declared type name, sorted — a
+// convenience for tests and tools that diff schema outputs.
+func SortedTypeNames(s *schema.Schema) []string {
+	var names []string
+	for _, nt := range s.NodeTypes {
+		names = append(names, typeName(&nt.Type))
+	}
+	for _, et := range s.EdgeTypes {
+		names = append(names, typeName(&et.Type))
+	}
+	sort.Strings(names)
+	return names
+}

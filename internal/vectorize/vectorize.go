@@ -1,0 +1,241 @@
+// Package vectorize builds the hybrid representation vectors of §4.1:
+// for a node, the Word2Vec embedding of its (sorted, concatenated)
+// label set followed by a binary property-presence block over the
+// dataset's global property-key set; for an edge, three embeddings
+// (edge label, source label, target label) followed by the edge's
+// binary property block.
+package vectorize
+
+import (
+	"math"
+	"sort"
+
+	"github.com/pghive/pghive/internal/pg"
+	"github.com/pghive/pghive/internal/word2vec"
+)
+
+// Embedder supplies fixed-dimension label embeddings. Both
+// *word2vec.Model and *word2vec.HashedEmbedder satisfy it.
+type Embedder interface {
+	Dim() int
+	Vector(token string) []float64
+}
+
+var (
+	_ Embedder = (*word2vec.Model)(nil)
+	_ Embedder = (*word2vec.HashedEmbedder)(nil)
+)
+
+// Matrix is the vectorized form of a set of nodes or edges: one row
+// per element, aligned with IDs and Tokens.
+type Matrix struct {
+	// IDs aligns rows with graph elements.
+	IDs []pg.ID
+	// Tokens holds the canonical label token of each element ("" for
+	// unlabeled), used later by the type-extraction step.
+	Tokens []string
+	// Vecs holds the representation vectors. All rows share one
+	// backing array for locality.
+	Vecs [][]float64
+	// Keys is the global property-key layout of the binary block.
+	Keys []string
+	// EmbedDim is the width of each embedding block (d).
+	EmbedDim int
+}
+
+// Rows returns the number of vectorized elements.
+func (m *Matrix) Rows() int { return len(m.Vecs) }
+
+// Dim returns the total vector dimensionality.
+func (m *Matrix) Dim() int {
+	if len(m.Vecs) == 0 {
+		return 0
+	}
+	return len(m.Vecs[0])
+}
+
+// BuildCorpus extracts the label-token training corpus for Word2Vec
+// from a graph (§4.1: the model is trained on the node and edge labels
+// observed in the dataset). Each edge contributes the sentence
+// [sourceToken, edgeToken, targetToken]; each node contributes its
+// token followed by its property keys, which anchors label semantics
+// to structure and gives isolated labels a distributional context.
+// Sentences are deduplicated and repeated with logarithmically capped
+// multiplicity, so corpus size scales with the number of distinct
+// patterns rather than with graph size.
+func BuildCorpus(g *pg.Graph) [][]string {
+	type sent struct {
+		words []string
+		count int
+	}
+	seen := map[string]*sent{}
+	add := func(words []string) {
+		nonEmpty := 0
+		for _, w := range words {
+			if w != "" {
+				nonEmpty++
+			}
+		}
+		if nonEmpty < 2 {
+			return
+		}
+		key := ""
+		for _, w := range words {
+			key += w + "\x1f"
+		}
+		if s, ok := seen[key]; ok {
+			s.count++
+			return
+		}
+		seen[key] = &sent{words: words, count: 1}
+	}
+
+	nodes := g.Nodes()
+	for i := range nodes {
+		n := &nodes[i]
+		tok := n.LabelToken()
+		if tok == "" {
+			continue
+		}
+		words := append([]string{tok}, n.PropertyKeys()...)
+		add(words)
+	}
+	edges := g.Edges()
+	for i := range edges {
+		e := &edges[i]
+		src := pg.LabelToken(g.SrcLabels(e))
+		dst := pg.LabelToken(g.DstLabels(e))
+		add([]string{src, e.LabelToken(), dst})
+	}
+
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var corpus [][]string
+	for _, k := range keys {
+		s := seen[k]
+		reps := 1 + int(math.Log2(float64(s.count)))
+		for r := 0; r < reps; r++ {
+			corpus = append(corpus, s.words)
+		}
+	}
+	return corpus
+}
+
+// TrainEmbedder builds the label corpus of g and trains a Word2Vec
+// model on it with the given configuration.
+func TrainEmbedder(g *pg.Graph, cfg word2vec.Config) *word2vec.Model {
+	return word2vec.Train(BuildCorpus(g), cfg)
+}
+
+// Nodes vectorizes the given nodes against a fixed property-key
+// layout. Each row is [embed(labelToken) | propertyBits] ∈ R^{d+K}.
+func Nodes(nodes []pg.Node, keys []string, emb Embedder) *Matrix {
+	d := emb.Dim()
+	width := d + len(keys)
+	keyIdx := indexKeys(keys)
+	m := &Matrix{
+		IDs:      make([]pg.ID, len(nodes)),
+		Tokens:   make([]string, len(nodes)),
+		Vecs:     make([][]float64, len(nodes)),
+		Keys:     keys,
+		EmbedDim: d,
+	}
+	backing := make([]float64, len(nodes)*width)
+	for i := range nodes {
+		n := &nodes[i]
+		row := backing[i*width : (i+1)*width]
+		tok := n.LabelToken()
+		copy(row[:d], emb.Vector(tok))
+		for k := range n.Props {
+			if j, ok := keyIdx[k]; ok {
+				row[d+j] = 1
+			}
+		}
+		m.IDs[i] = n.ID
+		m.Tokens[i] = tok
+		m.Vecs[i] = row
+	}
+	return m
+}
+
+// EndpointTokens resolves the source and target label tokens for an
+// edge. Implementations: whole-graph resolution and batch resolution
+// (with accumulated earlier batches).
+type EndpointTokens func(e *pg.Edge) (src, dst string)
+
+// GraphEndpoints returns an EndpointTokens resolver over a complete
+// graph.
+func GraphEndpoints(g *pg.Graph) EndpointTokens {
+	return func(e *pg.Edge) (string, string) {
+		return pg.LabelToken(g.SrcLabels(e)), pg.LabelToken(g.DstLabels(e))
+	}
+}
+
+// BatchEndpoints returns an EndpointTokens resolver for a stream
+// batch, falling back to the batch's accumulated resolver graph.
+func BatchEndpoints(b *pg.Batch) EndpointTokens {
+	return func(e *pg.Edge) (string, string) {
+		src, dst := b.EndpointLabels(e)
+		return pg.LabelToken(src), pg.LabelToken(dst)
+	}
+}
+
+// EdgesWithTokens vectorizes edges against a fixed property-key
+// layout, with endpoint tokens supplied per edge (aligned slices).
+// The pipeline uses this form to substitute discovered node-type
+// names for unlabeled endpoints.
+func EdgesWithTokens(edges []pg.Edge, keys []string, emb Embedder, srcToks, dstToks []string) *Matrix {
+	i := 0
+	return Edges(edges, keys, emb, func(*pg.Edge) (string, string) {
+		s, d := srcToks[i], dstToks[i]
+		i++
+		return s, d
+	})
+}
+
+// Edges vectorizes the given edges against a fixed property-key
+// layout. Each row is [embed(edgeToken) | embed(srcToken) |
+// embed(dstToken) | propertyBits] ∈ R^{3d+Q} (§4.1). The resolver ep
+// is called exactly once per edge, in slice order.
+func Edges(edges []pg.Edge, keys []string, emb Embedder, ep EndpointTokens) *Matrix {
+	d := emb.Dim()
+	width := 3*d + len(keys)
+	keyIdx := indexKeys(keys)
+	m := &Matrix{
+		IDs:      make([]pg.ID, len(edges)),
+		Tokens:   make([]string, len(edges)),
+		Vecs:     make([][]float64, len(edges)),
+		Keys:     keys,
+		EmbedDim: d,
+	}
+	backing := make([]float64, len(edges)*width)
+	for i := range edges {
+		e := &edges[i]
+		row := backing[i*width : (i+1)*width]
+		tok := e.LabelToken()
+		src, dst := ep(e)
+		copy(row[:d], emb.Vector(tok))
+		copy(row[d:2*d], emb.Vector(src))
+		copy(row[2*d:3*d], emb.Vector(dst))
+		for k := range e.Props {
+			if j, ok := keyIdx[k]; ok {
+				row[3*d+j] = 1
+			}
+		}
+		m.IDs[i] = e.ID
+		m.Tokens[i] = tok
+		m.Vecs[i] = row
+	}
+	return m
+}
+
+func indexKeys(keys []string) map[string]int {
+	idx := make(map[string]int, len(keys))
+	for i, k := range keys {
+		idx[k] = i
+	}
+	return idx
+}

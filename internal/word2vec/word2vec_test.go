@@ -1,0 +1,191 @@
+package word2vec
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// labelCorpus mimics what the pipeline feeds the model: one sentence
+// per edge, [sourceLabel, edgeLabel, targetLabel].
+func labelCorpus() [][]string {
+	var s [][]string
+	for i := 0; i < 30; i++ {
+		s = append(s,
+			[]string{"Person", "KNOWS", "Person"},
+			[]string{"Person", "LIKES", "Post"},
+			[]string{"Person", "WORKS_AT", "Org"},
+			[]string{"Org", "LOCATED_IN", "Place"},
+			[]string{"Person", "LOCATED_IN", "Place"},
+			[]string{"Student&Person", "KNOWS", "Person"},
+			[]string{"Student&Person", "LIKES", "Post"},
+		)
+	}
+	return s
+}
+
+func TestTrainBasics(t *testing.T) {
+	m := Train(labelCorpus(), Config{Dim: 8, Seed: 42})
+	if m.Dim() != 8 {
+		t.Fatalf("Dim = %d, want 8", m.Dim())
+	}
+	// Person, Student&Person, Org, Post, Place, KNOWS, LIKES,
+	// WORKS_AT, LOCATED_IN = 9 distinct tokens.
+	if m.VocabSize() != 9 {
+		t.Fatalf("VocabSize = %d, want 9 distinct tokens", m.VocabSize())
+	}
+	v := m.Vector("Person")
+	if len(v) != 8 {
+		t.Fatalf("vector length %d, want 8", len(v))
+	}
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Errorf("trained vectors must be unit-norm, got %v", norm)
+	}
+}
+
+func TestUnknownAndEmptyTokensAreZero(t *testing.T) {
+	m := Train(labelCorpus(), Config{Dim: 6, Seed: 1})
+	for _, tok := range []string{"", "NeverSeen"} {
+		v := m.Vector(tok)
+		if len(v) != 6 {
+			t.Fatalf("vector length %d, want 6", len(v))
+		}
+		for i, x := range v {
+			if x != 0 {
+				t.Fatalf("Vector(%q)[%d] = %v, want 0 (absent label rule)", tok, i, x)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Dim: 12, Seed: 99}
+	m1 := Train(labelCorpus(), cfg)
+	m2 := Train(labelCorpus(), cfg)
+	for _, tok := range []string{"Person", "Org", "KNOWS"} {
+		if !reflect.DeepEqual(m1.Vector(tok), m2.Vector(tok)) {
+			t.Fatalf("training is not deterministic for token %q", tok)
+		}
+	}
+}
+
+// TestSentenceOrderInvariantVocab: shuffling sentence order must not
+// change vocabulary indices (they are canonicalized by sorting), so
+// the random init per token is stable.
+func TestSentenceOrderInvariantVocab(t *testing.T) {
+	c := labelCorpus()
+	rev := make([][]string, len(c))
+	for i := range c {
+		rev[len(c)-1-i] = c[i]
+	}
+	m1 := Train(c, Config{Dim: 8, Seed: 5, Epochs: 1})
+	m2 := Train(rev, Config{Dim: 8, Seed: 5, Epochs: 1})
+	if m1.VocabSize() != m2.VocabSize() {
+		t.Fatalf("vocab sizes differ: %d vs %d", m1.VocabSize(), m2.VocabSize())
+	}
+}
+
+// TestSemanticStructure: tokens sharing contexts must be closer than
+// tokens that never co-occur. Person and Student&Person appear in
+// identical contexts; Person and LOCATED_IN do not share a
+// distributional role.
+func TestSemanticStructure(t *testing.T) {
+	m := Train(labelCorpus(), Config{Dim: 16, Seed: 7, Epochs: 30})
+	same := m.Similarity("Person", "Student&Person")
+	diff := m.Similarity("Post", "Place")
+	if same <= diff {
+		t.Errorf("contextually identical tokens should be more similar: sim(Person,Student&Person)=%v <= sim(Post,Place)=%v", same, diff)
+	}
+}
+
+func TestEmptyCorpus(t *testing.T) {
+	m := Train(nil, Config{Dim: 4})
+	if m.VocabSize() != 0 {
+		t.Fatalf("empty corpus vocab = %d, want 0", m.VocabSize())
+	}
+	v := m.Vector("anything")
+	if len(v) != 4 {
+		t.Fatalf("vector length %d, want 4", len(v))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	// A zero config must not panic or divide by zero.
+	m := Train([][]string{{"A", "B"}}, Config{})
+	if m.Dim() != DefaultConfig().Dim {
+		t.Fatalf("zero config dim = %d, want default %d", m.Dim(), DefaultConfig().Dim)
+	}
+}
+
+func TestSimilarityBounds(t *testing.T) {
+	m := Train(labelCorpus(), Config{Dim: 8, Seed: 3})
+	toks := []string{"Person", "Org", "Post", "Place", "KNOWS"}
+	for _, a := range toks {
+		for _, b := range toks {
+			s := m.Similarity(a, b)
+			if s < -1.0001 || s > 1.0001 {
+				t.Fatalf("similarity(%q,%q) = %v out of [-1,1]", a, b, s)
+			}
+		}
+	}
+	if s := m.Similarity("Person", "Person"); math.Abs(s-1) > 1e-9 {
+		t.Errorf("self-similarity = %v, want 1", s)
+	}
+	if s := m.Similarity("Person", "unknown-token"); s != 0 {
+		t.Errorf("similarity with unknown token = %v, want 0", s)
+	}
+}
+
+func TestHashedEmbedderDeterministicUnit(t *testing.T) {
+	h := NewHashedEmbedder(10)
+	if h.Dim() != 10 {
+		t.Fatalf("Dim = %d, want 10", h.Dim())
+	}
+	a := h.Vector("Person")
+	b := h.Vector("Person")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("hashed embedder must be deterministic")
+	}
+	var norm float64
+	for _, x := range a {
+		norm += x * x
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Errorf("hashed vectors must be unit-norm, got %v", norm)
+	}
+	if z := h.Vector(""); !reflect.DeepEqual(z, make([]float64, 10)) {
+		t.Error("empty token must map to the zero vector")
+	}
+}
+
+// Property: distinct tokens get distinct hashed vectors (no trivial
+// collisions on realistic label strings), and every vector is unit or
+// zero norm.
+func TestHashedEmbedderProperty(t *testing.T) {
+	h := NewHashedEmbedder(12)
+	f := func(a, b string) bool {
+		va, vb := h.Vector(a), h.Vector(b)
+		if a == b {
+			return reflect.DeepEqual(va, vb)
+		}
+		if a == "" || b == "" {
+			return true
+		}
+		return !reflect.DeepEqual(va, vb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewHashedEmbedderDefaultDim(t *testing.T) {
+	h := NewHashedEmbedder(0)
+	if h.Dim() != DefaultConfig().Dim {
+		t.Fatalf("default dim = %d, want %d", h.Dim(), DefaultConfig().Dim)
+	}
+}

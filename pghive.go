@@ -1,0 +1,252 @@
+// Package pghive is the public API of PG-HIVE, a hybrid incremental
+// schema-discovery framework for property graphs (Sideri et al.,
+// EDBT 2026).
+//
+// PG-HIVE infers a full schema graph — node types, edge types,
+// property data types, mandatory/optional constraints, and edge
+// cardinalities — from a property graph with no prior schema
+// information, tolerating noisy properties and missing labels, and
+// optionally processing the graph incrementally in batches.
+//
+// # Quick start
+//
+//	g := pghive.NewGraph()
+//	alice := g.AddNode([]string{"Person"}, map[string]pghive.Value{
+//		"name": pghive.Str("Alice"),
+//	})
+//	post := g.AddNode([]string{"Post"}, map[string]pghive.Value{
+//		"content": pghive.Str("hello"),
+//	})
+//	g.AddEdge([]string{"LIKES"}, alice, post, nil)
+//
+//	res := pghive.Discover(g, pghive.Options{})
+//	fmt.Print(pghive.PGSchema(res.Schema, pghive.Strict, "MyGraph"))
+//
+// # Incremental discovery
+//
+//	inc := pghive.NewIncremental(pghive.Options{})
+//	for batch := range stream {
+//		inc.ProcessBatch(batch)
+//	}
+//	res := inc.Finalize()
+//
+// See the examples/ directory for runnable end-to-end programs.
+package pghive
+
+import (
+	"io"
+
+	"github.com/pghive/pghive/internal/align"
+	"github.com/pghive/pghive/internal/core"
+	"github.com/pghive/pghive/internal/infer"
+	"github.com/pghive/pghive/internal/lsh"
+	"github.com/pghive/pghive/internal/pg"
+	"github.com/pghive/pghive/internal/schema"
+	"github.com/pghive/pghive/internal/serialize"
+	"github.com/pghive/pghive/internal/validate"
+	"github.com/pghive/pghive/internal/word2vec"
+)
+
+// Core property-graph model (see internal/pg).
+type (
+	// Graph is an in-memory property graph.
+	Graph = pg.Graph
+	// Node is a property-graph node.
+	Node = pg.Node
+	// Edge is a directed property-graph edge.
+	Edge = pg.Edge
+	// ID identifies a node or edge.
+	ID = pg.ID
+	// Value is a typed property value.
+	Value = pg.Value
+	// Kind enumerates property value kinds.
+	Kind = pg.Kind
+	// Batch is one increment of a graph stream.
+	Batch = pg.Batch
+	// GraphStats summarizes a graph's structure.
+	GraphStats = pg.Stats
+)
+
+// Value constructors and kinds.
+var (
+	// Int builds an integer value.
+	Int = pg.Int
+	// Float builds a floating-point value.
+	Float = pg.Float
+	// Bool builds a boolean value.
+	Bool = pg.Bool
+	// Str builds a string value.
+	Str = pg.Str
+	// Date builds a date value.
+	Date = pg.Date
+	// DateTime builds a timestamp value.
+	DateTime = pg.DateTime
+	// ParseLexical infers the most specific value from text (§4.4
+	// priority order).
+	ParseLexical = pg.ParseLexical
+)
+
+// Property value kinds.
+const (
+	KindInt      = pg.KindInt
+	KindFloat    = pg.KindFloat
+	KindBool     = pg.KindBool
+	KindDate     = pg.KindDate
+	KindDateTime = pg.KindDateTime
+	KindString   = pg.KindString
+)
+
+// NewGraph returns an empty property graph.
+func NewGraph() *Graph { return pg.NewGraph() }
+
+// ReadJSONL loads a graph from the library's JSONL interchange format.
+func ReadJSONL(r io.Reader, allowDangling bool) (*Graph, error) {
+	return pg.ReadJSONL(r, allowDangling)
+}
+
+// WriteJSONL writes a graph in the JSONL interchange format.
+func WriteJSONL(w io.Writer, g *Graph) error { return pg.WriteJSONL(w, g) }
+
+// ReadNodesCSV imports a neo4j-admin style node CSV (":ID", ":LABEL",
+// typed property columns) into the graph, returning the row count.
+func ReadNodesCSV(r io.Reader, g *Graph) (int, error) { return pg.ReadNodesCSV(r, g) }
+
+// ReadEdgesCSV imports a neo4j-admin style relationship CSV
+// (":START_ID", ":END_ID", ":TYPE") into the graph.
+func ReadEdgesCSV(r io.Reader, g *Graph) (int, error) { return pg.ReadEdgesCSV(r, g) }
+
+// ComputeStats returns Table 2-style statistics of a graph.
+func ComputeStats(g *Graph) GraphStats { return pg.ComputeStats(g) }
+
+// SplitBatches partitions a graph into n random batches for streaming.
+var SplitBatches = pg.SplitBatches
+
+// Discovery pipeline (see internal/hive).
+type (
+	// Options configures a discovery run.
+	Options = core.Options
+	// Result is a discovery outcome: schema plus per-element type
+	// assignments, cluster statistics and timings.
+	Result = core.Result
+	// Incremental is the streaming pipeline of §4.6.
+	Incremental = core.Incremental
+	// Method selects the LSH clustering scheme.
+	Method = core.Method
+	// Timing breaks a run into pipeline phases.
+	Timing = core.Timing
+	// LSHParams pins explicit LSH parameters (overriding §4.2's
+	// adaptive strategy).
+	LSHParams = lsh.Params
+	// InferOptions configures §4.4 post-processing.
+	InferOptions = infer.Options
+	// Word2VecConfig tunes the label-embedding training.
+	Word2VecConfig = word2vec.Config
+)
+
+// Clustering methods.
+const (
+	// ELSH selects Euclidean LSH over hybrid representation vectors.
+	ELSH = core.ELSH
+	// MinHash selects MinHash LSH over label/property token sets.
+	MinHash = core.MinHash
+)
+
+// Discover runs the full PG-HIVE pipeline (Algorithm 1) over a graph.
+func Discover(g *Graph, opts Options) *Result { return core.Discover(g, opts) }
+
+// NewIncremental starts a streaming discovery with an empty schema.
+func NewIncremental(opts Options) *Incremental { return core.NewIncremental(opts) }
+
+// ResumeIncremental continues a streaming discovery from a previously
+// discovered (typically persisted and reloaded) schema.
+func ResumeIncremental(opts Options, s *Schema) *Incremental {
+	return core.ResumeIncremental(opts, s)
+}
+
+// Schema model (see internal/schema).
+type (
+	// Schema is a discovered schema graph (Def. 3.4).
+	Schema = schema.Schema
+	// NodeType is a discovered node type (Def. 3.2).
+	NodeType = schema.NodeType
+	// EdgeType is a discovered edge type (Def. 3.3).
+	EdgeType = schema.EdgeType
+	// PropStat carries a property's constraints and statistics.
+	PropStat = schema.PropStat
+	// Cardinality classifies edge multiplicities (1:1, N:1, 1:N, M:N).
+	Cardinality = schema.Cardinality
+)
+
+// Serialization (see internal/serialize).
+type (
+	// SerializationMode selects LOOSE or STRICT PG-Schema output.
+	SerializationMode = serialize.Mode
+)
+
+// Serialization modes.
+const (
+	// Loose emits a LOOSE PG-Schema graph type.
+	Loose = serialize.Loose
+	// Strict emits a STRICT PG-Schema graph type.
+	Strict = serialize.Strict
+)
+
+// PGSchema renders a schema as a PG-Schema CREATE GRAPH TYPE
+// declaration (§4.5).
+func PGSchema(s *Schema, mode SerializationMode, graphName string) string {
+	return serialize.PGSchema(s, mode, graphName)
+}
+
+// XSD renders a schema as an XML Schema document (§4.5).
+func XSD(s *Schema) string { return serialize.XSD(s) }
+
+// DOT renders the schema graph as Graphviz DOT for visualization.
+func DOT(s *Schema, graphName string) string { return serialize.DOT(s, graphName) }
+
+// WriteSchemaJSON persists a schema, including the occurrence
+// statistics that let a later session resume incremental discovery.
+func WriteSchemaJSON(w io.Writer, s *Schema) error { return schema.WriteJSON(w, s) }
+
+// ReadSchemaJSON restores a schema persisted with WriteSchemaJSON.
+func ReadSchemaJSON(r io.Reader) (*Schema, error) { return schema.ReadJSON(r) }
+
+// Validation (see internal/validate).
+type (
+	// ValidationReport lists the conformance violations of a graph
+	// against a schema.
+	ValidationReport = validate.Report
+	// ValidationViolation is one conformance failure.
+	ValidationViolation = validate.Violation
+	// ValidationMode selects loose or strict validation.
+	ValidationMode = validate.Mode
+)
+
+// Validation modes.
+const (
+	// ValidateLoose checks that every element is typeable.
+	ValidateLoose = validate.Loose
+	// ValidateStrict additionally checks properties, data types,
+	// constraints, endpoints and cardinalities.
+	ValidateStrict = validate.Strict
+)
+
+// Validate checks a graph against a discovered schema (§4.4's
+// validation use case).
+func Validate(g *Graph, s *Schema, mode ValidationMode) *ValidationReport {
+	return validate.Graph(g, s, mode)
+}
+
+// Label alignment (see internal/align).
+type (
+	// AlignOptions tunes semantic label alignment.
+	AlignOptions = align.Options
+	// AlignMerge records one alignment decision.
+	AlignMerge = align.Merge
+)
+
+// AlignNodeTypes merges node types whose labels are semantically
+// equivalent (Organization vs Company) based on the label usage
+// observable in g — the integration scenario of §6's future work.
+func AlignNodeTypes(s *Schema, g *Graph, opts AlignOptions) []AlignMerge {
+	return align.NodeTypes(s, g, opts)
+}

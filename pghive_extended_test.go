@@ -1,0 +1,91 @@
+package pghive_test
+
+import (
+	"bytes"
+	"testing"
+
+	pghive "github.com/pghive/pghive"
+)
+
+func TestPublicAPIValidation(t *testing.T) {
+	g := buildFigure1(t)
+	res := pghive.Discover(g, pghive.Options{Seed: 1})
+	r := pghive.Validate(g, res.Schema, pghive.ValidateStrict)
+	if !r.Valid() {
+		t.Fatalf("own data must validate: %v", r.Violations)
+	}
+	// A foreign node breaks conformance.
+	g.AddNode([]string{"Dragon"}, map[string]pghive.Value{"fire": pghive.Bool(true)})
+	r = pghive.Validate(g, res.Schema, pghive.ValidateLoose)
+	if r.Valid() {
+		t.Fatal("foreign node must violate")
+	}
+}
+
+func TestPublicAPISchemaPersistence(t *testing.T) {
+	g := buildFigure1(t)
+	res := pghive.Discover(g, pghive.Options{Seed: 1})
+	var buf bytes.Buffer
+	if err := pghive.WriteSchemaJSON(&buf, res.Schema); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := pghive.ReadSchemaJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.NodeTypeByToken("Person") == nil {
+		t.Fatal("Person lost through persistence")
+	}
+	// Resume incremental discovery from the restored schema: new data
+	// merges into existing types.
+	inc := pghive.ResumeIncremental(pghive.Options{Seed: 2}, restored)
+	g2 := pghive.NewGraph()
+	g2.AddNode([]string{"Person"}, map[string]pghive.Value{
+		"name": pghive.Str("Zoe"), "gender": pghive.Str("f"),
+		"bday": pghive.ParseLexical("2001-07-07")})
+	inc.ProcessBatch(&pghive.Batch{Graph: g2, Resolver: g2, Index: 1})
+	res2 := inc.Finalize()
+	person := res2.Schema.NodeTypeByToken("Person")
+	if person.Instances != 4 {
+		t.Errorf("resumed Person instances = %d, want 4 (3 persisted + 1 new)", person.Instances)
+	}
+}
+
+func TestPublicAPIAlignment(t *testing.T) {
+	g := pghive.NewGraph()
+	var employers []pghive.ID
+	for i := 0; i < 40; i++ {
+		label := "Organisation"
+		if i%2 == 0 {
+			label = "Firm"
+		}
+		employers = append(employers, g.AddNode([]string{label}, map[string]pghive.Value{
+			"name": pghive.Str("e"), "url": pghive.Str("u")}))
+	}
+	var people []pghive.ID
+	for i := 0; i < 60; i++ {
+		people = append(people, g.AddNode([]string{"Person"}, map[string]pghive.Value{"name": pghive.Str("p")}))
+	}
+	for i, p := range people {
+		if _, err := g.AddEdge([]string{"WORKS_AT"}, p, employers[i%len(employers)], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := pghive.Discover(g, pghive.Options{Seed: 3})
+	before := len(res.Schema.NodeTypes)
+	merges := pghive.AlignNodeTypes(res.Schema, g, pghive.AlignOptions{})
+	if len(merges) == 0 {
+		t.Fatal("synonym employers must align")
+	}
+	if len(res.Schema.NodeTypes) != before-len(merges) {
+		t.Errorf("type count %d after %d merges from %d", len(res.Schema.NodeTypes), len(merges), before)
+	}
+}
+
+func TestPublicAPIStatsAndBatches(t *testing.T) {
+	g := buildFigure1(t)
+	st := pghive.ComputeStats(g)
+	if st.Nodes != 7 || st.Edges != 6 {
+		t.Errorf("stats = %+v", st)
+	}
+}

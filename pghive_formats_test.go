@@ -1,0 +1,86 @@
+package pghive_test
+
+// pghive_formats_test.go sweeps every built-in dataset through every
+// export format and the persistence round-trip, asserting mutual
+// consistency — the cross-cutting integration test of the public
+// surface.
+
+import (
+	"bytes"
+	"encoding/xml"
+	"io"
+	"strings"
+	"testing"
+
+	pghive "github.com/pghive/pghive"
+	"github.com/pghive/pghive/internal/datagen"
+	"github.com/pghive/pghive/internal/serialize"
+)
+
+func TestAllFormatsOnAllDatasets(t *testing.T) {
+	for _, spec := range datagen.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			d := datagen.Generate(spec, 0.25, 5)
+			res := pghive.Discover(d.Graph, pghive.Options{Seed: 5})
+			s := res.Schema
+
+			strict := pghive.PGSchema(s, pghive.Strict, "X")
+			loose := pghive.PGSchema(s, pghive.Loose, "X")
+			xsd := pghive.XSD(s)
+			dot := pghive.DOT(s, "X")
+
+			// Every declared type name appears in the PG-Schema and
+			// XSD outputs.
+			for _, name := range serialize.SortedTypeNames(s) {
+				for fmtName, out := range map[string]string{
+					"strict": strict, "loose": loose, "xsd": xsd,
+				} {
+					if !strings.Contains(out, name) {
+						t.Errorf("%s output missing type %q", fmtName, name)
+					}
+				}
+			}
+			// DOT names node types by identifier and edge types by
+			// their display name on the arrows.
+			for _, nt := range s.NodeTypes {
+				if !strings.Contains(dot, nt.Name()) && nt.Token != "" {
+					t.Errorf("dot output missing node type %q", nt.Name())
+				}
+			}
+			for _, et := range s.EdgeTypes {
+				if et.Token != "" && !strings.Contains(dot, et.Token) {
+					t.Errorf("dot output missing edge label %q", et.Token)
+				}
+			}
+			// XSD must be well-formed.
+			dec := xml.NewDecoder(strings.NewReader(xsd))
+			for {
+				if _, err := dec.Token(); err != nil {
+					if err == io.EOF {
+						break
+					}
+					t.Fatalf("XSD not well-formed: %v", err)
+				}
+			}
+			// Persistence round-trip preserves the STRICT rendering
+			// exactly (all constraint fields survive).
+			var buf bytes.Buffer
+			if err := pghive.WriteSchemaJSON(&buf, s); err != nil {
+				t.Fatal(err)
+			}
+			restored, err := pghive.ReadSchemaJSON(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := pghive.PGSchema(restored, pghive.Strict, "X"); got != strict {
+				t.Error("STRICT rendering differs after persistence round-trip")
+			}
+			// The source graph validates against its own schema.
+			if r := pghive.Validate(d.Graph, s, pghive.ValidateStrict); !r.Valid() {
+				t.Errorf("self-validation failed with %d violations; first: %v",
+					len(r.Violations), r.Violations[0])
+			}
+		})
+	}
+}
