@@ -9,8 +9,11 @@
 package pghive_test
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	pghive "github.com/pghive/pghive"
 	"github.com/pghive/pghive/internal/baselines/gmm"
@@ -232,6 +235,64 @@ func BenchmarkAblationSampledDataTypes(b *testing.B) {
 				pghive.Discover(d.Graph, opts)
 			}
 		})
+	}
+}
+
+// mixedWorkload generates the mixed datagen workload the parallelism
+// benchmarks run over: three structurally different datasets (social
+// LDBC, financial ICIJ, biomedical HET.IO) with property noise and
+// partial labels, so every pipeline stage — embedding, vectorization,
+// hashing, banding, merging — does real work.
+func mixedWorkload(scale float64) []*pghive.Graph {
+	var graphs []*pghive.Graph
+	for _, name := range []string{"LDBC", "ICIJ", "HET.IO"} {
+		d := datagen.Generate(datagen.ByName(name), scale, 1)
+		d = datagen.InjectNoise(d, 0.2, 0.7, 7)
+		graphs = append(graphs, d.Graph)
+	}
+	return graphs
+}
+
+// BenchmarkParallelDiscover contrasts fully sequential discovery
+// (Parallelism 1) with all-core discovery (Parallelism NumCPU) on the
+// mixed datagen workload, for both clustering methods. Compare the
+// two ns/op figures to read the wall-clock speedup.
+func BenchmarkParallelDiscover(b *testing.B) {
+	graphs := mixedWorkload(benchScale * 2)
+	for _, method := range []pghive.Method{pghive.ELSH, pghive.MinHash} {
+		for _, par := range []int{1, runtime.NumCPU()} {
+			b.Run(fmt.Sprintf("%v/parallelism=%d", method, par), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for _, g := range graphs {
+						pghive.Discover(g, pghive.Options{Seed: 1, Method: method, Parallelism: par})
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkParallelSpeedup runs the sequential and all-core pipelines
+// back to back on the mixed workload and reports their wall-clock
+// ratio as the "speedup" metric (values above 1 mean the parallel
+// run was faster; expect >1.5 on 4+ cores, ~1.0 on a single core).
+func BenchmarkParallelSpeedup(b *testing.B) {
+	graphs := mixedWorkload(benchScale * 2)
+	var seq, par time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		for _, g := range graphs {
+			pghive.Discover(g, pghive.Options{Seed: 1, Parallelism: 1})
+		}
+		seq += time.Since(start)
+		start = time.Now()
+		for _, g := range graphs {
+			pghive.Discover(g, pghive.Options{Seed: 1, Parallelism: runtime.NumCPU()})
+		}
+		par += time.Since(start)
+	}
+	if par > 0 {
+		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup")
 	}
 }
 

@@ -10,6 +10,7 @@
 //
 //	pghive -input graph.jsonl -format pgschema -mode strict
 //	pghive -dataset LDBC -scale 0.5 -method minhash -format xsd
+//	pghive -dataset LDBC -parallelism 8        # 8 workers per phase
 //	pghive -dataset POLE -noise 0.2 -labels 0.5 -stats
 //	pghive -dataset POLE -batches 5            # incremental run
 //	pghive -nodes-csv n.csv -edges-csv e.csv -format dot
@@ -45,6 +46,7 @@ func main() {
 		mode      = flag.String("mode", "strict", "PG-Schema mode: strict or loose")
 		name      = flag.String("name", "DiscoveredGraphType", "graph type name in PG-Schema output")
 		seed      = flag.Int64("seed", 1, "random seed")
+		parallel  = flag.Int("parallelism", 0, "worker goroutines per pipeline phase (0 = all CPU cores, 1 = sequential); the schema is identical for every value")
 		theta     = flag.Float64("theta", 0, "Jaccard merge threshold (0 = paper default 0.9)")
 		tables    = flag.Int("tables", 0, "pin LSH table count T (0 = adaptive)")
 		bucket    = flag.Float64("bucket", 0, "pin ELSH bucket length b (0 = adaptive)")
@@ -82,7 +84,7 @@ func main() {
 		return
 	}
 
-	opts := pghive.Options{Seed: *seed, Theta: *theta}
+	opts := pghive.Options{Seed: *seed, Theta: *theta, Parallelism: *parallel}
 	switch strings.ToLower(*method) {
 	case "elsh":
 	case "minhash":

@@ -1,0 +1,3 @@
+module github.com/pghive/pghive
+
+go 1.24

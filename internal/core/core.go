@@ -10,6 +10,7 @@ import (
 
 	"github.com/pghive/pghive/internal/infer"
 	"github.com/pghive/pghive/internal/lsh"
+	"github.com/pghive/pghive/internal/parallel"
 	"github.com/pghive/pghive/internal/pg"
 	"github.com/pghive/pghive/internal/schema"
 	"github.com/pghive/pghive/internal/vectorize"
@@ -82,6 +83,18 @@ type Options struct {
 	Infer infer.Options
 	// Seed drives every random choice in the pipeline.
 	Seed int64
+	// Parallelism is the number of worker goroutines each parallel
+	// stage uses: vectorization, LSH signature computation, and
+	// bucket sharding. 0 (the default) selects runtime.NumCPU(); 1
+	// forces fully sequential execution. With Parallelism > 1,
+	// ProcessBatch additionally overlaps edge-endpoint resolution
+	// with the node phase on one extra goroutine, so peak concurrency
+	// is Parallelism + 1. The discovered schema is bit-identical for
+	// every value: work is sharded into disjoint index ranges and
+	// merged in a fixed order, and the stochastic stages (Word2Vec
+	// training, LSH parameter adaptation) always run sequentially
+	// from Seed.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -94,6 +107,7 @@ func (o Options) withDefaults() Options {
 	if o.LabelWeight <= 0 {
 		o.LabelWeight = 3
 	}
+	o.Parallelism = parallel.Workers(o.Parallelism)
 	return o
 }
 
@@ -112,6 +126,15 @@ func newScaledEmbedder(inner vectorize.Embedder, w float64) *scaledEmbedder {
 }
 
 func (s *scaledEmbedder) Dim() int { return s.inner.Dim() }
+
+// Preload forwards batch cache warming to the inner embedder when it
+// supports it; the scaled copies themselves are built lazily on the
+// (serial) Vector path.
+func (s *scaledEmbedder) Preload(tokens []string, workers int) {
+	if p, ok := s.inner.(vectorize.Preloader); ok {
+		p.Preload(tokens, workers)
+	}
+}
 
 func (s *scaledEmbedder) Vector(token string) []float64 {
 	if v, ok := s.cache[token]; ok {
@@ -145,6 +168,16 @@ func newAnchoredEmbedder(sem vectorize.Embedder, id *word2vec.HashedEmbedder) *a
 
 func (a *anchoredEmbedder) Dim() int { return a.sem.Dim() + a.id.Dim() }
 
+// Preload warms the hashed identity half (and the semantic half when
+// it supports preloading) with a worker pool; the concatenated
+// vectors are built lazily on the (serial) Vector path.
+func (a *anchoredEmbedder) Preload(tokens []string, workers int) {
+	a.id.Preload(tokens, workers)
+	if p, ok := a.sem.(vectorize.Preloader); ok {
+		p.Preload(tokens, workers)
+	}
+}
+
 func (a *anchoredEmbedder) Vector(token string) []float64 {
 	if v, ok := a.cache[token]; ok {
 		return v
@@ -158,7 +191,10 @@ func (a *anchoredEmbedder) Vector(token string) []float64 {
 
 // Timing breaks a run into the phases reported by the efficiency
 // experiments (Fig. 5 measures preprocessing + clustering + type
-// extraction).
+// extraction). Each field records critical-path time: work that
+// overlaps another phase (the concurrent edge-endpoint resolution
+// under Parallelism > 1) contributes only the time the pipeline
+// actually waited for it, so the phase sum tracks wall-clock.
 type Timing struct {
 	Preprocess  time.Duration
 	Cluster     time.Duration
@@ -259,14 +295,53 @@ type BatchTiming struct {
 // ProcessBatch runs preprocess → cluster → extract on one batch and
 // merges the discovered types into the schema (Algorithm 1 lines
 // 3–6). If Options.PostProcess is set, §4.4 inference runs too.
+//
+// With Options.Parallelism > 1 the heavy stages run on worker pools
+// (vectorization, LSH signatures, bucket sharding) and the
+// label-resolvable part of edge endpoint preprocessing overlaps the
+// node phase; only the fallback to discovered node types waits for
+// node extraction. Scheduling never changes the discovered schema —
+// every parallel stage is sharded with disjoint writes and merged in
+// a fixed order.
 func (inc *Incremental) ProcessBatch(b *pg.Batch) BatchTiming {
 	o := inc.opts
 	var tm Timing
 
-	// (b) Preprocess nodes: embeddings + representation structures.
-	start := time.Now()
 	nodes := b.Graph.Nodes()
 	edges := b.Graph.Edges()
+
+	// (b'-pre) Edge endpoint labels depend only on the batch and its
+	// resolver, never on discovered node types, so they resolve
+	// concurrently with the whole node phase. The Graph is read-only
+	// during discovery, which makes the overlap race-free.
+	srcToks := make([]string, len(edges))
+	dstToks := make([]string, len(edges))
+	resolveEndpoints := func(workers int) time.Duration {
+		start := time.Now()
+		ep := vectorize.BatchEndpoints(b)
+		parallel.For(len(edges), workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				srcToks[i], dstToks[i] = ep(&edges[i])
+			}
+		})
+		return time.Since(start)
+	}
+	// When overlapped, the resolver stays on its single goroutine so
+	// total concurrency never exceeds Parallelism + 1; the full pool
+	// is only used when resolution runs alone on the critical path.
+	// Edge-dominated batches skip the overlap: a lone goroutine
+	// walking a huge edge set would outlive the node phase and
+	// serialize the batch, so resolving with all workers afterwards
+	// is faster. The choice depends only on the batch shape, never
+	// on scheduling, so determinism is unaffected.
+	var epDone chan time.Duration
+	if o.Parallelism > 1 && len(edges) > 0 && len(edges) <= 4*len(nodes) {
+		epDone = make(chan time.Duration, 1)
+		go func() { epDone <- resolveEndpoints(1) }()
+	}
+
+	// (b) Preprocess nodes: embeddings + representation structures.
+	start := time.Now()
 	distinctNodeLabels := len(b.Graph.DistinctNodeLabels())
 	distinctEdgeLabels := len(b.Graph.DistinctEdgeLabels())
 
@@ -275,10 +350,10 @@ func (inc *Incremental) ProcessBatch(b *pg.Batch) BatchTiming {
 	var nodeSets [][]string
 	switch o.Method {
 	case MinHash:
-		nodeSets = nodeTokenSets(nodes)
+		nodeSets = nodeTokenSets(nodes, o.Parallelism)
 	default:
 		emb = inc.embedder(b.Graph)
-		nodeMat = vectorize.Nodes(nodes, b.Graph.DistinctNodePropertyKeys(), emb)
+		nodeMat = vectorize.NodesParallel(nodes, b.Graph.DistinctNodePropertyKeys(), emb, o.Parallelism)
 	}
 	tm.Preprocess = time.Since(start)
 
@@ -314,14 +389,23 @@ func (inc *Incremental) ProcessBatch(b *pg.Batch) BatchTiming {
 	}
 	tm.Extract += time.Since(start)
 
-	// (b') Preprocess edges with type-resolved endpoint tokens.
+	// (b') Preprocess edges: join the overlapped endpoint resolution,
+	// fill unresolvable endpoints with discovered node types, then
+	// vectorize.
+	if epDone != nil {
+		// Only the time the pipeline actually blocked on the overlapped
+		// resolver counts: its overlapped portion is already inside the
+		// node-phase timings, and double-counting would inflate
+		// Timing.Discovery() past wall-clock.
+		wait := time.Now()
+		<-epDone
+		tm.Preprocess += time.Since(wait)
+	} else {
+		tm.Preprocess += resolveEndpoints(o.Parallelism)
+	}
 	start = time.Now()
-	srcToks := make([]string, len(edges))
-	dstToks := make([]string, len(edges))
-	ep := vectorize.BatchEndpoints(b)
 	for i := range edges {
 		e := &edges[i]
-		srcToks[i], dstToks[i] = ep(e)
 		if srcToks[i] == "" {
 			srcToks[i] = inc.endpointTypeToken(e.Src)
 		}
@@ -333,9 +417,9 @@ func (inc *Incremental) ProcessBatch(b *pg.Batch) BatchTiming {
 	var edgeSets [][]string
 	switch o.Method {
 	case MinHash:
-		edgeSets = edgeTokenSets(edges, srcToks, dstToks)
+		edgeSets = edgeTokenSets(edges, srcToks, dstToks, o.Parallelism)
 	default:
-		edgeMat = vectorize.EdgesWithTokens(edges, b.Graph.DistinctEdgePropertyKeys(), emb, srcToks, dstToks)
+		edgeMat = vectorize.EdgesParallel(edges, b.Graph.DistinctEdgePropertyKeys(), emb, srcToks, dstToks, o.Parallelism)
 	}
 	tm.Preprocess += time.Since(start)
 
@@ -476,7 +560,7 @@ func (inc *Incremental) elshParams(vecs [][]float64, labels int, choice *lsh.Ada
 		if p.Seed == 0 {
 			p.Seed = inc.opts.Seed + 2
 		}
-		return p
+		return inc.withWorkers(p)
 	}
 	var ch lsh.AdaptiveChoice
 	if isNode {
@@ -485,7 +569,7 @@ func (inc *Incremental) elshParams(vecs [][]float64, labels int, choice *lsh.Ada
 		ch = lsh.AdaptiveEdgeParams(vecs, labels, inc.opts.Seed+3)
 	}
 	*choice = ch
-	return ch.Params
+	return inc.withWorkers(ch.Params)
 }
 
 func (inc *Incremental) minhashParams(n, labels int, choice *lsh.AdaptiveChoice, pinned *lsh.Params) lsh.Params {
@@ -494,11 +578,20 @@ func (inc *Incremental) minhashParams(n, labels int, choice *lsh.AdaptiveChoice,
 		if p.Seed == 0 {
 			p.Seed = inc.opts.Seed + 4
 		}
-		return p
+		return inc.withWorkers(p)
 	}
 	ch := lsh.AdaptiveMinHashParams(n, labels, inc.opts.Seed+4)
 	*choice = ch
-	return ch.Params
+	return inc.withWorkers(ch.Params)
+}
+
+// withWorkers applies Options.Parallelism to an LSH parameter set,
+// keeping an explicitly pinned Workers value.
+func (inc *Incremental) withWorkers(p lsh.Params) lsh.Params {
+	if p.Workers == 0 {
+		p.Workers = inc.opts.Parallelism
+	}
+	return p
 }
 
 // nodeTokenSets builds the MinHash item set of each node: its label
@@ -508,23 +601,27 @@ func (inc *Incremental) minhashParams(n, labels int, choice *lsh.AdaptiveChoice,
 // Jaccard similarity between semantically different types is 0 and
 // banding cannot chain them together, while unlabeled elements fall
 // back to raw property keys and are matched purely structurally.
-func nodeTokenSets(nodes []pg.Node) [][]string {
+// Sets are built on a worker pool (each element's set is independent
+// of all others).
+func nodeTokenSets(nodes []pg.Node, workers int) [][]string {
 	sets := make([][]string, len(nodes))
-	for i := range nodes {
-		n := &nodes[i]
-		tok := n.LabelToken()
-		keys := n.PropertyKeys()
-		set := make([]string, 0, len(keys)+1)
-		if tok != "" {
-			set = append(set, "\x00label:"+tok)
-			for _, k := range keys {
-				set = append(set, tok+"\x01"+k)
+	parallel.For(len(nodes), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			n := &nodes[i]
+			tok := n.LabelToken()
+			keys := n.PropertyKeys()
+			set := make([]string, 0, len(keys)+1)
+			if tok != "" {
+				set = append(set, "\x00label:"+tok)
+				for _, k := range keys {
+					set = append(set, tok+"\x01"+k)
+				}
+			} else {
+				set = append(set, keys...)
 			}
-		} else {
-			set = append(set, keys...)
+			sets[i] = set
 		}
-		sets[i] = set
-	}
+	})
 	return sets
 }
 
@@ -534,24 +631,26 @@ func nodeTokenSets(nodes []pg.Node) [][]string {
 // edges of different patterns have Jaccard 0 and cannot chain
 // together, while same-pattern edges with noisy property sets still
 // collide in some band. Unlabeled, unresolvable edges degrade
-// gracefully to property-key sets.
-func edgeTokenSets(edges []pg.Edge, srcToks, dstToks []string) [][]string {
+// gracefully to property-key sets. Sets are built on a worker pool.
+func edgeTokenSets(edges []pg.Edge, srcToks, dstToks []string, workers int) [][]string {
 	sets := make([][]string, len(edges))
-	for i := range edges {
-		e := &edges[i]
-		tok := e.LabelToken()
-		keys := e.PropertyKeys()
-		pattern := tok + "\x01" + srcToks[i] + "\x01" + dstToks[i]
-		set := make([]string, 0, len(keys)+1)
-		if pattern != "\x01\x01" {
-			set = append(set, "\x00pat:"+pattern)
-			for _, k := range keys {
-				set = append(set, pattern+"\x02"+k)
+	parallel.For(len(edges), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := &edges[i]
+			tok := e.LabelToken()
+			keys := e.PropertyKeys()
+			pattern := tok + "\x01" + srcToks[i] + "\x01" + dstToks[i]
+			set := make([]string, 0, len(keys)+1)
+			if pattern != "\x01\x01" {
+				set = append(set, "\x00pat:"+pattern)
+				for _, k := range keys {
+					set = append(set, pattern+"\x02"+k)
+				}
+			} else {
+				set = append(set, keys...)
 			}
-		} else {
-			set = append(set, keys...)
+			sets[i] = set
 		}
-		sets[i] = set
-	}
+	})
 	return sets
 }

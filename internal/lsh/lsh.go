@@ -22,6 +22,8 @@ package lsh
 import (
 	"math"
 	"math/rand"
+
+	"github.com/pghive/pghive/internal/parallel"
 )
 
 // Params controls one LSH clustering run.
@@ -36,6 +38,12 @@ type Params struct {
 	RowsPerBand int
 	// Seed drives projection and permutation generation.
 	Seed int64
+	// Workers is the number of goroutines used to compute signatures
+	// and band bucket keys. 0 selects runtime.NumCPU(); 1 forces
+	// sequential execution. The clustering is bit-identical for every
+	// value — hashing is sharded into disjoint row ranges and the
+	// banded keys stream into the union-find in a fixed order.
+	Workers int
 }
 
 func (p Params) rows(def int) int {
@@ -72,7 +80,9 @@ func (c *Clustering) Members() [][]int {
 
 // ClusterEuclidean buckets vectors with p-stable projections:
 // h_i(v) = ⌊(a_i·v + u_i)/b⌋ with a_i ~ N(0,1)^D and u_i ~ U[0,b).
-// Rows whose per-band keys coincide are unioned.
+// Rows whose per-band keys coincide are unioned. Signature
+// computation is sharded by row across p.Workers goroutines; the
+// result is identical for every worker count.
 func ClusterEuclidean(vecs [][]float64, p Params) *Clustering {
 	n := len(vecs)
 	if n == 0 {
@@ -86,7 +96,6 @@ func ClusterEuclidean(vecs [][]float64, p Params) *Clustering {
 	}
 	dim := len(vecs[0])
 	rows := p.rows(p.Tables) // default: one band of T hashes
-	bands := (p.Tables + rows - 1) / rows
 
 	rng := rand.New(rand.NewSource(p.Seed))
 	proj := make([]float64, p.Tables*dim)
@@ -98,39 +107,34 @@ func ClusterEuclidean(vecs [][]float64, p Params) *Clustering {
 		offsets[i] = rng.Float64() * p.BucketLength
 	}
 
-	uf := newUnionFind(n)
-	hashes := make([]int64, p.Tables)
-	for band := 0; band < bands; band++ {
-		lo := band * rows
-		hi := lo + rows
-		if hi > p.Tables {
-			hi = p.Tables
-		}
-		buckets := make(map[uint64]int, n)
-		for row, v := range vecs {
-			for t := lo; t < hi; t++ {
+	// Per-row band keys, disjoint row ranges per worker. Only the
+	// mixed band keys are kept (O(n·bands)); the raw T-hash signature
+	// lives in a per-worker scratch buffer.
+	bands := (p.Tables + rows - 1) / rows
+	keys := make([]uint64, n*bands)
+	parallel.For(n, p.Workers, func(lo, hi int) {
+		sig := make([]int64, p.Tables)
+		for row := lo; row < hi; row++ {
+			v := vecs[row]
+			for t := 0; t < p.Tables; t++ {
 				a := proj[t*dim : (t+1)*dim]
 				var dot float64
 				for d, x := range v {
 					dot += a[d] * x
 				}
-				hashes[t] = int64(math.Floor((dot + offsets[t]) / p.BucketLength))
+				sig[t] = int64(math.Floor((dot + offsets[t]) / p.BucketLength))
 			}
-			key := mixInts(uint64(band)+0x9e3779b97f4a7c15, hashes[lo:hi])
-			if first, ok := buckets[key]; ok {
-				uf.union(first, row)
-			} else {
-				buckets[key] = row
-			}
+			mixBandKeys(keys[row*bands:(row+1)*bands], sig, rows)
 		}
-	}
-	assign, k := uf.components()
-	return &Clustering{Assign: assign, NumClusters: k}
+	})
+	return bandedComponents(n, bands, keys)
 }
 
 // ClusterMinHash buckets token sets with MinHash signatures of length
 // T, banded r rows at a time. Two sets land in the same band bucket
-// with probability J(A,B)^r; bands are OR-combined.
+// with probability J(A,B)^r; bands are OR-combined. Signature
+// computation is sharded by row across p.Workers goroutines; the
+// result is identical for every worker count.
 func ClusterMinHash(sets [][]string, p Params) *Clustering {
 	n := len(sets)
 	if n == 0 {
@@ -140,7 +144,6 @@ func ClusterMinHash(sets [][]string, p Params) *Clustering {
 		p.Tables = 1
 	}
 	rows := p.rows(4)
-	bands := (p.Tables + rows - 1) / rows
 
 	rng := rand.New(rand.NewSource(p.Seed))
 	// One (mult, add) pair of odd multipliers per hash function
@@ -152,7 +155,8 @@ func ClusterMinHash(sets [][]string, p Params) *Clustering {
 		add[i] = rng.Uint64()
 	}
 
-	// Pre-hash every distinct token once.
+	// Pre-hash every distinct token once, serially, so the worker
+	// shards below only read the memo table.
 	tokenHash := map[string]uint64{}
 	hashed := make([][]uint64, n)
 	for i, set := range sets {
@@ -168,31 +172,58 @@ func ClusterMinHash(sets [][]string, p Params) *Clustering {
 		hashed[i] = hs
 	}
 
-	uf := newUnionFind(n)
-	sig := make([]int64, p.Tables)
-	sigs := make([][]int64, n)
-	for i := range sigs {
-		for t := 0; t < p.Tables; t++ {
-			minv := uint64(math.MaxUint64)
-			for _, h := range hashed[i] {
-				v := h*mult[t] + add[t]
-				if v < minv {
-					minv = v
+	// Per-row band keys, disjoint row ranges per worker.
+	bands := (p.Tables + rows - 1) / rows
+	keys := make([]uint64, n*bands)
+	parallel.For(n, p.Workers, func(lo, hi int) {
+		sig := make([]int64, p.Tables)
+		for row := lo; row < hi; row++ {
+			for t := 0; t < p.Tables; t++ {
+				minv := uint64(math.MaxUint64)
+				for _, h := range hashed[row] {
+					v := h*mult[t] + add[t]
+					if v < minv {
+						minv = v
+					}
 				}
+				sig[t] = int64(minv)
 			}
-			sig[t] = int64(minv)
+			mixBandKeys(keys[row*bands:(row+1)*bands], sig, rows)
 		}
-		sigs[i] = append([]int64(nil), sig...)
-	}
-	for band := 0; band < bands; band++ {
+	})
+	return bandedComponents(n, bands, keys)
+}
+
+// mixBandKeys condenses a row's T-hash signature into one bucket key
+// per band, so only O(bands) values per row outlive the signature
+// scratch buffer.
+func mixBandKeys(keys []uint64, sig []int64, rows int) {
+	for band := range keys {
 		lo := band * rows
 		hi := lo + rows
-		if hi > p.Tables {
-			hi = p.Tables
+		if hi > len(sig) {
+			hi = len(sig)
 		}
-		buckets := make(map[uint64]int, n)
-		for row := range sigs {
-			key := mixInts(uint64(band)+0x9e3779b97f4a7c15, sigs[row][lo:hi])
+		keys[band] = mixInts(uint64(band)+0x9e3779b97f4a7c15, sig[lo:hi])
+	}
+}
+
+// bandedComponents OR-combines per-row band keys into
+// connected-component clusters. The expensive work — hashing rows
+// into band keys — was already sharded across workers by the
+// callers; the remaining per-band bucket scan is a cheap map insert
+// per (row, band), so it streams sequentially into the union-find
+// with one reusable bucket map (O(n) extra memory) in fixed
+// band-then-row order. components() labels clusters by first row
+// occurrence, so the assignment is deterministic for every worker
+// count.
+func bandedComponents(n, bands int, keys []uint64) *Clustering {
+	uf := newUnionFind(n)
+	buckets := make(map[uint64]int, n)
+	for band := 0; band < bands; band++ {
+		clear(buckets)
+		for row := 0; row < n; row++ {
+			key := keys[row*bands+band]
 			if first, ok := buckets[key]; ok {
 				uf.union(first, row)
 			} else {

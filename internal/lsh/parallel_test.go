@@ -1,0 +1,100 @@
+package lsh
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomVecs builds a noisy mixture of k vector prototypes, the
+// shape the pipeline feeds ClusterEuclidean.
+func randomVecs(n, dim, k int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	protos := make([][]float64, k)
+	for i := range protos {
+		p := make([]float64, dim)
+		for d := range p {
+			p[d] = rng.NormFloat64() * 10
+		}
+		protos[i] = p
+	}
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		p := protos[rng.Intn(k)]
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = p[d] + rng.NormFloat64()*0.01
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+// randomSets builds token sets drawn from k overlapping vocabularies.
+func randomSets(n, k int, seed int64) [][]string {
+	rng := rand.New(rand.NewSource(seed))
+	sets := make([][]string, n)
+	for i := range sets {
+		base := rng.Intn(k)
+		size := 3 + rng.Intn(5)
+		set := make([]string, 0, size)
+		for j := 0; j < size; j++ {
+			set = append(set, fmt.Sprintf("tok-%d-%d", base, j))
+		}
+		sets[i] = set
+	}
+	return sets
+}
+
+func sameClustering(t *testing.T, label string, a, b *Clustering) {
+	t.Helper()
+	if a.NumClusters != b.NumClusters {
+		t.Fatalf("%s: cluster counts differ: %d vs %d", label, a.NumClusters, b.NumClusters)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("%s: row %d assigned %d vs %d", label, i, a.Assign[i], b.Assign[i])
+		}
+	}
+}
+
+// TestClusterEuclideanParallelEquivalence is the sharding soundness
+// check: for several band layouts, any worker count yields the exact
+// sequential clustering.
+func TestClusterEuclideanParallelEquivalence(t *testing.T) {
+	vecs := randomVecs(700, 24, 9, 42)
+	for _, rowsPerBand := range []int{0, 3, 5} {
+		seq := ClusterEuclidean(vecs, Params{Tables: 12, BucketLength: 1, RowsPerBand: rowsPerBand, Seed: 7, Workers: 1})
+		for _, workers := range []int{2, 4, 16} {
+			par := ClusterEuclidean(vecs, Params{Tables: 12, BucketLength: 1, RowsPerBand: rowsPerBand, Seed: 7, Workers: workers})
+			sameClustering(t, fmt.Sprintf("elsh rows=%d workers=%d", rowsPerBand, workers), seq, par)
+		}
+	}
+}
+
+// TestClusterMinHashParallelEquivalence mirrors the ELSH check for
+// the banded MinHash scheme.
+func TestClusterMinHashParallelEquivalence(t *testing.T) {
+	sets := randomSets(900, 11, 43)
+	for _, rowsPerBand := range []int{0, 2, 8} {
+		seq := ClusterMinHash(sets, Params{Tables: 16, RowsPerBand: rowsPerBand, Seed: 9, Workers: 1})
+		for _, workers := range []int{2, 4, 16} {
+			par := ClusterMinHash(sets, Params{Tables: 16, RowsPerBand: rowsPerBand, Seed: 9, Workers: workers})
+			sameClustering(t, fmt.Sprintf("minhash rows=%d workers=%d", rowsPerBand, workers), seq, par)
+		}
+	}
+}
+
+// TestClusterDefaultWorkersMatchesSequential pins the Workers zero
+// value (NumCPU) to the sequential result too — the default path the
+// pipeline takes.
+func TestClusterDefaultWorkersMatchesSequential(t *testing.T) {
+	vecs := randomVecs(300, 16, 5, 44)
+	sameClustering(t, "elsh default workers",
+		ClusterEuclidean(vecs, Params{Tables: 8, BucketLength: 1, Seed: 3, Workers: 1}),
+		ClusterEuclidean(vecs, Params{Tables: 8, BucketLength: 1, Seed: 3}))
+	sets := randomSets(300, 5, 45)
+	sameClustering(t, "minhash default workers",
+		ClusterMinHash(sets, Params{Tables: 16, Seed: 3, Workers: 1}),
+		ClusterMinHash(sets, Params{Tables: 16, Seed: 3}))
+}

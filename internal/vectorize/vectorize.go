@@ -10,21 +10,60 @@ import (
 	"math"
 	"sort"
 
+	"github.com/pghive/pghive/internal/parallel"
 	"github.com/pghive/pghive/internal/pg"
 	"github.com/pghive/pghive/internal/word2vec"
 )
 
 // Embedder supplies fixed-dimension label embeddings. Both
-// *word2vec.Model and *word2vec.HashedEmbedder satisfy it.
+// *word2vec.Model and *word2vec.HashedEmbedder satisfy it. Embedders
+// are not required to be safe for concurrent use: the vectorizers
+// resolve every distinct token exactly once on the calling goroutine
+// (via Preload when supported) before fanning row construction out to
+// workers.
 type Embedder interface {
 	Dim() int
 	Vector(token string) []float64
 }
 
+// Preloader is the optional fast path for parallel vectorization: an
+// Embedder that can compute and cache the vectors of many tokens at
+// once, using up to `workers` goroutines internally.
+// *word2vec.HashedEmbedder implements it.
+type Preloader interface {
+	Preload(tokens []string, workers int)
+}
+
 var (
-	_ Embedder = (*word2vec.Model)(nil)
-	_ Embedder = (*word2vec.HashedEmbedder)(nil)
+	_ Embedder  = (*word2vec.Model)(nil)
+	_ Embedder  = (*word2vec.HashedEmbedder)(nil)
+	_ Preloader = (*word2vec.HashedEmbedder)(nil)
 )
+
+// resolveVectors returns the embedding of every distinct token in
+// toks, resolving each exactly once on the calling goroutine so that
+// non-concurrency-safe embedders stay safe while row construction
+// runs on a worker pool. Preloader embedders batch-compute their
+// cache first.
+func resolveVectors(toks []string, emb Embedder, workers int) map[string][]float64 {
+	distinct := make([]string, 0, 16)
+	seen := map[string]struct{}{}
+	for _, t := range toks {
+		if _, ok := seen[t]; ok {
+			continue
+		}
+		seen[t] = struct{}{}
+		distinct = append(distinct, t)
+	}
+	if p, ok := emb.(Preloader); ok {
+		p.Preload(distinct, workers)
+	}
+	vecs := make(map[string][]float64, len(distinct))
+	for _, t := range distinct {
+		vecs[t] = emb.Vector(t)
+	}
+	return vecs
+}
 
 // Matrix is the vectorized form of a set of nodes or edges: one row
 // per element, aligned with IDs and Tokens.
@@ -133,6 +172,15 @@ func TrainEmbedder(g *pg.Graph, cfg word2vec.Config) *word2vec.Model {
 // Nodes vectorizes the given nodes against a fixed property-key
 // layout. Each row is [embed(labelToken) | propertyBits] ∈ R^{d+K}.
 func Nodes(nodes []pg.Node, keys []string, emb Embedder) *Matrix {
+	return NodesParallel(nodes, keys, emb, 1)
+}
+
+// NodesParallel is Nodes with row construction fanned out over a
+// worker pool. Distinct label tokens are resolved once up front, then
+// workers fill disjoint row ranges, so the matrix is bit-identical to
+// the sequential one for every worker count. workers <= 0 selects
+// runtime.NumCPU().
+func NodesParallel(nodes []pg.Node, keys []string, emb Embedder, workers int) *Matrix {
 	d := emb.Dim()
 	width := d + len(keys)
 	keyIdx := indexKeys(keys)
@@ -143,21 +191,25 @@ func Nodes(nodes []pg.Node, keys []string, emb Embedder) *Matrix {
 		Keys:     keys,
 		EmbedDim: d,
 	}
-	backing := make([]float64, len(nodes)*width)
 	for i := range nodes {
-		n := &nodes[i]
-		row := backing[i*width : (i+1)*width]
-		tok := n.LabelToken()
-		copy(row[:d], emb.Vector(tok))
-		for k := range n.Props {
-			if j, ok := keyIdx[k]; ok {
-				row[d+j] = 1
-			}
-		}
-		m.IDs[i] = n.ID
-		m.Tokens[i] = tok
-		m.Vecs[i] = row
+		m.Tokens[i] = nodes[i].LabelToken()
 	}
+	tokVecs := resolveVectors(m.Tokens, emb, workers)
+	backing := make([]float64, len(nodes)*width)
+	parallel.For(len(nodes), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			n := &nodes[i]
+			row := backing[i*width : (i+1)*width]
+			copy(row[:d], tokVecs[m.Tokens[i]])
+			for k := range n.Props {
+				if j, ok := keyIdx[k]; ok {
+					row[d+j] = 1
+				}
+			}
+			m.IDs[i] = n.ID
+			m.Vecs[i] = row
+		}
+	})
 	return m
 }
 
@@ -183,24 +235,14 @@ func BatchEndpoints(b *pg.Batch) EndpointTokens {
 	}
 }
 
-// EdgesWithTokens vectorizes edges against a fixed property-key
-// layout, with endpoint tokens supplied per edge (aligned slices).
-// The pipeline uses this form to substitute discovered node-type
-// names for unlabeled endpoints.
-func EdgesWithTokens(edges []pg.Edge, keys []string, emb Embedder, srcToks, dstToks []string) *Matrix {
-	i := 0
-	return Edges(edges, keys, emb, func(*pg.Edge) (string, string) {
-		s, d := srcToks[i], dstToks[i]
-		i++
-		return s, d
-	})
-}
-
-// Edges vectorizes the given edges against a fixed property-key
-// layout. Each row is [embed(edgeToken) | embed(srcToken) |
-// embed(dstToken) | propertyBits] ∈ R^{3d+Q} (§4.1). The resolver ep
-// is called exactly once per edge, in slice order.
-func Edges(edges []pg.Edge, keys []string, emb Embedder, ep EndpointTokens) *Matrix {
+// EdgesParallel vectorizes edges against a fixed property-key
+// layout, with endpoint tokens supplied per edge (aligned slices) —
+// the form the pipeline uses to substitute discovered node-type
+// names for unlabeled endpoints. Because the endpoint tokens are
+// pre-resolved, rows are independent and workers fill disjoint
+// ranges; the matrix is bit-identical to the sequential one for
+// every worker count. workers <= 0 selects runtime.NumCPU().
+func EdgesParallel(edges []pg.Edge, keys []string, emb Embedder, srcToks, dstToks []string, workers int) *Matrix {
 	d := emb.Dim()
 	width := 3*d + len(keys)
 	keyIdx := indexKeys(keys)
@@ -211,25 +253,45 @@ func Edges(edges []pg.Edge, keys []string, emb Embedder, ep EndpointTokens) *Mat
 		Keys:     keys,
 		EmbedDim: d,
 	}
-	backing := make([]float64, len(edges)*width)
 	for i := range edges {
-		e := &edges[i]
-		row := backing[i*width : (i+1)*width]
-		tok := e.LabelToken()
-		src, dst := ep(e)
-		copy(row[:d], emb.Vector(tok))
-		copy(row[d:2*d], emb.Vector(src))
-		copy(row[2*d:3*d], emb.Vector(dst))
-		for k := range e.Props {
-			if j, ok := keyIdx[k]; ok {
-				row[3*d+j] = 1
-			}
-		}
-		m.IDs[i] = e.ID
-		m.Tokens[i] = tok
-		m.Vecs[i] = row
+		m.Tokens[i] = edges[i].LabelToken()
 	}
+	all := make([]string, 0, 3*len(edges))
+	all = append(all, m.Tokens...)
+	all = append(all, srcToks...)
+	all = append(all, dstToks...)
+	tokVecs := resolveVectors(all, emb, workers)
+	backing := make([]float64, len(edges)*width)
+	parallel.For(len(edges), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := &edges[i]
+			row := backing[i*width : (i+1)*width]
+			copy(row[:d], tokVecs[m.Tokens[i]])
+			copy(row[d:2*d], tokVecs[srcToks[i]])
+			copy(row[2*d:3*d], tokVecs[dstToks[i]])
+			for k := range e.Props {
+				if j, ok := keyIdx[k]; ok {
+					row[3*d+j] = 1
+				}
+			}
+			m.IDs[i] = e.ID
+			m.Vecs[i] = row
+		}
+	})
 	return m
+}
+
+// Edges vectorizes the given edges against a fixed property-key
+// layout. Each row is [embed(edgeToken) | embed(srcToken) |
+// embed(dstToken) | propertyBits] ∈ R^{3d+Q} (§4.1). The resolver ep
+// is called exactly once per edge, in slice order.
+func Edges(edges []pg.Edge, keys []string, emb Embedder, ep EndpointTokens) *Matrix {
+	srcToks := make([]string, len(edges))
+	dstToks := make([]string, len(edges))
+	for i := range edges {
+		srcToks[i], dstToks[i] = ep(&edges[i])
+	}
+	return EdgesParallel(edges, keys, emb, srcToks, dstToks, 1)
 }
 
 func indexKeys(keys []string) map[string]int {

@@ -14,6 +14,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"github.com/pghive/pghive/internal/parallel"
 )
 
 // Config holds the training hyperparameters.
@@ -61,7 +63,8 @@ func (c Config) withDefaults() Config {
 }
 
 // Model is a trained embedding table. The zero value is unusable; use
-// Train.
+// Train. A trained Model is immutable: Vector and Similarity only
+// read it, so concurrent lookups are safe.
 type Model struct {
 	dim   int
 	vocab map[string]int
@@ -310,10 +313,39 @@ func (h *HashedEmbedder) Vector(token string) []float64 {
 	if v, ok := h.cache[token]; ok {
 		return v
 	}
-	v := make([]float64, h.dim)
+	v := hashedVector(token, h.dim)
+	h.cache[token] = v
+	return v
+}
+
+// Preload computes and caches the vectors of every not-yet-seen token
+// using up to `workers` goroutines (workers <= 0 selects
+// runtime.NumCPU()). Vector generation is a pure function of the
+// token, so the cache contents are identical for every worker count.
+// Preload itself must not run concurrently with other methods; after
+// it returns, concurrent Vector reads of preloaded tokens are safe
+// because they only hit the cache.
+func (h *HashedEmbedder) Preload(tokens []string, workers int) {
+	missing := make([]string, 0, len(tokens))
+	for _, tok := range tokens {
+		if _, ok := h.cache[tok]; !ok {
+			missing = append(missing, tok)
+		}
+	}
+	vecs := parallel.Map(len(missing), workers, func(i int) []float64 {
+		return hashedVector(missing[i], h.dim)
+	})
+	for i, tok := range missing {
+		h.cache[tok] = vecs[i]
+	}
+}
+
+// hashedVector derives the deterministic unit vector of a token:
+// FNV-1a seeds a PRNG that fills the vector. The empty token (absent
+// label) yields the zero vector.
+func hashedVector(token string, dim int) []float64 {
+	v := make([]float64, dim)
 	if token != "" {
-		// FNV-1a seed from the token, then a seeded PRNG fills the
-		// vector.
 		var seed uint64 = 14695981039346656037
 		for i := 0; i < len(token); i++ {
 			seed ^= uint64(token[i])
@@ -325,6 +357,5 @@ func (h *HashedEmbedder) Vector(token string) []float64 {
 		}
 		normalize(v)
 	}
-	h.cache[token] = v
 	return v
 }

@@ -30,6 +30,18 @@
 //	}
 //	res := inc.Finalize()
 //
+// # Parallelism
+//
+// The pipeline parallelizes vectorization, LSH signature hashing,
+// bucket sharding, and edge-endpoint preprocessing across
+// Options.Parallelism worker goroutines (default: all CPU cores).
+// Parallel execution is deterministic: for a fixed Options.Seed the
+// discovered schema is bit-identical for every Parallelism value,
+// because work is sharded into disjoint index ranges, shard results
+// merge in a fixed order, and the stochastic stages (Word2Vec
+// training, adaptive LSH parameter choice) always run sequentially.
+// Set Parallelism to 1 to force fully sequential execution.
+//
 // See the examples/ directory for runnable end-to-end programs.
 package pghive
 
