@@ -296,6 +296,116 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 	}
 }
 
+// dupHeavySpec declares a duplicate-heavy synthetic dataset: a
+// handful of types whose properties are mostly mandatory, so the
+// graph has millions of possible elements but only a few dozen
+// distinct shapes — the regime real production graphs live in and the
+// one shape interning targets. elements is the total node + edge
+// count at scale 1.
+func dupHeavySpec(elements int) *datagen.Spec {
+	p := func(key string, gen datagen.Gen) datagen.Prop {
+		return datagen.Prop{Key: key, Gen: gen, Prob: 1}
+	}
+	return &datagen.Spec{
+		Name: "DUPHEAVY",
+		Nodes: []datagen.NodeSpec{
+			{Name: "User", Labels: []string{"User"}, Weight: 4, Props: []datagen.Prop{
+				p("id", datagen.GInt), p("name", datagen.GString),
+				p("created", datagen.GDateTime), p("karma", datagen.GInt),
+				p("verified", datagen.GBool), p("bio", datagen.GString),
+				{Key: "email", Gen: datagen.GString, Prob: 0.5},
+			}},
+			{Name: "Post", Labels: []string{"Post"}, Weight: 4, Props: []datagen.Prop{
+				p("content", datagen.GString), p("created", datagen.GDateTime),
+				p("score", datagen.GInt), p("lang", datagen.GString),
+				p("length", datagen.GInt),
+			}},
+			{Name: "Tag", Labels: []string{"Tag"}, Weight: 1, Props: []datagen.Prop{
+				p("label", datagen.GString), p("uses", datagen.GInt),
+			}},
+			{Name: "Forum", Labels: []string{"Forum"}, Weight: 1, Props: []datagen.Prop{
+				p("title", datagen.GString), p("members", datagen.GInt),
+				p("created", datagen.GDate), p("moderated", datagen.GBool),
+			}},
+		},
+		Edges: []datagen.EdgeSpec{
+			{Name: "LIKES", Labels: []string{"LIKES"}, Src: "User", Dst: "Post", Weight: 4,
+				Props: []datagen.Prop{p("at", datagen.GDateTime), p("weight", datagen.GFloat)}},
+			{Name: "POSTED", Labels: []string{"POSTED"}, Src: "User", Dst: "Post", Weight: 3,
+				Props: []datagen.Prop{p("at", datagen.GDateTime)}},
+			{Name: "TAGGED", Labels: []string{"TAGGED"}, Src: "Post", Dst: "Tag", Weight: 2},
+			{Name: "MEMBER", Labels: []string{"MEMBER"}, Src: "User", Dst: "Forum", Weight: 1,
+				Props: []datagen.Prop{p("role", datagen.GString), {Key: "since", Gen: datagen.GDate, Prob: 0.8}}},
+		},
+		DefaultNodes: elements / 2,
+		DefaultEdges: elements - elements/2,
+	}
+}
+
+// BenchmarkShapeInterning measures the tentpole optimization:
+// discovery on duplicate-heavy graphs with shape interning on vs.
+// off, at 10k and 100k elements, for both methods. The interned and
+// non-interned runs produce byte-identical schemas (see
+// pghive_intern_test.go); compare ns/op for the speedup and expect it
+// to grow with graph size, since interned cost scales with distinct
+// shapes, not elements. BENCH_2.json records the trajectory.
+func BenchmarkShapeInterning(b *testing.B) {
+	for _, elements := range []int{10000, 100000} {
+		d := datagen.Generate(dupHeavySpec(elements), 1, 1)
+		for _, method := range []pghive.Method{pghive.ELSH, pghive.MinHash} {
+			for _, disabled := range []bool{false, true} {
+				name := fmt.Sprintf("%v/elements=%d/interned=%v", method, elements, !disabled)
+				b.Run(name, func(b *testing.B) {
+					opts := pghive.Options{Seed: 1, Method: method}
+					opts.DisableShapeInterning = disabled
+					var res *pghive.Result
+					for i := 0; i < b.N; i++ {
+						res = pghive.Discover(d.Graph, opts)
+					}
+					b.ReportMetric(float64(res.NodeShapes+res.EdgeShapes), "shapes")
+					b.ReportMetric(float64(len(res.Schema.NodeTypes)), "node-types")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkShapeInterningSpeedup runs the interned and non-interned
+// pipelines back to back in each iteration and reports their
+// wall-clock ratio ("speedup", full run) and the ratio of the Fig. 5
+// time-until-type-discovery phases ("discovery-speedup"). Pairing the
+// two runs inside one iteration cancels machine noise, so the ratio
+// is much more stable than dividing the two ShapeInterning ns/op
+// figures.
+func BenchmarkShapeInterningSpeedup(b *testing.B) {
+	for _, elements := range []int{10000, 100000} {
+		d := datagen.Generate(dupHeavySpec(elements), 1, 1)
+		for _, method := range []pghive.Method{pghive.ELSH, pghive.MinHash} {
+			b.Run(fmt.Sprintf("%v/elements=%d", method, elements), func(b *testing.B) {
+				var on, off, onDisc, offDisc time.Duration
+				for i := 0; i < b.N; i++ {
+					opts := pghive.Options{Seed: 1, Method: method}
+					start := time.Now()
+					res := pghive.Discover(d.Graph, opts)
+					on += time.Since(start)
+					onDisc += res.Timing.Discovery()
+					opts.DisableShapeInterning = true
+					start = time.Now()
+					res = pghive.Discover(d.Graph, opts)
+					off += time.Since(start)
+					offDisc += res.Timing.Discovery()
+				}
+				if on > 0 {
+					b.ReportMetric(off.Seconds()/on.Seconds(), "speedup")
+				}
+				if onDisc > 0 {
+					b.ReportMetric(offDisc.Seconds()/onDisc.Seconds(), "discovery-speedup")
+				}
+			})
+		}
+	}
+}
+
 func formatTheta(t float64) string {
 	switch t {
 	case 0.5:

@@ -47,6 +47,7 @@ func main() {
 		name      = flag.String("name", "DiscoveredGraphType", "graph type name in PG-Schema output")
 		seed      = flag.Int64("seed", 1, "random seed")
 		parallel  = flag.Int("parallelism", 0, "worker goroutines per pipeline phase (0 = all CPU cores, 1 = sequential); the schema is identical for every value")
+		noIntern  = flag.Bool("no-intern", false, "disable shape interning (A/B measurement; the schema is identical either way)")
 		theta     = flag.Float64("theta", 0, "Jaccard merge threshold (0 = paper default 0.9)")
 		tables    = flag.Int("tables", 0, "pin LSH table count T (0 = adaptive)")
 		bucket    = flag.Float64("bucket", 0, "pin ELSH bucket length b (0 = adaptive)")
@@ -84,7 +85,7 @@ func main() {
 		return
 	}
 
-	opts := pghive.Options{Seed: *seed, Theta: *theta, Parallelism: *parallel}
+	opts := pghive.Options{Seed: *seed, Theta: *theta, Parallelism: *parallel, DisableShapeInterning: *noIntern}
 	switch strings.ToLower(*method) {
 	case "elsh":
 	case "minhash":
@@ -160,6 +161,14 @@ func main() {
 		st := pghive.ComputeStats(g)
 		fmt.Fprintf(os.Stderr, "graph: %d nodes, %d edges, %d node patterns, %d edge patterns\n",
 			st.Nodes, st.Edges, st.NodePatterns, st.EdgePatterns)
+		if res.NodeShapes > 0 || res.EdgeShapes > 0 {
+			// Distinct-shape totals accumulate per batch; the ratios are
+			// the dedup factors interning exploits (elements hashed once
+			// per shape instead of once per element).
+			fmt.Fprintf(os.Stderr, "shapes: %d distinct node shapes (dedup %.1fx), %d distinct edge shapes (dedup %.1fx)\n",
+				res.NodeShapes, dedup(st.Nodes, res.NodeShapes),
+				res.EdgeShapes, dedup(st.Edges, res.EdgeShapes))
+		}
 		fmt.Fprintf(os.Stderr, "schema: %d node types, %d edge types (raw clusters: %d nodes, %d edges)\n",
 			len(res.Schema.NodeTypes), len(res.Schema.EdgeTypes), res.NodeClusters, res.EdgeClusters)
 		fmt.Fprintf(os.Stderr, "time: %v total (preprocess %v, cluster %v, extract %v, post %v)\n",
@@ -260,9 +269,23 @@ func discover(g *pghive.Graph, opts pghive.Options, batches int, seed int64, res
 	rng := newRand(seed + 21)
 	for _, b := range pghive.SplitBatches(g, batches, rng) {
 		bt := inc.ProcessBatch(b)
-		fmt.Fprintf(os.Stderr, "batch %d: %v\n", bt.Index, bt.Timing.Discovery().Round(time.Millisecond))
+		if bt.NodeShapes > 0 || bt.EdgeShapes > 0 {
+			fmt.Fprintf(os.Stderr, "batch %d: %v (%d/%d distinct node shapes, %d/%d distinct edge shapes)\n",
+				bt.Index, bt.Timing.Discovery().Round(time.Millisecond),
+				bt.NodeShapes, bt.Nodes, bt.EdgeShapes, bt.Edges)
+		} else {
+			fmt.Fprintf(os.Stderr, "batch %d: %v\n", bt.Index, bt.Timing.Discovery().Round(time.Millisecond))
+		}
 	}
 	return inc.Finalize()
+}
+
+// dedup returns elements per distinct shape.
+func dedup(elements, shapes int) float64 {
+	if shapes == 0 {
+		return 1
+	}
+	return float64(elements) / float64(shapes)
 }
 
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

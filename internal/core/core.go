@@ -79,6 +79,17 @@ type Options struct {
 	// the merge-step ablation; incremental discovery degenerates to
 	// per-batch schemas under it.
 	DisableMerging bool
+	// DisableShapeInterning turns off the shape-interning fast path.
+	// With interning (the default), elements are grouped by shape —
+	// label set, property-key set, and endpoint tokens for edges — and
+	// vectorization plus LSH signature hashing run once per distinct
+	// shape instead of once per element, so discovery cost scales with
+	// the number of distinct patterns rather than with graph size.
+	// Same-shape elements produce byte-identical representations, so
+	// the discovered schema and every per-element assignment are
+	// bit-identical with interning on or off; the switch exists for
+	// A/B measurement.
+	DisableShapeInterning bool
 	// Infer configures data-type inference sampling.
 	Infer infer.Options
 	// Seed drives every random choice in the pipeline.
@@ -232,6 +243,13 @@ type Result struct {
 	// merging.
 	NodeClusters int
 	EdgeClusters int
+	// NodeShapes / EdgeShapes accumulate the distinct element shapes
+	// per processed batch — the units of work the interned pipeline
+	// actually vectorizes and hashes. Zero when shape interning is
+	// disabled. Compare against the element counts for the dedup
+	// ratio.
+	NodeShapes int
+	EdgeShapes int
 	// NodeChoice / EdgeChoice record the adaptive parameter choices
 	// (zero-valued when parameters were pinned).
 	NodeChoice lsh.AdaptiveChoice
@@ -256,6 +274,11 @@ type Incremental struct {
 	opts   Options
 	sch    *schema.Schema
 	result *Result
+	// nodeShapes / edgeShapes intern element shapes across batches:
+	// a shape re-seen in a later batch costs one fingerprint map
+	// lookup and reuses its cached token set.
+	nodeShapes *pg.ShapeCache
+	edgeShapes *pg.ShapeCache
 }
 
 // NewIncremental returns a streaming pipeline with an empty schema.
@@ -279,6 +302,8 @@ func ResumeIncremental(opts Options, s *schema.Schema) *Incremental {
 			NodeAssign: map[pg.ID]*schema.NodeType{},
 			EdgeAssign: map[pg.ID]*schema.EdgeType{},
 		},
+		nodeShapes: pg.NewShapeCache(),
+		edgeShapes: pg.NewShapeCache(),
 	}
 }
 
@@ -286,10 +311,18 @@ func ResumeIncremental(opts Options, s *schema.Schema) *Incremental {
 func (inc *Incremental) Schema() *schema.Schema { return inc.sch }
 
 // BatchTiming is the per-batch cost record used by the Fig. 7
-// experiment.
+// experiment, plus the batch's interning statistics.
 type BatchTiming struct {
 	Index  int
 	Timing Timing
+	// Nodes / Edges are the batch's element counts.
+	Nodes int
+	Edges int
+	// NodeShapes / EdgeShapes are the batch's distinct shape counts
+	// (0 when shape interning is disabled): the number of
+	// representatives that were actually vectorized and hashed.
+	NodeShapes int
+	EdgeShapes int
 }
 
 // ProcessBatch runs preprocess → cluster → extract on one batch and
@@ -332,41 +365,127 @@ func (inc *Incremental) ProcessBatch(b *pg.Batch) BatchTiming {
 	// Edge-dominated batches skip the overlap: a lone goroutine
 	// walking a huge edge set would outlive the node phase and
 	// serialize the batch, so resolving with all workers afterwards
-	// is faster. The choice depends only on the batch shape, never
+	// is faster. Interned batches never overlap — the node phase
+	// touches only shape representatives and is far too short to hide
+	// a serial walk over every edge; they resolve endpoints up front
+	// instead (see below), sharing the pass with the Word2Vec corpus.
+	// The choice depends only on the batch shape and options, never
 	// on scheduling, so determinism is unaffected.
+	intern := !o.DisableShapeInterning
 	var epDone chan time.Duration
-	if o.Parallelism > 1 && len(edges) > 0 && len(edges) <= 4*len(nodes) {
+	if o.Parallelism > 1 && !intern && len(edges) > 0 && len(edges) <= 4*len(nodes) {
 		epDone = make(chan time.Duration, 1)
 		go func() { epDone <- resolveEndpoints(1) }()
 	}
 
-	// (b) Preprocess nodes: embeddings + representation structures.
-	start := time.Now()
-	distinctNodeLabels := len(b.Graph.DistinctNodeLabels())
-	distinctEdgeLabels := len(b.Graph.DistinctEdgeLabels())
+	// Interned endpoint resolution runs before the node phase — it
+	// depends only on the batch and resolver — and additionally keeps
+	// the batch-local endpoint tokens so the Word2Vec corpus (which
+	// by definition sees only the batch's own labels, not the
+	// resolver's) reuses this pass instead of re-resolving every
+	// edge.
+	var srcBatchToks, dstBatchToks []string
+	if intern && len(edges) > 0 {
+		epStart := time.Now()
+		if o.Method != MinHash {
+			if b.Resolver == nil || b.Resolver == b.Graph {
+				// With no separate resolver the batch-local and
+				// resolved tokens coincide; alias the arrays (the loop
+				// below writes the resolved token last, and it equals
+				// the batch-local one here).
+				srcBatchToks, dstBatchToks = srcToks, dstToks
+			} else {
+				srcBatchToks = make([]string, len(edges))
+				dstBatchToks = make([]string, len(edges))
+			}
+		}
+		parallel.For(len(edges), o.Parallelism, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := &edges[i]
+				src := b.Graph.SrcLabels(e)
+				dst := b.Graph.DstLabels(e)
+				sTok, dTok := pg.LabelToken(src), pg.LabelToken(dst)
+				if srcBatchToks != nil {
+					srcBatchToks[i], dstBatchToks[i] = sTok, dTok
+				}
+				if src == nil && b.Resolver != nil {
+					sTok = pg.LabelToken(b.Resolver.SrcLabels(e))
+				}
+				if dst == nil && b.Resolver != nil {
+					dTok = pg.LabelToken(b.Resolver.DstLabels(e))
+				}
+				srcToks[i], dstToks[i] = sTok, dTok
+			}
+		})
+		tm.Preprocess += time.Since(epStart)
+	}
 
+	// (b) Preprocess nodes: shape interning, embeddings,
+	// representation structures. With interning (the default), rows
+	// are grouped by shape — same label set and property-key set —
+	// and only the first occurrence of each shape is vectorized or
+	// tokenized: same-shape rows would produce byte-identical
+	// representations anyway, so the per-element stages run once per
+	// distinct pattern instead of once per element. The distinct
+	// label and property-key sets are likewise unions over
+	// representatives, since both are shape components.
+	start := time.Now()
+	if len(inc.result.NodeAssign) == 0 && len(nodes) > 0 {
+		inc.result.NodeAssign = make(map[pg.ID]*schema.NodeType, len(nodes))
+	}
+	if len(inc.result.EdgeAssign) == 0 && len(edges) > 0 {
+		inc.result.EdgeAssign = make(map[pg.ID]*schema.EdgeType, len(edges))
+	}
+	var nodeSI *pg.ShapeIndex
+	var distinctNodeLabels int
+	if intern {
+		nodeSI = inc.nodeShapes.IndexNodes(nodes)
+		distinctNodeLabels = len(nodeSI.NodeLabels(nodes))
+	} else {
+		distinctNodeLabels = len(b.Graph.DistinctNodeLabels())
+	}
 	var emb vectorize.Embedder
 	var nodeMat *vectorize.Matrix
 	var nodeSets [][]string
 	switch o.Method {
 	case MinHash:
-		nodeSets = nodeTokenSets(nodes, o.Parallelism)
+		if intern {
+			nodeSets = internedNodeSets(nodes, nodeSI)
+		} else {
+			nodeSets = nodeTokenSets(nodes, o.Parallelism)
+		}
 	default:
-		emb = inc.embedder(b.Graph)
-		nodeMat = vectorize.NodesParallel(nodes, b.Graph.DistinctNodePropertyKeys(), emb, o.Parallelism)
+		emb = inc.embedder(b.Graph, nodeSI, srcBatchToks, dstBatchToks)
+		if intern {
+			nodeMat = vectorize.NodesInterned(nodes, nodeSI, nodeSI.NodePropertyKeys(nodes), emb, o.Parallelism)
+		} else {
+			nodeMat = vectorize.NodesParallel(nodes, b.Graph.DistinctNodePropertyKeys(), emb, o.Parallelism)
+		}
 	}
-	tm.Preprocess = time.Since(start)
+	tm.Preprocess += time.Since(start)
 
-	// (c) Cluster nodes.
+	// (c) Cluster nodes. Under interning the clusterer sees only the
+	// shape representatives and nodeCl is a *shape-level* clustering
+	// (rows resolve through nodeSI.Rows); same-shape rows would
+	// collide in every band anyway, so the partition — and, because
+	// representatives keep first-occurrence order, every cluster
+	// label — matches the non-interned run exactly. The adaptive
+	// parameter estimation still samples the full per-row view
+	// (representatives expanded through the row→shape map, sharing
+	// rows) so the chosen parameters match too.
 	start = time.Now()
 	var nodeCl *lsh.Clustering
 	switch o.Method {
 	case MinHash:
-		np := inc.minhashParams(len(nodeSets), distinctNodeLabels, &inc.result.NodeChoice, o.NodeParams)
+		np := inc.minhashParams(len(nodes), distinctNodeLabels, &inc.result.NodeChoice, o.NodeParams)
 		nodeCl = lsh.ClusterMinHash(nodeSets, np)
 	default:
-		np := inc.elshParams(nodeMat.Vecs, distinctNodeLabels, &inc.result.NodeChoice, o.NodeParams, true)
-		nodeCl = lsh.ClusterEuclidean(nodeMat.Vecs, np)
+		var rows []int32
+		if intern {
+			rows = nodeSI.Rows
+		}
+		np := inc.elshParams(nodeMat.Vecs, rows, distinctNodeLabels, &inc.result.NodeChoice, o.NodeParams, true)
+		nodeCl = lsh.ClusterEuclideanSparse(nodeMat.Vecs, nodeMat.BinStart, nodeMat.Bits, np)
 	}
 	inc.result.NodeClusters += nodeCl.NumClusters
 	tm.Cluster += time.Since(start)
@@ -377,15 +496,26 @@ func (inc *Incremental) ProcessBatch(b *pg.Batch) BatchTiming {
 	// §4.1 — Example 2 lists unlabeled Alice's KNOWS edge with a
 	// Person source).
 	start = time.Now()
-	ncands := schema.BuildNodeCandidates(nodes, nodeCl.Assign, nodeCl.NumClusters)
+	var ncands []*schema.NodeType
+	if intern {
+		ncands = schema.BuildNodeCandidatesInterned(nodes, nodeSI, nodeCl.Assign, nodeCl.NumClusters)
+	} else {
+		ncands = schema.BuildNodeCandidates(nodes, nodeCl.Assign, nodeCl.NumClusters)
+	}
 	var ntypes []*schema.NodeType
 	if o.DisableMerging {
 		ntypes = inc.sch.AppendNodeTypes(ncands)
 	} else {
 		ntypes = inc.sch.ExtractNodeTypes(ncands, o.Theta)
 	}
-	for row := range nodes {
-		inc.result.NodeAssign[nodes[row].ID] = ntypes[nodeCl.Assign[row]]
+	if intern {
+		for row := range nodes {
+			inc.result.NodeAssign[nodes[row].ID] = ntypes[nodeCl.Assign[nodeSI.Rows[row]]]
+		}
+	} else {
+		for row := range nodes {
+			inc.result.NodeAssign[nodes[row].ID] = ntypes[nodeCl.Assign[row]]
+		}
 	}
 	tm.Extract += time.Since(start)
 
@@ -400,7 +530,7 @@ func (inc *Incremental) ProcessBatch(b *pg.Batch) BatchTiming {
 		wait := time.Now()
 		<-epDone
 		tm.Preprocess += time.Since(wait)
-	} else {
+	} else if !intern {
 		tm.Preprocess += resolveEndpoints(o.Parallelism)
 	}
 	start = time.Now()
@@ -413,41 +543,76 @@ func (inc *Incremental) ProcessBatch(b *pg.Batch) BatchTiming {
 			dstToks[i] = inc.endpointTypeToken(e.Dst)
 		}
 	}
+	var edgeSI *pg.ShapeIndex
+	var distinctEdgeLabels int
+	if intern {
+		edgeSI = inc.edgeShapes.IndexEdges(edges, srcToks, dstToks)
+		distinctEdgeLabels = len(edgeSI.EdgeLabels(edges))
+	} else {
+		distinctEdgeLabels = len(b.Graph.DistinctEdgeLabels())
+	}
 	var edgeMat *vectorize.Matrix
 	var edgeSets [][]string
 	switch o.Method {
 	case MinHash:
-		edgeSets = edgeTokenSets(edges, srcToks, dstToks, o.Parallelism)
+		if intern {
+			edgeSets = internedEdgeSets(edges, edgeSI, srcToks, dstToks)
+		} else {
+			edgeSets = edgeTokenSets(edges, srcToks, dstToks, o.Parallelism)
+		}
 	default:
-		edgeMat = vectorize.EdgesParallel(edges, b.Graph.DistinctEdgePropertyKeys(), emb, srcToks, dstToks, o.Parallelism)
+		if intern {
+			edgeMat = vectorize.EdgesInterned(edges, edgeSI, edgeSI.EdgePropertyKeys(edges), emb, srcToks, dstToks, o.Parallelism)
+		} else {
+			edgeMat = vectorize.EdgesParallel(edges, b.Graph.DistinctEdgePropertyKeys(), emb, srcToks, dstToks, o.Parallelism)
+		}
 	}
 	tm.Preprocess += time.Since(start)
 
-	// (c') Cluster edges.
+	// (c') Cluster edges (shape-level under interning, as for nodes).
 	start = time.Now()
 	var edgeCl *lsh.Clustering
 	switch o.Method {
 	case MinHash:
-		epp := inc.minhashParams(len(edgeSets), distinctEdgeLabels, &inc.result.EdgeChoice, o.EdgeParams)
+		epp := inc.minhashParams(len(edges), distinctEdgeLabels, &inc.result.EdgeChoice, o.EdgeParams)
 		edgeCl = lsh.ClusterMinHash(edgeSets, epp)
 	default:
-		epp := inc.elshParams(edgeMat.Vecs, distinctEdgeLabels, &inc.result.EdgeChoice, o.EdgeParams, false)
-		edgeCl = lsh.ClusterEuclidean(edgeMat.Vecs, epp)
+		var rows []int32
+		if intern {
+			rows = edgeSI.Rows
+		}
+		epp := inc.elshParams(edgeMat.Vecs, rows, distinctEdgeLabels, &inc.result.EdgeChoice, o.EdgeParams, false)
+		edgeCl = lsh.ClusterEuclideanSparse(edgeMat.Vecs, edgeMat.BinStart, edgeMat.Bits, epp)
 	}
 	inc.result.EdgeClusters += edgeCl.NumClusters
 	tm.Cluster += time.Since(start)
 
 	// (d') Extract edge types.
 	start = time.Now()
-	ecands := schema.BuildEdgeCandidates(edges, edgeCl.Assign, edgeCl.NumClusters, srcToks, dstToks)
+	var ecands []*schema.EdgeType
+	if intern {
+		maxEndpoints := b.Graph.NumNodes()
+		if b.Resolver != nil && b.Resolver != b.Graph {
+			maxEndpoints += b.Resolver.NumNodes()
+		}
+		ecands = schema.BuildEdgeCandidatesInterned(edges, edgeSI, edgeCl.Assign, edgeCl.NumClusters, srcToks, dstToks, maxEndpoints)
+	} else {
+		ecands = schema.BuildEdgeCandidates(edges, edgeCl.Assign, edgeCl.NumClusters, srcToks, dstToks)
+	}
 	var etypes []*schema.EdgeType
 	if o.DisableMerging {
 		etypes = inc.sch.AppendEdgeTypes(ecands)
 	} else {
 		etypes = inc.sch.ExtractEdgeTypes(ecands, o.Theta)
 	}
-	for row := range edges {
-		inc.result.EdgeAssign[edges[row].ID] = etypes[edgeCl.Assign[row]]
+	if intern {
+		for row := range edges {
+			inc.result.EdgeAssign[edges[row].ID] = etypes[edgeCl.Assign[edgeSI.Rows[row]]]
+		}
+	} else {
+		for row := range edges {
+			inc.result.EdgeAssign[edges[row].ID] = etypes[edgeCl.Assign[row]]
+		}
 	}
 	tm.Extract += time.Since(start)
 
@@ -459,7 +624,14 @@ func (inc *Incremental) ProcessBatch(b *pg.Batch) BatchTiming {
 	}
 
 	inc.result.Timing.add(tm)
-	return BatchTiming{Index: b.Index, Timing: tm}
+	bt := BatchTiming{Index: b.Index, Timing: tm, Nodes: len(nodes), Edges: len(edges)}
+	if intern {
+		bt.NodeShapes = nodeSI.NumShapes()
+		bt.EdgeShapes = edgeSI.NumShapes()
+		inc.result.NodeShapes += bt.NodeShapes
+		inc.result.EdgeShapes += bt.EdgeShapes
+	}
+	return bt
 }
 
 // RetractBatch removes a batch of previously processed elements from
@@ -522,7 +694,14 @@ func (inc *Incremental) endpointTypeToken(id pg.ID) string {
 	return ""
 }
 
-func (inc *Incremental) embedder(g *pg.Graph) vectorize.Embedder {
+// embedder builds the batch's label embedder. nodeSI, when non-nil,
+// lets the Word2Vec corpus derive its node sentences from the
+// distinct shapes (count-weighted) instead of walking every node, and
+// srcToks/dstToks (batch-local endpoint tokens from the interned
+// endpoint pass, nil otherwise) spare the corpus its own resolution
+// walk; the corpus — and so the trained model — is byte-identical
+// either way.
+func (inc *Incremental) embedder(g *pg.Graph, nodeSI *pg.ShapeIndex, srcToks, dstToks []string) vectorize.Embedder {
 	o := inc.opts
 	var inner vectorize.Embedder
 	if o.Embedding == EmbedHashed {
@@ -545,7 +724,7 @@ func (inc *Incremental) embedder(g *pg.Graph) vectorize.Embedder {
 		if idDim < 4 {
 			idDim = 4
 		}
-		inner = newAnchoredEmbedder(vectorize.TrainEmbedder(g, cfg),
+		inner = newAnchoredEmbedder(word2vec.Train(vectorize.BuildCorpusInterned(g, nodeSI, srcToks, dstToks), cfg),
 			word2vec.NewHashedEmbedder(idDim))
 	}
 	if o.LabelWeight != 1 {
@@ -554,7 +733,12 @@ func (inc *Incremental) embedder(g *pg.Graph) vectorize.Embedder {
 	return inner
 }
 
-func (inc *Incremental) elshParams(vecs [][]float64, labels int, choice *lsh.AdaptiveChoice, pinned *lsh.Params, isNode bool) lsh.Params {
+// elshParams resolves the ELSH parameters: pinned ones pass through,
+// otherwise the adaptive strategy estimates them from the vectors.
+// rows, when non-nil, is the interned row→shape map, making vecs a
+// representative matrix whose logical population is rows — the
+// adaptive choice is identical to the materialized per-row matrix.
+func (inc *Incremental) elshParams(vecs [][]float64, rows []int32, labels int, choice *lsh.AdaptiveChoice, pinned *lsh.Params, isNode bool) lsh.Params {
 	if pinned != nil {
 		p := *pinned
 		if p.Seed == 0 {
@@ -564,9 +748,9 @@ func (inc *Incremental) elshParams(vecs [][]float64, labels int, choice *lsh.Ada
 	}
 	var ch lsh.AdaptiveChoice
 	if isNode {
-		ch = lsh.AdaptiveNodeParams(vecs, labels, inc.opts.Seed+2)
+		ch = lsh.AdaptiveNodeParamsInterned(vecs, rows, labels, inc.opts.Seed+2)
 	} else {
-		ch = lsh.AdaptiveEdgeParams(vecs, labels, inc.opts.Seed+3)
+		ch = lsh.AdaptiveEdgeParamsInterned(vecs, rows, labels, inc.opts.Seed+3)
 	}
 	*choice = ch
 	return inc.withWorkers(ch.Params)
@@ -607,21 +791,40 @@ func nodeTokenSets(nodes []pg.Node, workers int) [][]string {
 	sets := make([][]string, len(nodes))
 	parallel.For(len(nodes), workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			n := &nodes[i]
-			tok := n.LabelToken()
-			keys := n.PropertyKeys()
-			set := make([]string, 0, len(keys)+1)
-			if tok != "" {
-				set = append(set, "\x00label:"+tok)
-				for _, k := range keys {
-					set = append(set, tok+"\x01"+k)
-				}
-			} else {
-				set = append(set, keys...)
-			}
-			sets[i] = set
+			sets[i] = nodeItemSet(&nodes[i])
 		}
 	})
+	return sets
+}
+
+// nodeItemSet builds one node's MinHash item set.
+func nodeItemSet(n *pg.Node) []string {
+	tok := n.LabelToken()
+	keys := n.PropertyKeys()
+	set := make([]string, 0, len(keys)+1)
+	if tok != "" {
+		set = append(set, "\x00label:"+tok)
+		for _, k := range keys {
+			set = append(set, tok+"\x01"+k)
+		}
+	} else {
+		set = append(set, keys...)
+	}
+	return set
+}
+
+// internedNodeSets returns the item set of each distinct node shape,
+// in shape order. Sets depend only on the shape, so they are cached
+// on the cache entry and reused by later batches that see the shape
+// again.
+func internedNodeSets(nodes []pg.Node, si *pg.ShapeIndex) [][]string {
+	sets := make([][]string, si.NumShapes())
+	for s, sh := range si.Shapes {
+		if sh.Items == nil {
+			sh.Items = nodeItemSet(&nodes[si.Reps[s]])
+		}
+		sets[s] = sh.Items
+	}
 	return sets
 }
 
@@ -636,21 +839,39 @@ func edgeTokenSets(edges []pg.Edge, srcToks, dstToks []string, workers int) [][]
 	sets := make([][]string, len(edges))
 	parallel.For(len(edges), workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			e := &edges[i]
-			tok := e.LabelToken()
-			keys := e.PropertyKeys()
-			pattern := tok + "\x01" + srcToks[i] + "\x01" + dstToks[i]
-			set := make([]string, 0, len(keys)+1)
-			if pattern != "\x01\x01" {
-				set = append(set, "\x00pat:"+pattern)
-				for _, k := range keys {
-					set = append(set, pattern+"\x02"+k)
-				}
-			} else {
-				set = append(set, keys...)
-			}
-			sets[i] = set
+			sets[i] = edgeItemSet(&edges[i], srcToks[i], dstToks[i])
 		}
 	})
+	return sets
+}
+
+// edgeItemSet builds one edge's MinHash item set.
+func edgeItemSet(e *pg.Edge, srcTok, dstTok string) []string {
+	tok := e.LabelToken()
+	keys := e.PropertyKeys()
+	pattern := tok + "\x01" + srcTok + "\x01" + dstTok
+	set := make([]string, 0, len(keys)+1)
+	if pattern != "\x01\x01" {
+		set = append(set, "\x00pat:"+pattern)
+		for _, k := range keys {
+			set = append(set, pattern+"\x02"+k)
+		}
+	} else {
+		set = append(set, keys...)
+	}
+	return set
+}
+
+// internedEdgeSets returns the item set of each distinct edge shape,
+// cached across batches like internedNodeSets.
+func internedEdgeSets(edges []pg.Edge, si *pg.ShapeIndex, srcToks, dstToks []string) [][]string {
+	sets := make([][]string, si.NumShapes())
+	for s, sh := range si.Shapes {
+		if sh.Items == nil {
+			r := si.Reps[s]
+			sh.Items = edgeItemSet(&edges[r], srcToks[r], dstToks[r])
+		}
+		sets[s] = sh.Items
+	}
 	return sets
 }

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/pghive/pghive/internal/pg"
+)
+
+// internBatch builds a batch of n nodes and n edges drawn from a
+// fixed, small set of shapes; vals offsets the property values so
+// batches differ in content but not in shape.
+func internBatch(n int, vals int64, index int, resolver *pg.Graph) *pg.Batch {
+	g := pg.NewGraph()
+	g.AllowDanglingEdges(true)
+	var ids []pg.ID
+	for i := 0; i < n; i++ {
+		props := map[string]pg.Value{"v": pg.Int(vals + int64(i))}
+		if i%2 == 0 {
+			props["extra"] = pg.Str("x")
+		}
+		ids = append(ids, g.AddNode([]string{"T"}, props))
+	}
+	for i := 0; i+1 < n; i++ {
+		_, _ = g.AddEdge([]string{"E"}, ids[i], ids[i+1], nil)
+	}
+	return &pg.Batch{Graph: g, Resolver: resolver, Index: index}
+}
+
+// TestIncrementalShapeCacheReuse: a second batch whose elements all
+// have already-seen shapes registers no new cache entries, while its
+// BatchTiming still reports the per-batch distinct counts.
+func TestIncrementalShapeCacheReuse(t *testing.T) {
+	for _, method := range []Method{ELSH, MinHash} {
+		inc := NewIncremental(Options{Seed: 1, Method: method, Parallelism: 1})
+		bt1 := inc.ProcessBatch(internBatch(40, 0, 1, nil))
+		nodeSize, edgeSize := inc.nodeShapes.Size(), inc.edgeShapes.Size()
+		if nodeSize == 0 || bt1.NodeShapes != nodeSize {
+			t.Fatalf("%v: batch 1 node shapes = %d, cache = %d", method, bt1.NodeShapes, nodeSize)
+		}
+		if bt1.Nodes != 40 || bt1.NodeShapes != 2 {
+			t.Fatalf("%v: batch 1 stats = %d nodes / %d shapes, want 40/2", method, bt1.Nodes, bt1.NodeShapes)
+		}
+
+		bt2 := inc.ProcessBatch(internBatch(25, 1000, 2, internBatch(40, 0, 1, nil).Graph))
+		if inc.nodeShapes.Size() != nodeSize {
+			t.Errorf("%v: batch 2 grew the node shape cache: %d -> %d", method, nodeSize, inc.nodeShapes.Size())
+		}
+		if inc.edgeShapes.Size() != edgeSize {
+			t.Errorf("%v: batch 2 grew the edge shape cache: %d -> %d", method, edgeSize, inc.edgeShapes.Size())
+		}
+		if bt2.NodeShapes != 2 {
+			t.Errorf("%v: batch 2 reports %d node shapes, want 2", method, bt2.NodeShapes)
+		}
+
+		// A third batch with one genuinely new shape grows the cache
+		// by exactly one.
+		g := pg.NewGraph()
+		g.AddNode([]string{"NewType"}, nil)
+		inc.ProcessBatch(&pg.Batch{Graph: g, Index: 3})
+		if inc.nodeShapes.Size() != nodeSize+1 {
+			t.Errorf("%v: new shape not registered once: %d -> %d", method, nodeSize, inc.nodeShapes.Size())
+		}
+		inc.Finalize()
+	}
+}
+
+// TestDisableShapeInterningReportsNoShapes: the A/B switch zeroes the
+// shape statistics but — as the equivalence tests at the pghive level
+// prove — never the discovered schema.
+func TestDisableShapeInterningReportsNoShapes(t *testing.T) {
+	inc := NewIncremental(Options{Seed: 1, Parallelism: 1, DisableShapeInterning: true})
+	bt := inc.ProcessBatch(internBatch(30, 0, 1, nil))
+	if bt.NodeShapes != 0 || bt.EdgeShapes != 0 {
+		t.Errorf("disabled interning still reports shapes: %d/%d", bt.NodeShapes, bt.EdgeShapes)
+	}
+	res := inc.Finalize()
+	if res.NodeShapes != 0 || res.EdgeShapes != 0 {
+		t.Errorf("disabled interning accumulated shapes: %d/%d", res.NodeShapes, res.EdgeShapes)
+	}
+	if inc.nodeShapes.Size() != 0 {
+		t.Errorf("disabled interning populated the cache: %d", inc.nodeShapes.Size())
+	}
+}

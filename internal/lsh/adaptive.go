@@ -49,9 +49,22 @@ func alphaForLabels(labels int) float64 {
 
 // estimateMu samples elements per the paper's rule (max of 1% and the
 // 10k floor, capped at N) and returns the mean Euclidean distance over
-// random sampled pairs, plus the sample size.
-func estimateMu(vecs [][]float64, seed int64) (float64, int) {
+// random sampled pairs, plus the sample size. rows, when non-nil, is
+// a row→vector index (the shape-interned per-row view): the logical
+// element i is vecs[rows[i]], so the estimate — including which
+// logical rows the fixed-seed sampling picks — is identical to
+// running over the materialized per-row matrix.
+func estimateMu(vecs [][]float64, rows []int32, seed int64) (float64, int) {
 	n := len(vecs)
+	if rows != nil {
+		n = len(rows)
+	}
+	at := func(i int) []float64 {
+		if rows != nil {
+			return vecs[rows[i]]
+		}
+		return vecs[i]
+	}
 	if n < 2 {
 		return 1, n
 	}
@@ -78,7 +91,7 @@ func estimateMu(vecs [][]float64, seed int64) (float64, int) {
 		if i == j {
 			continue
 		}
-		sum += euclidean(vecs[i], vecs[j])
+		sum += euclidean(at(i), at(j))
 		count++
 	}
 	mu := sum / float64(count)
@@ -101,24 +114,43 @@ func euclidean(a, b []float64) float64 {
 // per §4.2: b = 1.2·µ·α and T = b_base · max(5, α·min(25, log10 N)),
 // rounded and clamped to a practical integer range.
 func AdaptiveNodeParams(vecs [][]float64, distinctLabels int, seed int64) AdaptiveChoice {
-	return adaptiveParams(vecs, distinctLabels, seed, 5, 25)
+	return adaptiveParams(vecs, nil, distinctLabels, seed, 5, 25)
+}
+
+// AdaptiveNodeParamsInterned is AdaptiveNodeParams over a
+// shape-interned matrix: repVecs holds one vector per distinct shape
+// and rows maps each logical row to its shape, so the estimation sees
+// the same element population — and picks the same parameters — as
+// the materialized per-row matrix would, without expanding it.
+func AdaptiveNodeParamsInterned(repVecs [][]float64, rows []int32, distinctLabels int, seed int64) AdaptiveChoice {
+	return adaptiveParams(repVecs, rows, distinctLabels, seed, 5, 25)
 }
 
 // AdaptiveEdgeParams derives (b, T) for edge clustering; the paper
 // uses slightly smaller floors for edges (max(3, α·min(20, log10 E)))
 // because edge vectors are more expressive (three embeddings).
 func AdaptiveEdgeParams(vecs [][]float64, distinctLabels int, seed int64) AdaptiveChoice {
-	return adaptiveParams(vecs, distinctLabels, seed, 3, 20)
+	return adaptiveParams(vecs, nil, distinctLabels, seed, 3, 20)
 }
 
-func adaptiveParams(vecs [][]float64, distinctLabels int, seed int64, tFloor, tCap float64) AdaptiveChoice {
-	mu, sample := estimateMu(vecs, seed)
+// AdaptiveEdgeParamsInterned is AdaptiveEdgeParams over a
+// shape-interned matrix (see AdaptiveNodeParamsInterned).
+func AdaptiveEdgeParamsInterned(repVecs [][]float64, rows []int32, distinctLabels int, seed int64) AdaptiveChoice {
+	return adaptiveParams(repVecs, rows, distinctLabels, seed, 3, 20)
+}
+
+func adaptiveParams(vecs [][]float64, rows []int32, distinctLabels int, seed int64, tFloor, tCap float64) AdaptiveChoice {
+	mu, sample := estimateMu(vecs, rows, seed)
 	bBase := 1.2 * mu
 	alpha := alphaForLabels(distinctLabels)
 	b := bBase * alpha
 
+	n := len(vecs)
+	if rows != nil {
+		n = len(rows)
+	}
 	logN := 0.0
-	if n := len(vecs); n > 1 {
+	if n > 1 {
 		logN = math.Log10(float64(n))
 	}
 	tf := bBase * math.Max(tFloor, alpha*math.Min(tCap, logN))

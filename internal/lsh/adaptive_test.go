@@ -28,7 +28,7 @@ func TestEstimateMu(t *testing.T) {
 	for i := range vecs {
 		vecs[i] = []float64{float64(i % 2 * 2)} // 0 or 2
 	}
-	mu, sample := estimateMu(vecs, 1)
+	mu, sample := estimateMu(vecs, nil, 1)
 	if sample != 200 {
 		t.Errorf("sample = %d, want full population below floor", sample)
 	}
@@ -40,15 +40,15 @@ func TestEstimateMu(t *testing.T) {
 }
 
 func TestEstimateMuDegenerate(t *testing.T) {
-	if mu, _ := estimateMu(nil, 1); mu != 1 {
+	if mu, _ := estimateMu(nil, nil, 1); mu != 1 {
 		t.Errorf("empty input mu = %v, want fallback 1", mu)
 	}
-	if mu, _ := estimateMu([][]float64{{5}}, 1); mu != 1 {
+	if mu, _ := estimateMu([][]float64{{5}}, nil, 1); mu != 1 {
 		t.Errorf("single-element mu = %v, want fallback 1", mu)
 	}
 	// Identical points: mu must not be zero (division guard).
 	same := [][]float64{{1, 2}, {1, 2}, {1, 2}}
-	mu, _ := estimateMu(same, 1)
+	mu, _ := estimateMu(same, nil, 1)
 	if mu <= 0 {
 		t.Errorf("identical points mu = %v, want > 0", mu)
 	}

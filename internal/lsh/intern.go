@@ -1,0 +1,25 @@
+package lsh
+
+// Broadcast expands a clustering of shape representatives to a
+// per-row clustering through the row→shape map: row i gets the
+// cluster of its shape rowShape[i]. It is the reference form of the
+// interning contract — the pipeline inlines the same indexing
+// (Assign[rowShape[row]]) instead of materializing the per-row
+// slice, and the equivalence tests pin the two against each other.
+//
+// Same-shape rows carry byte-identical vectors or token sets, so in a
+// non-interned run they collide in every band and always land in one
+// cluster; clustering only the representatives (weighted by their
+// occurrence counts — the weights cannot change bucketing, only the
+// statistics fed downstream) therefore produces the exact same
+// partition. Cluster labels also coincide: components are labeled by
+// first occurrence, and representatives are ordered by the first
+// occurrence of their shape, so label k of the representative run is
+// label k of the full run.
+func Broadcast(rep *Clustering, rowShape []int32) *Clustering {
+	assign := make([]int, len(rowShape))
+	for i, s := range rowShape {
+		assign[i] = rep.Assign[s]
+	}
+	return &Clustering{Assign: assign, NumClusters: rep.NumClusters}
+}

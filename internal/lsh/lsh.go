@@ -84,6 +84,19 @@ func (c *Clustering) Members() [][]int {
 // computation is sharded by row across p.Workers goroutines; the
 // result is identical for every worker count.
 func ClusterEuclidean(vecs [][]float64, p Params) *Clustering {
+	return ClusterEuclideanSparse(vecs, 0, nil, p)
+}
+
+// ClusterEuclideanSparse is ClusterEuclidean for hybrid rows whose
+// tail past binStart is binary with the set positions listed,
+// ascending, in bits (§4.1's property-presence block). The projection
+// accumulates the dense prefix normally and then adds only the
+// projection entries at set bits, skipping the zero tail; because the
+// skipped terms are exact zeros and the set bits contribute a[j]·1 in
+// the same ascending order, every hash value — and therefore the
+// clustering — is bit-identical to the dense path. bits == nil falls
+// back to fully dense rows.
+func ClusterEuclideanSparse(vecs [][]float64, binStart int, bits [][]int32, p Params) *Clustering {
 	n := len(vecs)
 	if n == 0 {
 		return &Clustering{Assign: []int{}, NumClusters: 0}
@@ -116,11 +129,20 @@ func ClusterEuclidean(vecs [][]float64, p Params) *Clustering {
 		sig := make([]int64, p.Tables)
 		for row := lo; row < hi; row++ {
 			v := vecs[row]
+			dense := v
+			if bits != nil {
+				dense = v[:binStart]
+			}
 			for t := 0; t < p.Tables; t++ {
 				a := proj[t*dim : (t+1)*dim]
 				var dot float64
-				for d, x := range v {
+				for d, x := range dense {
 					dot += a[d] * x
+				}
+				if bits != nil {
+					for _, j := range bits[row] {
+						dot += a[binStart+int(j)]
+					}
 				}
 				sig[t] = int64(math.Floor((dot + offsets[t]) / p.BucketLength))
 			}
@@ -236,15 +258,20 @@ func bandedComponents(n, bands int, keys []uint64) *Clustering {
 }
 
 // mixInts hashes a slice of int64 hash values into one 64-bit bucket
-// key (FNV-1a over the little-endian bytes, seeded per band).
+// key, consuming each value in one splitmix64-style round — 8 bytes
+// at a time instead of the byte-at-a-time FNV inner loop this
+// replaced. Keys are only compared for equality, so any injective-in-
+// practice mixer yields the same clustering; TestMixIntsClusteringEquivalence
+// pins that against the FNV reference on fixed seeds.
 func mixInts(seed uint64, vals []int64) uint64 {
 	h := seed ^ 14695981039346656037
 	for _, v := range vals {
-		u := uint64(v)
-		for b := 0; b < 8; b++ {
-			h ^= (u >> (8 * b)) & 0xff
-			h *= 1099511628211
-		}
+		h ^= uint64(v)
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
 	}
 	return h
 }

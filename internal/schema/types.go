@@ -221,10 +221,25 @@ func (t *Type) HasLabel(l string) bool { return t.Labels[l] > 0 }
 
 // observe tallies one instance's labels and properties.
 func (t *Type) observe(labels []string, props map[string]pg.Value) {
-	t.Instances++
+	t.observeShape(labels, 1)
+	t.observeProps(props)
+}
+
+// observeShape tallies count instances sharing one label set at once —
+// the shape-interned bulk form of the label half of observe. Label and
+// instance counts are plain sums, so the weighted form is exactly
+// equivalent to count repeated observations.
+func (t *Type) observeShape(labels []string, count int) {
+	t.Instances += count
 	for _, l := range labels {
-		t.Labels[l]++
+		t.Labels[l] += count
 	}
+}
+
+// observeProps tallies one instance's property values. Values vary
+// within a shape, so the interned builders still observe them per
+// element.
+func (t *Type) observeProps(props map[string]pg.Value) {
 	for k, v := range props {
 		ps := t.Props[k]
 		if ps == nil {

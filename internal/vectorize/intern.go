@@ -1,0 +1,63 @@
+package vectorize
+
+import "github.com/pghive/pghive/internal/pg"
+
+// Interned vectorization: same-shape elements (same label set,
+// property-key set, and — for edges — endpoint tokens) produce
+// byte-identical representation vectors, so the pipeline vectorizes
+// only the first occurrence of each shape and shares the row. The
+// ShapeIndex carries the row→shape map used to expand per-row views
+// and to broadcast cluster assignments.
+
+// NodesInterned vectorizes only the shape representatives of nodes:
+// one matrix row per distinct shape, in first-occurrence order. Row s
+// of the result is byte-identical to row si.Reps[s] of the
+// non-interned matrix.
+func NodesInterned(nodes []pg.Node, si *pg.ShapeIndex, keys []string, emb Embedder, workers int) *Matrix {
+	reps := make([]pg.Node, si.NumShapes())
+	for s, r := range si.Reps {
+		reps[s] = nodes[r]
+	}
+	return NodesParallel(reps, keys, emb, workers)
+}
+
+// EdgesInterned vectorizes only the shape representatives of edges,
+// gathering the representatives' endpoint tokens from the per-row
+// slices.
+func EdgesInterned(edges []pg.Edge, si *pg.ShapeIndex, keys []string, emb Embedder, srcToks, dstToks []string, workers int) *Matrix {
+	n := si.NumShapes()
+	reps := make([]pg.Edge, n)
+	rsrc := make([]string, n)
+	rdst := make([]string, n)
+	for s, r := range si.Reps {
+		reps[s] = edges[r]
+		rsrc[s] = srcToks[r]
+		rdst[s] = dstToks[r]
+	}
+	return EdgesParallel(reps, keys, emb, rsrc, rdst, workers)
+}
+
+// Expand returns a per-row vector view over representative rows: row i
+// of the result aliases repVecs[rows[i]]. It is the reference form of
+// the per-row view the interned matrix stands for; the pipeline's
+// adaptive parameter estimation indexes through the row→shape map
+// directly (lsh.AdaptiveNodeParamsInterned) instead of materializing
+// it, and the tests compare against this expansion.
+func Expand(repVecs [][]float64, rows []int32) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i, s := range rows {
+		out[i] = repVecs[s]
+	}
+	return out
+}
+
+// sortBits sorts a row's set-bit positions ascending. Per-row bit
+// counts are small, where insertion sort beats sort.Slice and
+// allocates nothing.
+func sortBits(bits []int32) {
+	for i := 1; i < len(bits); i++ {
+		for j := i; j > 0 && bits[j] < bits[j-1]; j-- {
+			bits[j], bits[j-1] = bits[j-1], bits[j]
+		}
+	}
+}

@@ -80,6 +80,13 @@ type Matrix struct {
 	Keys []string
 	// EmbedDim is the width of each embedding block (d).
 	EmbedDim int
+	// BinStart is the offset where the binary property block begins
+	// (d for nodes, 3d for edges).
+	BinStart int
+	// Bits lists, per row, the set positions of the binary block in
+	// ascending order — the sparse view ELSH hashing iterates instead
+	// of the mostly-zero dense tail.
+	Bits [][]int32
 }
 
 // Rows returns the number of vectorized elements.
@@ -103,12 +110,40 @@ func (m *Matrix) Dim() int {
 // multiplicity, so corpus size scales with the number of distinct
 // patterns rather than with graph size.
 func BuildCorpus(g *pg.Graph) [][]string {
+	return buildCorpus(g, nil, nil, nil)
+}
+
+// BuildCorpusInterned is BuildCorpus with the node sentences derived
+// from the batch's distinct node shapes (one count-weighted addition
+// per shape instead of one per node; a node's sentence — label token
+// plus property keys — is exactly its shape), and with the edge
+// endpoint tokens supplied by the pipeline's endpoint pass instead of
+// re-resolved here. srcToks/dstToks must carry the tokens of the
+// endpoints' labels in g itself ("" for endpoints not in g), aligned
+// with g.Edges(); nil slices fall back to resolving against g. The
+// resulting corpus is byte-identical to the non-interned one.
+func BuildCorpusInterned(g *pg.Graph, nodeSI *pg.ShapeIndex, srcToks, dstToks []string) [][]string {
+	return buildCorpus(g, nodeSI, srcToks, dstToks)
+}
+
+func buildCorpus(g *pg.Graph, nodeSI *pg.ShapeIndex, srcToks, dstToks []string) [][]string {
 	type sent struct {
 		words []string
 		count int
 	}
 	seen := map[string]*sent{}
-	add := func(words []string) {
+	// One key buffer reused across sentences: the map reads below
+	// convert it without allocating, so only first-seen sentences pay
+	// for a key copy.
+	var keyBuf []byte
+	sentKey := func(words []string) {
+		keyBuf = keyBuf[:0]
+		for _, w := range words {
+			keyBuf = append(keyBuf, w...)
+			keyBuf = append(keyBuf, '\x1f')
+		}
+	}
+	add := func(words []string, count int) {
 		nonEmpty := 0
 		for _, w := range words {
 			if w != "" {
@@ -118,33 +153,63 @@ func BuildCorpus(g *pg.Graph) [][]string {
 		if nonEmpty < 2 {
 			return
 		}
-		key := ""
-		for _, w := range words {
-			key += w + "\x1f"
-		}
-		if s, ok := seen[key]; ok {
-			s.count++
+		sentKey(words)
+		if s, ok := seen[string(keyBuf)]; ok {
+			s.count += count
 			return
 		}
-		seen[key] = &sent{words: words, count: 1}
+		seen[string(keyBuf)] = &sent{words: words, count: count}
 	}
 
 	nodes := g.Nodes()
-	for i := range nodes {
-		n := &nodes[i]
-		tok := n.LabelToken()
-		if tok == "" {
-			continue
+	if nodeSI != nil {
+		for s, rep := range nodeSI.Reps {
+			n := &nodes[rep]
+			tok := n.LabelToken()
+			if tok == "" {
+				continue
+			}
+			add(append([]string{tok}, n.PropertyKeys()...), int(nodeSI.Counts[s]))
 		}
-		words := append([]string{tok}, n.PropertyKeys()...)
-		add(words)
+	} else {
+		for i := range nodes {
+			n := &nodes[i]
+			tok := n.LabelToken()
+			if tok == "" {
+				continue
+			}
+			add(append([]string{tok}, n.PropertyKeys()...), 1)
+		}
 	}
 	edges := g.Edges()
 	for i := range edges {
 		e := &edges[i]
-		src := pg.LabelToken(g.SrcLabels(e))
-		dst := pg.LabelToken(g.DstLabels(e))
-		add([]string{src, e.LabelToken(), dst})
+		var src, dst string
+		if srcToks != nil {
+			src, dst = srcToks[i], dstToks[i]
+		} else {
+			src = pg.LabelToken(g.SrcLabels(e))
+			dst = pg.LabelToken(g.DstLabels(e))
+		}
+		etok := e.LabelToken()
+		// Inlined add() over the three scalars, so duplicate edge
+		// sentences — the overwhelming majority — allocate nothing.
+		nonEmpty := 0
+		for _, w := range [...]string{src, etok, dst} {
+			if w != "" {
+				nonEmpty++
+			}
+		}
+		if nonEmpty < 2 {
+			continue
+		}
+		keyBuf = append(append(append(append(append(append(keyBuf[:0],
+			src...), '\x1f'), etok...), '\x1f'), dst...), '\x1f')
+		if s, ok := seen[string(keyBuf)]; ok {
+			s.count++
+			continue
+		}
+		seen[string(keyBuf)] = &sent{words: []string{src, etok, dst}, count: 1}
 	}
 
 	keys := make([]string, 0, len(seen))
@@ -190,6 +255,8 @@ func NodesParallel(nodes []pg.Node, keys []string, emb Embedder, workers int) *M
 		Vecs:     make([][]float64, len(nodes)),
 		Keys:     keys,
 		EmbedDim: d,
+		BinStart: d,
+		Bits:     make([][]int32, len(nodes)),
 	}
 	for i := range nodes {
 		m.Tokens[i] = nodes[i].LabelToken()
@@ -201,13 +268,17 @@ func NodesParallel(nodes []pg.Node, keys []string, emb Embedder, workers int) *M
 			n := &nodes[i]
 			row := backing[i*width : (i+1)*width]
 			copy(row[:d], tokVecs[m.Tokens[i]])
+			bits := make([]int32, 0, len(n.Props))
 			for k := range n.Props {
 				if j, ok := keyIdx[k]; ok {
 					row[d+j] = 1
+					bits = append(bits, int32(j))
 				}
 			}
+			sortBits(bits)
 			m.IDs[i] = n.ID
 			m.Vecs[i] = row
+			m.Bits[i] = bits
 		}
 	})
 	return m
@@ -252,6 +323,8 @@ func EdgesParallel(edges []pg.Edge, keys []string, emb Embedder, srcToks, dstTok
 		Vecs:     make([][]float64, len(edges)),
 		Keys:     keys,
 		EmbedDim: d,
+		BinStart: 3 * d,
+		Bits:     make([][]int32, len(edges)),
 	}
 	for i := range edges {
 		m.Tokens[i] = edges[i].LabelToken()
@@ -269,13 +342,17 @@ func EdgesParallel(edges []pg.Edge, keys []string, emb Embedder, srcToks, dstTok
 			copy(row[:d], tokVecs[m.Tokens[i]])
 			copy(row[d:2*d], tokVecs[srcToks[i]])
 			copy(row[2*d:3*d], tokVecs[dstToks[i]])
+			bits := make([]int32, 0, len(e.Props))
 			for k := range e.Props {
 				if j, ok := keyIdx[k]; ok {
 					row[3*d+j] = 1
+					bits = append(bits, int32(j))
 				}
 			}
+			sortBits(bits)
 			m.IDs[i] = e.ID
 			m.Vecs[i] = row
+			m.Bits[i] = bits
 		}
 	})
 	return m

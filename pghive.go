@@ -144,6 +144,8 @@ type (
 	Incremental = core.Incremental
 	// Method selects the LSH clustering scheme.
 	Method = core.Method
+	// EmbeddingMode selects how label tokens are embedded for ELSH.
+	EmbeddingMode = core.EmbeddingMode
 	// Timing breaks a run into pipeline phases.
 	Timing = core.Timing
 	// LSHParams pins explicit LSH parameters (overriding §4.2's
@@ -161,6 +163,14 @@ const (
 	ELSH = core.ELSH
 	// MinHash selects MinHash LSH over label/property token sets.
 	MinHash = core.MinHash
+)
+
+// Embedding modes.
+const (
+	// EmbedWord2Vec trains a skip-gram model per batch (the default).
+	EmbedWord2Vec = core.EmbedWord2Vec
+	// EmbedHashed derives deterministic hash-based vectors per token.
+	EmbedHashed = core.EmbedHashed
 )
 
 // Discover runs the full PG-HIVE pipeline (Algorithm 1) over a graph.

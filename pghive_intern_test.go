@@ -1,0 +1,129 @@
+// pghive_intern_test.go proves the shape-interning contract: for a
+// fixed seed, discovery with interning on (the default) is
+// byte-identical to discovery with Options.DisableShapeInterning —
+// the same schema, the same per-element type assignments, the same
+// cluster counts — for both clustering methods, every Parallelism
+// value, and in incremental mode. Run with -race to also verify the
+// interned sharding.
+package pghive_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	pghive "github.com/pghive/pghive"
+	"github.com/pghive/pghive/internal/datagen"
+)
+
+// assignSnapshot renders every per-element assignment (node and edge
+// ID → assigned type), so comparisons catch even a single element
+// moving between types of the same name.
+func assignSnapshot(res *pghive.Result) string {
+	var sb strings.Builder
+	lines := make([]string, 0, len(res.NodeAssign)+len(res.EdgeAssign))
+	for id, ty := range res.NodeAssign {
+		lines = append(lines, fmt.Sprintf("n%d=%d/%s", id, ty.ID, ty.Name()))
+	}
+	for id, ty := range res.EdgeAssign {
+		lines = append(lines, fmt.Sprintf("e%d=%d/%s", id, ty.ID, ty.Name()))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// fullSnapshot is the schema snapshot plus all per-element
+// assignments.
+func fullSnapshot(res *pghive.Result) string {
+	return snapshot(res) + "\n" + assignSnapshot(res)
+}
+
+// TestInterningEquivalence: interned and non-interned discovery are
+// byte-identical across datasets, methods, and worker counts.
+func TestInterningEquivalence(t *testing.T) {
+	for _, ds := range []string{"POLE", "LDBC", "ICIJ"} {
+		base := datagen.Generate(datagen.ByName(ds), 0.25, 1)
+		noisy := datagen.InjectNoise(base, 0.2, 0.7, 7)
+		for _, method := range []pghive.Method{pghive.ELSH, pghive.MinHash} {
+			for _, p := range append([]int{1}, parallelisms()...) {
+				opts := pghive.Options{Seed: 1, Method: method, Parallelism: p}
+				opts.DisableShapeInterning = true
+				want := fullSnapshot(pghive.Discover(noisy.Graph, opts))
+				opts.DisableShapeInterning = false
+				res := pghive.Discover(noisy.Graph, opts)
+				if got := fullSnapshot(res); got != want {
+					t.Errorf("%s/%v/parallelism=%d: interned discovery diverged from non-interned", ds, method, p)
+				}
+				if res.NodeShapes == 0 || res.NodeShapes > noisy.Graph.NumNodes() {
+					t.Errorf("%s/%v: implausible distinct node shape count %d", ds, method, res.NodeShapes)
+				}
+			}
+		}
+	}
+}
+
+// TestInterningEquivalencePinnedParams repeats the check with pinned
+// LSH parameters (the adaptive estimation bypassed), covering the
+// other parameterization path.
+func TestInterningEquivalencePinnedParams(t *testing.T) {
+	base := datagen.Generate(datagen.ByName("POLE"), 0.25, 1)
+	noisy := datagen.InjectNoise(base, 0.2, 0.7, 7)
+	params := &pghive.LSHParams{Tables: 12, BucketLength: 4}
+	for _, method := range []pghive.Method{pghive.ELSH, pghive.MinHash} {
+		opts := pghive.Options{Seed: 1, Method: method, Parallelism: 1}
+		opts.NodeParams, opts.EdgeParams = params, params
+		opts.DisableShapeInterning = true
+		want := fullSnapshot(pghive.Discover(noisy.Graph, opts))
+		opts.DisableShapeInterning = false
+		if got := fullSnapshot(pghive.Discover(noisy.Graph, opts)); got != want {
+			t.Errorf("%v: interned discovery diverged under pinned params", method)
+		}
+	}
+}
+
+// TestInterningEquivalenceIncremental: the same 6-batch stream evolves
+// the exact same schema with interning on and off — including the
+// cross-batch shape cache path where batch n reuses shapes first seen
+// in earlier batches.
+func TestInterningEquivalenceIncremental(t *testing.T) {
+	base := datagen.Generate(datagen.ByName("LDBC"), 0.25, 1)
+	noisy := datagen.InjectNoise(base, 0.2, 0.7, 7)
+	for _, method := range []pghive.Method{pghive.ELSH, pghive.MinHash} {
+		run := func(disable bool, p int) string {
+			opts := pghive.Options{Seed: 1, Method: method, Parallelism: p}
+			opts.DisableShapeInterning = disable
+			inc := pghive.NewIncremental(opts)
+			for _, batch := range pghive.SplitBatches(noisy.Graph, 6, rand.New(rand.NewSource(21))) {
+				inc.ProcessBatch(batch)
+			}
+			return fullSnapshot(inc.Finalize())
+		}
+		want := run(true, 1)
+		for _, p := range append([]int{1}, parallelisms()...) {
+			if got := run(false, p); got != want {
+				t.Errorf("%v: incremental interned run (parallelism %d) diverged", method, p)
+			}
+		}
+	}
+}
+
+// TestInterningEquivalenceHashedEmbedding covers the EmbedHashed
+// embedding mode on heavily label-dropped data, where many elements
+// share the unlabeled shapes.
+func TestInterningEquivalenceHashedEmbedding(t *testing.T) {
+	base := datagen.Generate(datagen.ByName("MB6"), 0.25, 1)
+	noisy := datagen.InjectNoise(base, 0.3, 0.5, 7)
+	opts := pghive.Options{Seed: 1, Embedding: pghive.EmbedHashed}
+	opts.DisableShapeInterning = true
+	want := fullSnapshot(pghive.Discover(noisy.Graph, opts))
+	opts.DisableShapeInterning = false
+	if got := fullSnapshot(pghive.Discover(noisy.Graph, opts)); got != want {
+		t.Error("hashed-embedding interned discovery diverged")
+	}
+}
