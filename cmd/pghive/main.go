@@ -17,11 +17,14 @@
 //	pghive -dataset MB6 -export mb6.jsonl      # dump a dataset
 //	pghive -dataset LDBC -schema-out s.json    # persist the schema
 //	pghive -dataset LDBC -schema-in s.json -validate strict
+//	pghive -input huge.jsonl -stream -batch-size 10000   # bounded memory
+//	pghive -input delta.jsonl -stream -schema-in s.json  # incremental maintenance
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strings"
@@ -52,6 +55,8 @@ func main() {
 		tables    = flag.Int("tables", 0, "pin LSH table count T (0 = adaptive)")
 		bucket    = flag.Float64("bucket", 0, "pin ELSH bucket length b (0 = adaptive)")
 		batches   = flag.Int("batches", 1, "process the graph incrementally in N random batches")
+		stream    = flag.Bool("stream", false, "stream -input / -nodes-csv in bounded batches instead of materializing the graph (see -batch-size)")
+		batchSize = flag.Int("batch-size", 0, "elements per streamed batch (0 = default 8192); only with -stream")
 		stats     = flag.Bool("stats", true, "print run statistics to stderr")
 		export    = flag.String("export", "", "write the (noisy) input graph as JSONL to this file and exit")
 		alignFlag = flag.Bool("align", false, "semantically align synonym labels after discovery")
@@ -60,30 +65,6 @@ func main() {
 		schemaIn  = flag.String("schema-in", "", "resume from a persisted schema before processing")
 	)
 	flag.Parse()
-
-	g, err := loadGraph(*input, *nodesCSV, *edgesCSV, *dataset, *scale, *noise, *labels, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pghive:", err)
-		os.Exit(1)
-	}
-
-	if *export != "" {
-		f, err := os.Create(*export)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pghive:", err)
-			os.Exit(1)
-		}
-		if err := pghive.WriteJSONL(f, g); err != nil {
-			fmt.Fprintln(os.Stderr, "pghive:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "pghive:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %d nodes, %d edges to %s\n", g.NumNodes(), g.NumEdges(), *export)
-		return
-	}
 
 	opts := pghive.Options{Seed: *seed, Theta: *theta, Parallelism: *parallel, DisableShapeInterning: *noIntern}
 	switch strings.ToLower(*method) {
@@ -114,6 +95,72 @@ func main() {
 		}
 	}
 
+	if *batchSize != 0 && !*stream {
+		fmt.Fprintln(os.Stderr, "pghive: -batch-size only applies to -stream runs")
+		os.Exit(2)
+	}
+	if *stream {
+		for _, c := range []struct {
+			flag string
+			set  bool
+		}{
+			{"-dataset", *dataset != ""},
+			{"-export", *export != ""},
+			{"-align", *alignFlag},
+			{"-validate", *validateF != ""},
+			{"-batches", *batches > 1},
+		} {
+			if c.set {
+				fmt.Fprintf(os.Stderr, "pghive: %s needs the whole graph in memory and cannot be combined with -stream\n", c.flag)
+				os.Exit(2)
+			}
+		}
+		res, elapsed, err := discoverStream(*input, *nodesCSV, *edgesCSV, *batchSize, opts, resume, *stats)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pghive:", err)
+			os.Exit(1)
+		}
+		if *schemaOut != "" {
+			persistSchema(*schemaOut, res.Schema)
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "schema: %d node types, %d edge types (raw clusters: %d nodes, %d edges)\n",
+				len(res.Schema.NodeTypes), len(res.Schema.EdgeTypes), res.NodeClusters, res.EdgeClusters)
+			fmt.Fprintf(os.Stderr, "time: %v total (preprocess %v, cluster %v, extract %v, post %v)\n",
+				elapsed.Round(time.Millisecond),
+				res.Timing.Preprocess.Round(time.Millisecond),
+				res.Timing.Cluster.Round(time.Millisecond),
+				res.Timing.Extract.Round(time.Millisecond),
+				res.Timing.PostProcess.Round(time.Millisecond))
+		}
+		printSchema(*format, *mode, *name, res.Schema)
+		return
+	}
+
+	g, err := loadGraph(*input, *nodesCSV, *edgesCSV, *dataset, *scale, *noise, *labels, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pghive:", err)
+		os.Exit(1)
+	}
+
+	if *export != "" {
+		f, err := os.Create(*export)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pghive:", err)
+			os.Exit(1)
+		}
+		if err := pghive.WriteJSONL(f, g); err != nil {
+			fmt.Fprintln(os.Stderr, "pghive:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "pghive:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d nodes, %d edges to %s\n", g.NumNodes(), g.NumEdges(), *export)
+		return
+	}
+
 	start := time.Now()
 	res := discover(g, opts, *batches, *seed, resume)
 	elapsed := time.Since(start)
@@ -142,19 +189,7 @@ func main() {
 	}
 
 	if *schemaOut != "" {
-		f, err := os.Create(*schemaOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pghive:", err)
-			os.Exit(1)
-		}
-		if err := pghive.WriteSchemaJSON(f, res.Schema); err != nil {
-			fmt.Fprintln(os.Stderr, "pghive:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "pghive:", err)
-			os.Exit(1)
-		}
+		persistSchema(*schemaOut, res.Schema)
 	}
 
 	if *stats {
@@ -179,21 +214,132 @@ func main() {
 			res.Timing.PostProcess.Round(time.Millisecond))
 	}
 
-	switch strings.ToLower(*format) {
+	printSchema(*format, *mode, *name, res.Schema)
+}
+
+// printSchema emits the discovered schema on stdout in the selected
+// serialization format.
+func printSchema(format, mode, name string, s *pghive.Schema) {
+	switch strings.ToLower(format) {
 	case "pgschema":
 		m := pghive.Strict
-		if strings.ToLower(*mode) == "loose" {
+		if strings.ToLower(mode) == "loose" {
 			m = pghive.Loose
 		}
-		fmt.Print(pghive.PGSchema(res.Schema, m, *name))
+		fmt.Print(pghive.PGSchema(s, m, name))
 	case "xsd":
-		fmt.Print(pghive.XSD(res.Schema))
+		fmt.Print(pghive.XSD(s))
 	case "dot":
-		fmt.Print(pghive.DOT(res.Schema, *name))
+		fmt.Print(pghive.DOT(s, name))
 	case "none":
 	default:
-		fmt.Fprintf(os.Stderr, "pghive: unknown format %q\n", *format)
+		fmt.Fprintf(os.Stderr, "pghive: unknown format %q\n", format)
 		os.Exit(2)
+	}
+}
+
+// persistSchema writes the schema (with statistics) as JSON.
+func persistSchema(path string, s *pghive.Schema) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pghive:", err)
+		os.Exit(1)
+	}
+	if err := pghive.WriteSchemaJSON(f, s); err != nil {
+		fmt.Fprintln(os.Stderr, "pghive:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "pghive:", err)
+		os.Exit(1)
+	}
+}
+
+// discoverStream builds a StreamReader over the input files and
+// drives incremental discovery through it in bounded batches,
+// printing a per-batch cost line when stats is set. resume, when
+// non-nil, continues from a persisted schema (incremental
+// maintenance: only the delta streams through the pipeline).
+func discoverStream(input, nodesCSV, edgesCSV string, batchSize int, opts pghive.Options, resume *pghive.Schema, stats bool) (*pghive.Result, time.Duration, error) {
+	var files []*os.File
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	open := func(paths string) ([]io.Reader, error) {
+		var rs []io.Reader
+		for _, p := range strings.Split(paths, ",") {
+			f, err := os.Open(p)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+			rs = append(rs, f)
+		}
+		return rs, nil
+	}
+
+	var r pghive.StreamReader
+	switch {
+	case input != "" && nodesCSV != "":
+		return nil, 0, fmt.Errorf("-input and -nodes-csv are mutually exclusive")
+	case input != "":
+		// -input is a single path (no comma splitting), exactly like
+		// the one-shot path treats it.
+		f, err := os.Open(input)
+		if err != nil {
+			return nil, 0, err
+		}
+		files = append(files, f)
+		r = pghive.NewJSONLStream(f, batchSize)
+	case nodesCSV != "":
+		nodes, err := open(nodesCSV)
+		if err != nil {
+			return nil, 0, err
+		}
+		var edges []io.Reader
+		if edgesCSV != "" {
+			if edges, err = open(edgesCSV); err != nil {
+				return nil, 0, err
+			}
+		}
+		r = pghive.NewCSVStream(nodes, edges, batchSize)
+	default:
+		return nil, 0, fmt.Errorf("-stream needs -input FILE or -nodes-csv FILES")
+	}
+
+	// A nil onBatch also spares DrainStream its per-batch MemStats
+	// reads when nobody prints them.
+	var onBatch func(bt pghive.BatchTiming)
+	if stats {
+		onBatch = func(bt pghive.BatchTiming) {
+			fmt.Fprintf(os.Stderr, "batch %d: %v, %d nodes + %d edges, alloc %s, live heap %s\n",
+				bt.Index, bt.Timing.Discovery().Round(time.Millisecond),
+				bt.Nodes, bt.Edges, fmtBytes(bt.AllocBytes), fmtBytes(bt.HeapLiveBytes))
+		}
+	}
+
+	start := time.Now()
+	inc := pghive.ResumeIncremental(opts, resume)
+	if err := inc.DrainStream(r, onBatch); err != nil {
+		return nil, 0, err
+	}
+	res := inc.Finalize()
+	return res, time.Since(start), nil
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
 	}
 }
 

@@ -1,0 +1,76 @@
+// Streaming demonstrates bounded-memory ingestion: a social-network
+// dataset is exported to a JSONL file, then discovered by streaming
+// the file back through pghive.DiscoverStream in small batches —
+// without ever materializing the whole graph. The per-batch table
+// shows that live heap stays flat as batches pass through (the
+// stream holds one batch plus label-only endpoint bookkeeping), and
+// the final schema is bit-identical to a one-shot Discover over the
+// same data. Run with:
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	pghive "github.com/pghive/pghive"
+	"github.com/pghive/pghive/internal/datagen"
+)
+
+const (
+	scale     = 0.5
+	seed      = 42
+	batchSize = 500
+)
+
+func main() {
+	// Build the dataset once and write it to disk: from here on the
+	// streaming path only ever sees the file.
+	d := datagen.Generate(datagen.LDBC(), scale, seed)
+	f, err := os.CreateTemp("", "pghive-stream-*.jsonl")
+	check(err)
+	defer os.Remove(f.Name())
+	check(pghive.WriteJSONL(f, d.Graph))
+	check(f.Close())
+	fi, err := os.Stat(f.Name())
+	check(err)
+	fmt.Printf("exported %d nodes + %d edges (%d KiB) to %s\n\n",
+		d.Graph.NumNodes(), d.Graph.NumEdges(), fi.Size()/1024, f.Name())
+
+	// Stream it back in batches of batchSize elements.
+	in, err := os.Open(f.Name())
+	check(err)
+	defer in.Close()
+
+	fmt.Printf("%-6s %10s %10s %12s %12s %12s\n",
+		"batch", "nodes", "edges", "time", "alloc", "live heap")
+	res, err := pghive.DiscoverStream(
+		pghive.NewJSONLStream(in, batchSize),
+		pghive.Options{Seed: seed},
+		func(bt pghive.BatchTiming) {
+			fmt.Printf("%-6d %10d %10d %12s %11dK %11dK\n",
+				bt.Index, bt.Nodes, bt.Edges,
+				bt.Timing.Discovery().Round(100*time.Microsecond),
+				bt.AllocBytes/1024, bt.HeapLiveBytes/1024)
+		})
+	check(err)
+
+	fmt.Printf("\nstreamed schema: %d node types, %d edge types\n",
+		len(res.Schema.NodeTypes), len(res.Schema.EdgeTypes))
+
+	// The streamed schema is bit-identical to a one-shot run over the
+	// fully materialized graph: batching changes memory, not results.
+	one := pghive.Discover(d.Graph, pghive.Options{Seed: seed})
+	streamed := pghive.PGSchema(res.Schema, pghive.Strict, "G")
+	oneShot := pghive.PGSchema(one.Schema, pghive.Strict, "G")
+	fmt.Printf("bit-identical to one-shot Discover: %v\n", streamed == oneShot)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streaming:", err)
+		os.Exit(1)
+	}
+}

@@ -6,6 +6,8 @@
 package core
 
 import (
+	"io"
+	"runtime"
 	"time"
 
 	"github.com/pghive/pghive/internal/infer"
@@ -311,7 +313,8 @@ func ResumeIncremental(opts Options, s *schema.Schema) *Incremental {
 func (inc *Incremental) Schema() *schema.Schema { return inc.sch }
 
 // BatchTiming is the per-batch cost record used by the Fig. 7
-// experiment, plus the batch's interning statistics.
+// experiment, plus the batch's interning statistics and — when the
+// batch came through DrainStream — its memory accounting.
 type BatchTiming struct {
 	Index  int
 	Timing Timing
@@ -323,6 +326,16 @@ type BatchTiming struct {
 	// representatives that were actually vectorized and hashed.
 	NodeShapes int
 	EdgeShapes int
+	// AllocBytes is the heap allocation attributed to reading and
+	// processing the batch (runtime.MemStats.TotalAlloc delta), and
+	// HeapLiveBytes the live heap after it — the evidence that
+	// streamed ingestion runs in bounded memory (live heap stays flat
+	// as batches pass through, instead of growing with the stream).
+	// Both are only filled by DrainStream / DiscoverStream; plain
+	// ProcessBatch calls leave them zero to keep the hot path free of
+	// stop-the-world MemStats reads.
+	AllocBytes    uint64
+	HeapLiveBytes uint64
 }
 
 // ProcessBatch runs preprocess → cluster → extract on one batch and
@@ -673,6 +686,55 @@ func (inc *Incremental) RetractBatch(b *pg.Batch) BatchTiming {
 	}
 	inc.result.Timing.add(tm)
 	return BatchTiming{Index: b.Index, Timing: tm}
+}
+
+// DrainStream feeds every batch of the stream through ProcessBatch,
+// filling each BatchTiming's memory counters, and invokes onBatch
+// (when non-nil) after each batch. It returns on io.EOF (nil error)
+// or on the first reader error. The caller finishes with Finalize,
+// so a drained stream can be followed by more batches or by another
+// stream — the incremental-maintenance loop of §4.6.
+func (inc *Incremental) DrainStream(r pg.StreamReader, onBatch func(BatchTiming)) error {
+	// The stop-the-world MemStats reads only run when someone can
+	// observe the counters.
+	var ms runtime.MemStats
+	var prevAlloc uint64
+	if onBatch != nil {
+		runtime.ReadMemStats(&ms)
+		prevAlloc = ms.TotalAlloc
+	}
+	for {
+		b, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		bt := inc.ProcessBatch(b)
+		if onBatch != nil {
+			runtime.ReadMemStats(&ms)
+			bt.AllocBytes = ms.TotalAlloc - prevAlloc
+			bt.HeapLiveBytes = ms.HeapAlloc
+			prevAlloc = ms.TotalAlloc
+			onBatch(bt)
+		}
+	}
+}
+
+// DiscoverStream runs the full pipeline over a batched stream: it
+// drives a fresh Incremental through every batch the reader yields
+// and finalizes. Peak memory is one batch of elements, the evolving
+// schema, the reader's endpoint bookkeeping and the result's
+// per-element type assignments — never the whole graph with its
+// property data. onBatch, when non-nil, observes each batch's cost
+// record as it completes.
+func DiscoverStream(r pg.StreamReader, opts Options, onBatch func(BatchTiming)) (*Result, error) {
+	inc := NewIncremental(opts)
+	if err := inc.DrainStream(r, onBatch); err != nil {
+		return nil, err
+	}
+	return inc.Finalize(), nil
 }
 
 // Finalize runs the §4.4 post-processing (always, per Algorithm 1

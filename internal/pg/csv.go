@@ -14,142 +14,236 @@ import (
 // relationship files with `:START_ID`, `:END_ID` and `:TYPE` columns.
 // Property columns may carry a type suffix (`age:int`, `score:float`,
 // `flag:boolean`, `since:date`, `at:datetime`, `name:string`); untyped
-// columns are inferred per the §4.4 priority rules.
+// columns are inferred per the §4.4 priority rules. Unknown type
+// suffixes are header errors, typed cells that do not parse as their
+// declared type are line errors — with one deliberate exception:
+// malformed `date`/`datetime` cells are kept as strings, because the
+// evaluated dumps carry free-form legacy timestamps in typed columns.
+//
+// The record→element decoding lives in nodeCSVReader / edgeCSVReader
+// and is shared by the one-shot loaders (ReadNodesCSV, ReadEdgesCSV)
+// and the streaming loader (CSVStream), so both paths accept and
+// reject exactly the same inputs.
+
+// nodeCSVReader decodes a node CSV one row at a time: the header is
+// parsed (and validated) once, then each next() call yields one node.
+type nodeCSVReader struct {
+	cr     *csv.Reader
+	idCol  int
+	lblCol int
+	props  map[int]csvProp
+	line   int // 1-based line of the most recently read record
+}
+
+func newNodeCSVReader(r io.Reader) (*nodeCSVReader, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("pg: csv header: %w", err)
+	}
+	nr := &nodeCSVReader{cr: cr, idCol: -1, lblCol: -1, props: map[int]csvProp{}, line: 1}
+	for i, h := range header {
+		switch {
+		case strings.HasSuffix(h, ":ID"):
+			nr.idCol = i
+		case h == ":LABEL" || strings.HasSuffix(h, ":LABEL"):
+			nr.lblCol = i
+		case strings.HasSuffix(h, ":IGNORE"):
+		default:
+			cp, err := parseCSVHeader(h)
+			if err != nil {
+				return nil, err
+			}
+			nr.props[i] = cp
+		}
+	}
+	if nr.idCol < 0 {
+		return nil, fmt.Errorf("pg: node csv needs an :ID column, header %v", header)
+	}
+	return nr, nil
+}
+
+// next returns the next node row, or io.EOF at the end of the file.
+// Errors carry the 1-based line number.
+func (nr *nodeCSVReader) next() (id ID, labels []string, props map[string]Value, err error) {
+	rec, err := nr.cr.Read()
+	if err == io.EOF {
+		return 0, nil, nil, io.EOF
+	}
+	nr.line++
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("pg: csv line %d: %w", nr.line, err)
+	}
+	// FieldsPerRecord = -1 admits ragged rows, so the well-known
+	// columns need explicit bounds checks: a short row must be a
+	// line-numbered error, not an index-out-of-range panic.
+	if nr.idCol >= len(rec) {
+		return 0, nil, nil, fmt.Errorf("pg: csv line %d: missing :ID column (row has %d fields)", nr.line, len(rec))
+	}
+	n, err := strconv.ParseInt(rec[nr.idCol], 10, 64)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("pg: csv line %d: node id %q: %w", nr.line, rec[nr.idCol], err)
+	}
+	if nr.lblCol >= 0 && nr.lblCol < len(rec) && rec[nr.lblCol] != "" {
+		labels = strings.Split(rec[nr.lblCol], ";")
+	}
+	props, err = csvProps(rec, nr.props)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("pg: csv line %d: %w", nr.line, err)
+	}
+	return ID(n), labels, props, nil
+}
+
+// edgeCSVReader decodes a relationship CSV one row at a time.
+type edgeCSVReader struct {
+	cr      *csv.Reader
+	srcCol  int
+	dstCol  int
+	typeCol int
+	props   map[int]csvProp
+	line    int
+}
+
+func newEdgeCSVReader(r io.Reader) (*edgeCSVReader, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("pg: csv header: %w", err)
+	}
+	er := &edgeCSVReader{cr: cr, srcCol: -1, dstCol: -1, typeCol: -1, props: map[int]csvProp{}, line: 1}
+	for i, h := range header {
+		switch {
+		case strings.HasSuffix(h, ":START_ID"):
+			er.srcCol = i
+		case strings.HasSuffix(h, ":END_ID"):
+			er.dstCol = i
+		case h == ":TYPE" || strings.HasSuffix(h, ":TYPE"):
+			er.typeCol = i
+		case strings.HasSuffix(h, ":IGNORE"):
+		default:
+			cp, err := parseCSVHeader(h)
+			if err != nil {
+				return nil, err
+			}
+			er.props[i] = cp
+		}
+	}
+	if er.srcCol < 0 || er.dstCol < 0 {
+		return nil, fmt.Errorf("pg: relationship csv needs :START_ID and :END_ID columns, header %v", header)
+	}
+	return er, nil
+}
+
+// next returns the next edge row, or io.EOF at the end of the file.
+func (er *edgeCSVReader) next() (src, dst ID, labels []string, props map[string]Value, err error) {
+	rec, err := er.cr.Read()
+	if err == io.EOF {
+		return 0, 0, nil, nil, io.EOF
+	}
+	er.line++
+	if err != nil {
+		return 0, 0, nil, nil, fmt.Errorf("pg: csv line %d: %w", er.line, err)
+	}
+	if er.srcCol >= len(rec) {
+		return 0, 0, nil, nil, fmt.Errorf("pg: csv line %d: missing :START_ID column (row has %d fields)", er.line, len(rec))
+	}
+	if er.dstCol >= len(rec) {
+		return 0, 0, nil, nil, fmt.Errorf("pg: csv line %d: missing :END_ID column (row has %d fields)", er.line, len(rec))
+	}
+	s, err := strconv.ParseInt(rec[er.srcCol], 10, 64)
+	if err != nil {
+		return 0, 0, nil, nil, fmt.Errorf("pg: csv line %d: start id %q: %w", er.line, rec[er.srcCol], err)
+	}
+	d, err := strconv.ParseInt(rec[er.dstCol], 10, 64)
+	if err != nil {
+		return 0, 0, nil, nil, fmt.Errorf("pg: csv line %d: end id %q: %w", er.line, rec[er.dstCol], err)
+	}
+	if er.typeCol >= 0 && er.typeCol < len(rec) && rec[er.typeCol] != "" {
+		labels = strings.Split(rec[er.typeCol], ";")
+	}
+	props, err = csvProps(rec, er.props)
+	if err != nil {
+		return 0, 0, nil, nil, fmt.Errorf("pg: csv line %d: %w", er.line, err)
+	}
+	return ID(s), ID(d), labels, props, nil
+}
 
 // ReadNodesCSV parses a node CSV into the graph. The header must
 // contain an ":ID" column (optionally named, e.g. "personId:ID");
 // a ":LABEL" column, when present, carries ;-separated labels.
 // Rows with a duplicate ID are rejected.
 func ReadNodesCSV(r io.Reader, g *Graph) (int, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = -1
-	cr.TrimLeadingSpace = true
-	header, err := cr.Read()
+	nr, err := newNodeCSVReader(r)
 	if err != nil {
-		return 0, fmt.Errorf("pg: csv header: %w", err)
-	}
-	idCol, labelCol := -1, -1
-	props := map[int]csvProp{}
-	for i, h := range header {
-		switch {
-		case strings.HasSuffix(h, ":ID"):
-			idCol = i
-		case h == ":LABEL" || strings.HasSuffix(h, ":LABEL"):
-			labelCol = i
-		case strings.HasSuffix(h, ":IGNORE"):
-		default:
-			props[i] = parseCSVHeader(h)
-		}
-	}
-	if idCol < 0 {
-		return 0, fmt.Errorf("pg: node csv needs an :ID column, header %v", header)
+		return 0, err
 	}
 	count := 0
-	line := 1
 	for {
-		rec, err := cr.Read()
+		id, labels, props, err := nr.next()
 		if err == io.EOF {
-			break
+			return count, nil
 		}
-		line++
 		if err != nil {
-			return count, fmt.Errorf("pg: csv line %d: %w", line, err)
+			return count, err
 		}
-		id, err := strconv.ParseInt(rec[idCol], 10, 64)
-		if err != nil {
-			return count, fmt.Errorf("pg: csv line %d: node id %q: %w", line, rec[idCol], err)
-		}
-		var labels []string
-		if labelCol >= 0 && labelCol < len(rec) && rec[labelCol] != "" {
-			labels = strings.Split(rec[labelCol], ";")
-		}
-		pv, err := csvProps(rec, props)
-		if err != nil {
-			return count, fmt.Errorf("pg: csv line %d: %w", line, err)
-		}
-		if err := g.PutNode(ID(id), labels, pv); err != nil {
-			return count, fmt.Errorf("pg: csv line %d: %w", line, err)
+		if err := g.PutNode(id, labels, props); err != nil {
+			return count, fmt.Errorf("pg: csv line %d: %w", nr.line, err)
 		}
 		count++
 	}
-	return count, nil
 }
 
 // ReadEdgesCSV parses a relationship CSV into the graph. The header
 // must contain ":START_ID", ":END_ID" and, optionally, ":TYPE"
 // (;-separated labels). Edge IDs are assigned sequentially.
 func ReadEdgesCSV(r io.Reader, g *Graph) (int, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = -1
-	cr.TrimLeadingSpace = true
-	header, err := cr.Read()
+	er, err := newEdgeCSVReader(r)
 	if err != nil {
-		return 0, fmt.Errorf("pg: csv header: %w", err)
-	}
-	srcCol, dstCol, typeCol := -1, -1, -1
-	props := map[int]csvProp{}
-	for i, h := range header {
-		switch {
-		case strings.HasSuffix(h, ":START_ID"):
-			srcCol = i
-		case strings.HasSuffix(h, ":END_ID"):
-			dstCol = i
-		case h == ":TYPE" || strings.HasSuffix(h, ":TYPE"):
-			typeCol = i
-		case strings.HasSuffix(h, ":IGNORE"):
-		default:
-			props[i] = parseCSVHeader(h)
-		}
-	}
-	if srcCol < 0 || dstCol < 0 {
-		return 0, fmt.Errorf("pg: relationship csv needs :START_ID and :END_ID columns, header %v", header)
+		return 0, err
 	}
 	count := 0
-	line := 1
 	for {
-		rec, err := cr.Read()
+		src, dst, labels, props, err := er.next()
 		if err == io.EOF {
-			break
+			return count, nil
 		}
-		line++
 		if err != nil {
-			return count, fmt.Errorf("pg: csv line %d: %w", line, err)
+			return count, err
 		}
-		src, err := strconv.ParseInt(rec[srcCol], 10, 64)
-		if err != nil {
-			return count, fmt.Errorf("pg: csv line %d: start id %q: %w", line, rec[srcCol], err)
-		}
-		dst, err := strconv.ParseInt(rec[dstCol], 10, 64)
-		if err != nil {
-			return count, fmt.Errorf("pg: csv line %d: end id %q: %w", line, rec[dstCol], err)
-		}
-		var labels []string
-		if typeCol >= 0 && typeCol < len(rec) && rec[typeCol] != "" {
-			labels = strings.Split(rec[typeCol], ";")
-		}
-		pv, err := csvProps(rec, props)
-		if err != nil {
-			return count, fmt.Errorf("pg: csv line %d: %w", line, err)
-		}
-		if _, err := g.AddEdge(labels, ID(src), ID(dst), pv); err != nil {
-			return count, fmt.Errorf("pg: csv line %d: %w", line, err)
+		if _, err := g.AddEdge(labels, src, dst, props); err != nil {
+			return count, fmt.Errorf("pg: csv line %d: %w", er.line, err)
 		}
 		count++
 	}
-	return count, nil
 }
 
 // csvProp describes one property column: key plus declared type.
 type csvProp struct {
 	key  string
-	kind string // "", "int", "float", "boolean", "date", "datetime", "string"
+	kind string // "", "int", "long", "float", "double", "boolean", "bool", "string", "date", "datetime"
 }
 
-func parseCSVHeader(h string) csvProp {
-	if i := strings.LastIndexByte(h, ':'); i >= 0 {
-		return csvProp{key: h[:i], kind: strings.ToLower(h[i+1:])}
+// parseCSVHeader splits a property column header into key and declared
+// type. A suffix that is not one of the known types is a header error
+// — silently treating `age:itn` as an untyped column named "age:itn"
+// would let a typo downgrade every value in the column to lexical
+// inference.
+func parseCSVHeader(h string) (csvProp, error) {
+	i := strings.LastIndexByte(h, ':')
+	if i < 0 {
+		return csvProp{key: h}, nil
 	}
-	return csvProp{key: h}
+	kind := strings.ToLower(h[i+1:])
+	switch kind {
+	case "int", "long", "float", "double", "boolean", "bool", "string", "date", "datetime":
+		return csvProp{key: h[:i], kind: kind}, nil
+	default:
+		return csvProp{}, fmt.Errorf("pg: csv header: column %q: unknown type suffix %q", h, h[i+1:])
+	}
 }
 
 func csvProps(rec []string, cols map[int]csvProp) (map[string]Value, error) {
@@ -173,7 +267,18 @@ func csvProps(rec []string, cols map[int]csvProp) (map[string]Value, error) {
 			}
 			props[cp.key] = Float(v)
 		case "boolean", "bool":
-			props[cp.key] = Bool(strings.EqualFold(raw, "true"))
+			// Only true/false are booleans; anything else ("yes", "1",
+			// a stray shift of the row) is rejected like the numeric
+			// branches reject unparsable cells — silently mapping it to
+			// false would corrupt the discovered schema.
+			switch {
+			case strings.EqualFold(raw, "true"):
+				props[cp.key] = Bool(true)
+			case strings.EqualFold(raw, "false"):
+				props[cp.key] = Bool(false)
+			default:
+				return nil, fmt.Errorf("column %q: invalid boolean %q", cp.key, raw)
+			}
 		case "string":
 			props[cp.key] = Str(raw)
 		case "date", "datetime":

@@ -145,3 +145,89 @@ func TestCSVEndToEndStats(t *testing.T) {
 		t.Errorf("node labels = %d", s.NodeLabels)
 	}
 }
+
+// Regression: FieldsPerRecord = -1 admits ragged rows, so a row too
+// short to contain the :ID / :START_ID / :END_ID column used to panic
+// with index out of range. It must be a line-numbered error.
+func TestCSVRaggedRowsError(t *testing.T) {
+	// :ID is the 3rd column; the 2nd data row has only one field.
+	nodes := "name,age:int,personId:ID\nAlice,30,1\nBob\n"
+	g := NewGraph()
+	_, err := ReadNodesCSV(strings.NewReader(nodes), g)
+	if err == nil {
+		t.Fatal("ragged node row must error, not panic")
+	}
+	if !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "missing :ID") {
+		t.Errorf("want line-numbered missing-:ID error, got: %v", err)
+	}
+
+	g2 := NewGraph()
+	if _, err := ReadNodesCSV(strings.NewReader("id:ID,name\n1,Alice\n"), g2); err != nil {
+		t.Fatal(err)
+	}
+	edges := "note,:START_ID,:END_ID\nx,1,1\ny\n"
+	_, err = ReadEdgesCSV(strings.NewReader(edges), g2)
+	if err == nil {
+		t.Fatal("ragged edge row must error, not panic")
+	}
+	if !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "missing :START_ID") {
+		t.Errorf("want line-numbered missing-:START_ID error, got: %v", err)
+	}
+	edges = ":START_ID,note,:END_ID\n1,x\n"
+	_, err = ReadEdgesCSV(strings.NewReader(edges), g2)
+	if err == nil || !strings.Contains(err.Error(), "missing :END_ID") {
+		t.Errorf("want missing-:END_ID error, got: %v", err)
+	}
+}
+
+// Regression: a malformed boolean cell ("yes", "1", a shifted row)
+// used to load silently as Bool(false), corrupting the discovered
+// schema. It must error like the int/float branches do.
+func TestCSVMalformedBooleanError(t *testing.T) {
+	for _, bad := range []string{"yes", "1", "tru", "on"} {
+		g := NewGraph()
+		in := "id:ID,active:boolean\n1," + bad + "\n"
+		_, err := ReadNodesCSV(strings.NewReader(in), g)
+		if err == nil {
+			t.Errorf("boolean %q must be rejected", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "boolean") {
+			t.Errorf("boolean %q: want line-numbered boolean error, got: %v", bad, err)
+		}
+	}
+	// Case-insensitive true/false still load (neo4j-admin accepts them).
+	g := NewGraph()
+	if _, err := ReadNodesCSV(strings.NewReader("id:ID,a:boolean,b:bool\n1,TRUE,False\n"), g); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Node(1).Props["a"].AsBool() || g.Node(1).Props["b"].AsBool() {
+		t.Errorf("props = %v", g.Node(1).Props)
+	}
+}
+
+// Regression: an unknown type suffix (a typo like `age:itn`) used to
+// silently become an untyped column named "age:itn" with lexical
+// inference. It must be a header error.
+func TestCSVUnknownTypeSuffixError(t *testing.T) {
+	g := NewGraph()
+	_, err := ReadNodesCSV(strings.NewReader("id:ID,age:itn\n1,30\n"), g)
+	if err == nil {
+		t.Fatal("unknown type suffix must error")
+	}
+	if !strings.Contains(err.Error(), `"itn"`) {
+		t.Errorf("error must name the bad suffix, got: %v", err)
+	}
+	_, err = ReadEdgesCSV(strings.NewReader(":START_ID,:END_ID,w:flaot\n"), g)
+	if err == nil || !strings.Contains(err.Error(), `"flaot"`) {
+		t.Errorf("edge header suffix error, got: %v", err)
+	}
+	// Untyped columns (no colon at all) still infer lexically.
+	g2 := NewGraph()
+	if _, err := ReadNodesCSV(strings.NewReader("id:ID,age\n1,30\n"), g2); err != nil {
+		t.Fatal(err)
+	}
+	if g2.Node(1).Props["age"].Kind() != KindInt {
+		t.Errorf("untyped column must stay lexically inferred: %#v", g2.Node(1).Props["age"])
+	}
+}

@@ -5,12 +5,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
+	"time"
 )
 
 // jsonElement is the JSONL wire form of one node or edge. Property
 // values are written with an explicit type tag so round-trips preserve
-// kinds exactly; untagged plain JSON values are also accepted on input
-// and inferred with ParseLexical-equivalent rules.
+// kinds exactly; untagged plain JSON values (strings, numbers,
+// booleans) are also accepted on input — JSON strings are inferred
+// with the ParseLexical priority rules, numbers map to int or float,
+// booleans to bool.
 type jsonElement struct {
 	Kind   string               `json:"kind"` // "node" | "edge"
 	ID     int64                `json:"id"`
@@ -23,6 +27,58 @@ type jsonElement struct {
 type jsonValue struct {
 	T string `json:"t"`
 	V string `json:"v"`
+}
+
+// tagged distinguishes the object wire form (explicit tag, parsed
+// strictly) from an untagged plain JSON scalar (inferred).
+type taggedValue struct {
+	jsonValue
+	untagged Value // set when the wire form was a plain scalar
+}
+
+// UnmarshalJSON accepts either the tagged {"t":...,"v":...} object
+// form or a plain JSON scalar: strings run through the ParseLexical
+// inference rules, numbers become int (no fraction/exponent) or
+// float, booleans become bool.
+func (tv *taggedValue) UnmarshalJSON(b []byte) error {
+	if len(b) == 0 {
+		return fmt.Errorf("empty property value")
+	}
+	switch b[0] {
+	case '{':
+		return json.Unmarshal(b, &tv.jsonValue)
+	case '"':
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		tv.untagged = ParseLexical(s)
+		return nil
+	case 't', 'f':
+		var v bool
+		if err := json.Unmarshal(b, &v); err != nil {
+			return err
+		}
+		tv.untagged = Bool(v)
+		return nil
+	case 'n': // null
+		return fmt.Errorf("null is not a valid property value")
+	default:
+		var n json.Number
+		if err := json.Unmarshal(b, &n); err != nil {
+			return err
+		}
+		if i, err := n.Int64(); err == nil {
+			tv.untagged = Int(i)
+			return nil
+		}
+		f, err := n.Float64()
+		if err != nil {
+			return err
+		}
+		tv.untagged = Float(f)
+		return nil
+	}
 }
 
 func toJSONValue(v Value) jsonValue {
@@ -44,21 +100,62 @@ func toJSONValue(v Value) jsonValue {
 	return jsonValue{T: t, V: v.Lexical()}
 }
 
+// fromJSONValue parses a tagged wire value strictly per its type tag:
+// a value whose lexical form does not belong to the tagged kind is a
+// tag/value mismatch error, never silently re-inferred — so kinds
+// survive round-trips exactly (a "float" 5 stays DOUBLE, it does not
+// collapse to INT via lexical inference).
 func fromJSONValue(jv jsonValue) (Value, error) {
 	switch jv.T {
-	case "int", "float", "bool", "date", "datetime":
-		v := ParseLexical(jv.V)
-		return v, nil
+	case "int":
+		i, err := strconv.ParseInt(jv.V, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("value %q does not match type tag \"int\"", jv.V)
+		}
+		return Int(i), nil
+	case "float":
+		f, err := strconv.ParseFloat(jv.V, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("value %q does not match type tag \"float\"", jv.V)
+		}
+		return Float(f), nil
+	case "bool":
+		switch jv.V {
+		case "true":
+			return Bool(true), nil
+		case "false":
+			return Bool(false), nil
+		}
+		return Value{}, fmt.Errorf("value %q does not match type tag \"bool\"", jv.V)
+	case "date":
+		t, err := time.Parse("2006-01-02", jv.V)
+		if err != nil {
+			return Value{}, fmt.Errorf("value %q does not match type tag \"date\"", jv.V)
+		}
+		return Date(t), nil
+	case "datetime":
+		if t, err := time.Parse(time.RFC3339, jv.V); err == nil {
+			return DateTime(t), nil
+		}
+		if t, err := time.Parse("2006-01-02 15:04:05", jv.V); err == nil {
+			return DateTime(t), nil
+		}
+		return Value{}, fmt.Errorf("value %q does not match type tag \"datetime\"", jv.V)
 	case "string", "":
+		// The tagless object form {"v":"..."} has always meant string
+		// (only plain JSON scalars go through inference), so existing
+		// hand-written files keep their kinds.
 		return Str(jv.V), nil
 	default:
-		return Value{}, fmt.Errorf("pg: unknown value type tag %q", jv.T)
+		return Value{}, fmt.Errorf("unknown value type tag %q", jv.T)
 	}
 }
 
 // WriteJSONL serializes the graph as one JSON object per line: all
 // nodes first, then all edges. The format is the library's native
-// interchange format for the CLI.
+// interchange format for the CLI, and the nodes-before-edges order is
+// what makes streamed re-ingestion (JSONLStream) resolve every edge
+// endpoint from elements already seen.
 func WriteJSONL(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
@@ -92,6 +189,101 @@ func WriteJSONL(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
+// jsonlElement is one decoded JSONL line: the raw wire element plus
+// its properties converted to typed values.
+type jsonlElement struct {
+	kind   string // "node" | "edge"
+	id     ID
+	labels []string
+	src    ID
+	dst    ID
+	props  map[string]Value
+}
+
+// jsonlDecoder decodes the JSONL wire format one element at a time,
+// tracking line numbers for errors. It is the single record→element
+// decoding path shared by the one-shot loader (ReadJSONL) and the
+// streaming loader (JSONLStream), so both accept exactly the same
+// inputs and reject exactly the same malformed lines.
+type jsonlDecoder struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+func newJSONLDecoder(r io.Reader) *jsonlDecoder {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	return &jsonlDecoder{sc: sc}
+}
+
+// next decodes the next non-empty line, or returns io.EOF at the end
+// of the stream. Errors carry the 1-based line number.
+func (d *jsonlDecoder) next() (jsonlElement, error) {
+	for d.sc.Scan() {
+		d.line++
+		raw := d.sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var el struct {
+			Kind   string                 `json:"kind"`
+			ID     int64                  `json:"id"`
+			Labels []string               `json:"labels"`
+			Src    int64                  `json:"src"`
+			Dst    int64                  `json:"dst"`
+			Props  map[string]taggedValue `json:"props"`
+		}
+		if err := json.Unmarshal(raw, &el); err != nil {
+			return jsonlElement{}, fmt.Errorf("pg: line %d: %w", d.line, err)
+		}
+		out := jsonlElement{
+			kind:   el.Kind,
+			id:     ID(el.ID),
+			labels: el.Labels,
+			src:    ID(el.Src),
+			dst:    ID(el.Dst),
+		}
+		if el.Kind != "node" && el.Kind != "edge" {
+			return jsonlElement{}, fmt.Errorf("pg: line %d: unknown element kind %q", d.line, el.Kind)
+		}
+		if len(el.Props) > 0 {
+			out.props = make(map[string]Value, len(el.Props))
+			for k, tv := range el.Props {
+				if tv.untagged.IsValid() {
+					out.props[k] = tv.untagged
+					continue
+				}
+				v, err := fromJSONValue(tv.jsonValue)
+				if err != nil {
+					return jsonlElement{}, fmt.Errorf("pg: line %d, property %q: %w", d.line, k, err)
+				}
+				out.props[k] = v
+			}
+		}
+		return out, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		return jsonlElement{}, err
+	}
+	return jsonlElement{}, io.EOF
+}
+
+// addTo inserts a decoded element into the graph, wrapping insertion
+// errors (duplicate IDs, missing endpoints) with the source line.
+func (d *jsonlDecoder) addTo(g *Graph, el jsonlElement) error {
+	var err error
+	switch el.kind {
+	case "node":
+		err = g.PutNode(el.id, el.labels, el.props)
+	case "edge":
+		err = g.PutEdge(el.id, el.labels, el.src, el.dst, el.props)
+	}
+	if err != nil {
+		return fmt.Errorf("pg: line %d: %w", d.line, err)
+	}
+	return nil
+}
+
 // ReadJSONL parses a JSONL stream produced by WriteJSONL (or
 // hand-written in the same shape) into a new Graph. Edges may appear
 // before their endpoints; dangling edges are accepted during the read
@@ -99,42 +291,18 @@ func WriteJSONL(w io.Writer, g *Graph) error {
 func ReadJSONL(r io.Reader, allowDangling bool) (*Graph, error) {
 	g := NewGraph()
 	g.AllowDanglingEdges(true)
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
+	dec := newJSONLDecoder(r)
+	for {
+		el, err := dec.next()
+		if err == io.EOF {
+			break
 		}
-		var el jsonElement
-		if err := json.Unmarshal(raw, &el); err != nil {
-			return nil, fmt.Errorf("pg: line %d: %w", line, err)
+		if err != nil {
+			return nil, err
 		}
-		props := make(map[string]Value, len(el.Props))
-		for k, jv := range el.Props {
-			v, err := fromJSONValue(jv)
-			if err != nil {
-				return nil, fmt.Errorf("pg: line %d, property %q: %w", line, k, err)
-			}
-			props[k] = v
+		if err := dec.addTo(g, el); err != nil {
+			return nil, err
 		}
-		switch el.Kind {
-		case "node":
-			if err := g.PutNode(ID(el.ID), el.Labels, props); err != nil {
-				return nil, fmt.Errorf("pg: line %d: %w", line, err)
-			}
-		case "edge":
-			if err := g.PutEdge(ID(el.ID), el.Labels, ID(el.Src), ID(el.Dst), props); err != nil {
-				return nil, fmt.Errorf("pg: line %d: %w", line, err)
-			}
-		default:
-			return nil, fmt.Errorf("pg: line %d: unknown element kind %q", line, el.Kind)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
 	}
 	if !allowDangling {
 		for i := range g.Edges() {

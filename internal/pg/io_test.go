@@ -1,0 +1,188 @@
+package pg
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// randomValue draws a value of any kind, biased toward the lexical
+// edge cases that used to break round-trips (numeric strings, float
+// values with integral lexical forms).
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(8) {
+	case 0:
+		return Int(r.Int63() - r.Int63())
+	case 1:
+		return Float(r.NormFloat64() * math.Pow(10, float64(r.Intn(20)-10)))
+	case 2:
+		// Floats whose lexical form looks like an int ("5"): the
+		// historical tag-ignoring bug collapsed these to KindInt.
+		return Float(float64(r.Intn(1000)))
+	case 3:
+		return Bool(r.Intn(2) == 0)
+	case 4:
+		return Date(time.Unix(r.Int63n(4e9), 0))
+	case 5:
+		return DateTime(time.Unix(r.Int63n(4e9), 0))
+	case 6:
+		// Strings that look like other kinds must stay strings.
+		return Str([]string{"5", "1.5", "true", "2020-01-02", "", "héllo\nworld"}[r.Intn(6)])
+	default:
+		// Arbitrary valid-UTF-8 strings (JSON cannot carry invalid
+		// UTF-8 losslessly, so that is out of the contract's scope).
+		rs := make([]rune, r.Intn(12))
+		for i := range rs {
+			rs[i] = rune(r.Intn(0xD7FF) + 1)
+		}
+		return Str(string(rs))
+	}
+}
+
+// Property: every Kind survives Write→Read exactly — the tagged wire
+// format preserves both kind and payload for arbitrary values.
+func TestJSONLKindFidelity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		props := map[string]Value{}
+		for i := 0; i < 1+r.Intn(8); i++ {
+			props[string(rune('a'+i))] = randomValue(r)
+		}
+		g.AddNode([]string{"T"}, props)
+
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, g); err != nil {
+			t.Logf("write: %v", err)
+			return false
+		}
+		got, err := ReadJSONL(&buf, false)
+		if err != nil {
+			t.Logf("read: %v", err)
+			return false
+		}
+		have := got.Node(0)
+		if have == nil || len(have.Props) != len(props) {
+			return false
+		}
+		for k, want := range props {
+			v := have.Props[k]
+			if v.Kind() != want.Kind() {
+				t.Logf("prop %q: kind %v -> %v (lexical %q)", k, want.Kind(), v.Kind(), want.Lexical())
+				return false
+			}
+			if !v.Equal(want) {
+				t.Logf("prop %q: %#v -> %#v", k, want, v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression: the type tag is authoritative. {"t":"float","v":"5"}
+// used to round-trip as KindInt via lexical inference, violating the
+// "round-trips preserve kinds exactly" contract.
+func TestJSONLFloatTagPreserved(t *testing.T) {
+	in := `{"kind":"node","id":1,"labels":["T"],"props":{"x":{"t":"float","v":"5"}}}` + "\n"
+	g, err := ReadJSONL(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := g.Node(1).Props["x"]
+	if v.Kind() != KindFloat {
+		t.Fatalf("float tag ignored: got kind %v, want DOUBLE", v.Kind())
+	}
+	if v.AsFloat() != 5 {
+		t.Fatalf("value = %v, want 5", v.AsFloat())
+	}
+}
+
+// Tag/value mismatches are line-numbered errors, not silent
+// re-inference.
+func TestJSONLTagMismatchErrors(t *testing.T) {
+	cases := []struct {
+		name, val string
+	}{
+		{"int-fraction", `{"t":"int","v":"5.5"}`},
+		{"int-text", `{"t":"int","v":"five"}`},
+		{"float-text", `{"t":"float","v":"fast"}`},
+		{"bool-yes", `{"t":"bool","v":"yes"}`},
+		{"bool-one", `{"t":"bool","v":"1"}`},
+		{"bool-TRUE", `{"t":"bool","v":"TRUE"}`},
+		{"date-malformed", `{"t":"date","v":"not-a-date"}`},
+		{"date-datetime", `{"t":"date","v":"2020-01-02T10:00:00Z"}`},
+		{"datetime-malformed", `{"t":"datetime","v":"yesterday"}`},
+		{"unknown-tag", `{"t":"decimal","v":"5"}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			in := `{"kind":"node","id":1}` + "\n" +
+				`{"kind":"node","id":2,"props":{"x":` + c.val + `}}` + "\n"
+			_, err := ReadJSONL(strings.NewReader(in), false)
+			if err == nil {
+				t.Fatalf("value %s must be rejected", c.val)
+			}
+			if !strings.Contains(err.Error(), "line 2") {
+				t.Errorf("error must carry the line number, got: %v", err)
+			}
+			if !strings.Contains(err.Error(), `"x"`) {
+				t.Errorf("error must name the property, got: %v", err)
+			}
+		})
+	}
+}
+
+// Untagged plain JSON scalars are accepted: numbers map to int/float,
+// booleans to bool, strings go through ParseLexical inference.
+func TestJSONLUntaggedValues(t *testing.T) {
+	in := `{"kind":"node","id":1,"props":{"i":5,"f":1.25,"b":true,"s":"hello","d":"2020-01-02","e":2e3}}` + "\n"
+	g, err := ReadJSONL(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.Node(1).Props
+	if p["i"].Kind() != KindInt || p["i"].AsInt() != 5 {
+		t.Errorf("i = %#v, want Int 5", p["i"])
+	}
+	if p["f"].Kind() != KindFloat || p["f"].AsFloat() != 1.25 {
+		t.Errorf("f = %#v, want Float 1.25", p["f"])
+	}
+	if p["e"].Kind() != KindFloat || p["e"].AsFloat() != 2000 {
+		t.Errorf("e = %#v, want Float 2000", p["e"])
+	}
+	if p["b"].Kind() != KindBool || !p["b"].AsBool() {
+		t.Errorf("b = %#v, want Bool true", p["b"])
+	}
+	if p["s"].Kind() != KindString || p["s"].AsString() != "hello" {
+		t.Errorf("s = %#v, want Str hello", p["s"])
+	}
+	if p["d"].Kind() != KindDate {
+		t.Errorf("d = %#v, want Date (untagged strings run lexical inference)", p["d"])
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"kind":"node","id":1,"props":{"x":null}}`+"\n"), false); err == nil {
+		t.Error("null property value must be rejected")
+	}
+}
+
+// The tagless object form {"v":"..."} keeps its historical meaning:
+// string, never inference (a hand-written zip code "02134" must not
+// collapse to Int(2134)).
+func TestJSONLTaglessObjectStaysString(t *testing.T) {
+	in := `{"kind":"node","id":1,"props":{"zip":{"v":"02134"}}}` + "\n"
+	g, err := ReadJSONL(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := g.Node(1).Props["zip"]
+	if v.Kind() != KindString || v.AsString() != "02134" {
+		t.Fatalf("tagless object value = %#v, want Str(\"02134\")", v)
+	}
+}

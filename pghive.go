@@ -127,6 +127,34 @@ func ReadNodesCSV(r io.Reader, g *Graph) (int, error) { return pg.ReadNodesCSV(r
 // (":START_ID", ":END_ID", ":TYPE") into the graph.
 func ReadEdgesCSV(r io.Reader, g *Graph) (int, error) { return pg.ReadEdgesCSV(r, g) }
 
+// Streaming ingestion (see internal/pg/stream.go): readers that yield
+// a graph in bounded batches instead of materializing it whole.
+type (
+	// StreamReader yields a property graph in bounded batches.
+	StreamReader = pg.StreamReader
+	// JSONLStream streams the JSONL interchange format.
+	JSONLStream = pg.JSONLStream
+	// CSVStream streams neo4j-admin style bulk CSV files.
+	CSVStream = pg.CSVStream
+)
+
+// DefaultStreamBatchSize is the batch size used when a stream is
+// created with batchSize <= 0.
+const DefaultStreamBatchSize = pg.DefaultStreamBatchSize
+
+// NewJSONLStream returns a bounded-batch reader over a JSONL graph
+// stream (the format WriteJSONL emits). batchSize <= 0 selects
+// DefaultStreamBatchSize.
+func NewJSONLStream(r io.Reader, batchSize int) *JSONLStream {
+	return pg.NewJSONLStream(r, batchSize)
+}
+
+// NewCSVStream returns a bounded-batch reader over neo4j-admin style
+// CSV sources: node files first, then relationship files.
+func NewCSVStream(nodes, edges []io.Reader, batchSize int) *CSVStream {
+	return pg.NewCSVStream(nodes, edges, batchSize)
+}
+
 // ComputeStats returns Table 2-style statistics of a graph.
 func ComputeStats(g *Graph) GraphStats { return pg.ComputeStats(g) }
 
@@ -144,6 +172,8 @@ type (
 	Incremental = core.Incremental
 	// Method selects the LSH clustering scheme.
 	Method = core.Method
+	// BatchTiming is the per-batch cost record of a streaming run.
+	BatchTiming = core.BatchTiming
 	// EmbeddingMode selects how label tokens are embedded for ELSH.
 	EmbeddingMode = core.EmbeddingMode
 	// Timing breaks a run into pipeline phases.
@@ -175,6 +205,24 @@ const (
 
 // Discover runs the full PG-HIVE pipeline (Algorithm 1) over a graph.
 func Discover(g *Graph, opts Options) *Result { return core.Discover(g, opts) }
+
+// DiscoverStream runs the full pipeline over a batched stream without
+// ever materializing the whole graph: each batch the reader yields is
+// processed incrementally (§4.6) and released. Peak memory is one
+// batch of decoded elements plus the evolving schema plus two
+// per-element indexes that are small but grow with the stream — the
+// reader's endpoint bookkeeping (node ID → labels) and the result's
+// type assignments (element ID → type pointer, which unlabeled
+// endpoint resolution, retraction and validation need); property
+// values and representation vectors are never retained across
+// batches. For streams whose edges never precede their endpoints (the
+// order WriteJSONL and the CSV conventions guarantee), the discovered
+// schema is bit-identical to a one-shot Discover over the same data
+// for every batch size and Parallelism value. onBatch, when non-nil,
+// observes each batch's timing and memory counters as it completes.
+func DiscoverStream(r StreamReader, opts Options, onBatch func(BatchTiming)) (*Result, error) {
+	return core.DiscoverStream(r, opts, onBatch)
+}
 
 // NewIncremental starts a streaming discovery with an empty schema.
 func NewIncremental(opts Options) *Incremental { return core.NewIncremental(opts) }
