@@ -19,6 +19,8 @@
 //	pghive -dataset LDBC -schema-in s.json -validate strict
 //	pghive -input huge.jsonl -stream -batch-size 10000   # bounded memory
 //	pghive -input delta.jsonl -stream -schema-in s.json  # incremental maintenance
+//	pghive serve -listen :8080                 # long-running HTTP service
+//	pghive serve -restore state.ckpt           # resume from a checkpoint
 package main
 
 import (
@@ -36,6 +38,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
 	var (
 		input     = flag.String("input", "", "JSONL graph file to discover (mutually exclusive with -dataset)")
 		nodesCSV  = flag.String("nodes-csv", "", "neo4j-style node CSV file (repeatable via comma separation)")

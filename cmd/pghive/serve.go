@@ -1,0 +1,265 @@
+package main
+
+// serve.go is the long-running HTTP mode: a pghive.Service fronted by
+// a small JSON/line-protocol API. Writes (POST /ingest, /retract) are
+// serialized by the service; reads (GET /schema, /stats,
+// POST /validate) are lock-free against the latest published
+// snapshot, so schema queries stay fast while batches load.
+//
+//	pghive serve -listen :8080
+//	curl -X POST --data-binary @batch.jsonl localhost:8080/ingest
+//	curl 'localhost:8080/schema?format=pgschema&mode=strict'
+//	curl -X POST localhost:8080/checkpoint > state.ckpt
+//	pghive serve -restore state.ckpt     # resumes bit-identically
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	pghive "github.com/pghive/pghive"
+	"github.com/pghive/pghive/internal/lsh"
+)
+
+// runServe parses the serve-mode flags and blocks serving HTTP.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("pghive serve", flag.ExitOnError)
+	var (
+		listen    = fs.String("listen", ":8080", "address to serve HTTP on")
+		restore   = fs.String("restore", "", "checkpoint file to resume from (see POST /checkpoint)")
+		method    = fs.String("method", "elsh", "clustering method: elsh or minhash")
+		seed      = fs.Int64("seed", 1, "random seed")
+		parallel  = fs.Int("parallelism", 0, "worker goroutines per pipeline phase (0 = all CPU cores)")
+		noIntern  = fs.Bool("no-intern", false, "disable shape interning")
+		theta     = fs.Float64("theta", 0, "Jaccard merge threshold (0 = paper default 0.9)")
+		tables    = fs.Int("tables", 0, "pin LSH table count T (0 = adaptive)")
+		bucket    = fs.Float64("bucket", 0, "pin ELSH bucket length b (0 = adaptive)")
+		batchSize = fs.Int("batch-size", 0, "elements per ingest batch when splitting large bodies (0 = one batch per request)")
+	)
+	fs.Parse(args)
+
+	opts := pghive.Options{Seed: *seed, Theta: *theta, Parallelism: *parallel, DisableShapeInterning: *noIntern}
+	switch strings.ToLower(*method) {
+	case "elsh":
+	case "minhash":
+		opts.Method = pghive.MinHash
+	default:
+		fmt.Fprintf(os.Stderr, "pghive serve: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+	if *tables > 0 {
+		p := &lsh.Params{Tables: *tables, BucketLength: *bucket}
+		opts.NodeParams, opts.EdgeParams = p, p
+	}
+
+	var svc *pghive.Service
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pghive serve:", err)
+			os.Exit(1)
+		}
+		svc, err = pghive.RestoreService(opts, f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pghive serve:", err)
+			os.Exit(1)
+		}
+		st := svc.Stats()
+		fmt.Fprintf(os.Stderr, "pghive serve: restored %d batches, %d nodes, %d edges\n",
+			st.Batches, st.Nodes, st.Edges)
+	} else {
+		svc = pghive.NewService(opts)
+	}
+
+	fmt.Fprintf(os.Stderr, "pghive serve: listening on %s\n", *listen)
+	server := &http.Server{
+		Addr:    *listen,
+		Handler: newServeMux(svc, *batchSize),
+		// A stalled client must not be able to park a connection
+		// forever; ingest bodies are spooled before the service write
+		// lock is taken, so these bounds never race a healthy upload.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if err := server.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "pghive serve:", err)
+		os.Exit(1)
+	}
+}
+
+// newServeMux wires the service endpoints. Factored out of runServe so
+// tests can drive the full HTTP surface via httptest.
+func newServeMux(svc *pghive.Service, batchSize int) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if batchSize > 0 {
+			// Spool the body before touching the service: DrainStream
+			// holds the write lock, and reading a slow client's upload
+			// under it would let one stalled connection block every
+			// writer.
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			// The spooled body streams through in bounded pipeline
+			// batches. Streamed ingestion is NOT atomic: batches that
+			// preceded a malformed line are already published when the
+			// error returns, so the error response carries the stats
+			// the client needs to see how far the body got — blindly
+			// re-sending the same body would double-ingest the prefix.
+			if err := svc.DrainStream(pghive.NewJSONLStream(bytes.NewReader(body), batchSize), nil); err != nil {
+				writeJSONStatus(w, http.StatusBadRequest, map[string]any{
+					"error": err.Error(),
+					"note":  "streamed ingest is not atomic: batches before the error were already ingested and published",
+					"stats": svc.Stats(),
+				})
+				return
+			}
+		} else {
+			g, err := pghive.ReadJSONL(r.Body, true)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			svc.Ingest(g)
+		}
+		writeJSON(w, map[string]any{"elapsedMs": time.Since(start).Milliseconds(), "stats": svc.Stats()})
+	})
+	mux.HandleFunc("POST /retract", func(w http.ResponseWriter, r *http.Request) {
+		g, err := pghive.ReadJSONL(r.Body, true)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		svc.Retract(g)
+		writeJSON(w, map[string]any{"stats": svc.Stats()})
+	})
+	mux.HandleFunc("GET /schema", func(w http.ResponseWriter, r *http.Request) {
+		mode := pghive.Strict
+		switch strings.ToLower(r.URL.Query().Get("mode")) {
+		case "", "strict":
+		case "loose":
+			mode = pghive.Loose
+		default:
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("unknown mode %q (want strict or loose)", r.URL.Query().Get("mode")))
+			return
+		}
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			name = "DiscoveredGraphType"
+		}
+		switch schemaFormat(r) {
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+			svc.WriteSchemaJSON(w)
+		case "pgschema":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, svc.PGSchema(mode, name))
+		case "xsd":
+			w.Header().Set("Content-Type", "application/xml")
+			fmt.Fprint(w, svc.XSD())
+		case "dot":
+			w.Header().Set("Content-Type", "text/vnd.graphviz")
+			fmt.Fprint(w, svc.DOT(name))
+		default:
+			// Only an explicit ?format= can land here (Accept
+			// negotiation always falls back to pgschema), and a bad
+			// query parameter is the client's request error, not failed
+			// content negotiation.
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("unknown schema format (want json, pgschema, xsd, or dot)"))
+		}
+	})
+	mux.HandleFunc("POST /validate", func(w http.ResponseWriter, r *http.Request) {
+		g, err := pghive.ReadJSONL(r.Body, true)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		mode := pghive.ValidateLoose
+		switch strings.ToLower(r.URL.Query().Get("mode")) {
+		case "", "loose":
+		case "strict":
+			mode = pghive.ValidateStrict
+		default:
+			// A typo'd mode must not silently validate loosely — the
+			// client would read valid=true as a strict pass.
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("unknown mode %q (want loose or strict)", r.URL.Query().Get("mode")))
+			return
+		}
+		rep := svc.Validate(g, mode)
+		violations := make([]string, len(rep.Violations))
+		for i, v := range rep.Violations {
+			violations[i] = v.String()
+		}
+		writeJSON(w, map[string]any{
+			"checked": rep.Checked, "valid": rep.Valid(),
+			"violations": violations, "truncated": rep.Truncated,
+		})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, svc.Stats())
+	})
+	mux.HandleFunc("POST /checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		// Serialize into memory first: WriteCheckpoint holds the
+		// service write lock, so streaming it straight to a slow (or
+		// stalled) client would block every ingest for as long as the
+		// client cares to read — and a mid-write network error would
+		// deliver a truncated image under a 200 status.
+		var buf bytes.Buffer
+		if err := svc.WriteCheckpoint(&buf); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf.Bytes())
+	})
+	return mux
+}
+
+// schemaFormat resolves ?format= (authoritative) or the Accept header
+// to one of json, pgschema, xsd, dot.
+func schemaFormat(r *http.Request) string {
+	if f := strings.ToLower(r.URL.Query().Get("format")); f != "" {
+		return f
+	}
+	accept := r.Header.Get("Accept")
+	switch {
+	case strings.Contains(accept, "application/json"):
+		return "json"
+	case strings.Contains(accept, "application/xml"), strings.Contains(accept, "text/xml"):
+		return "xsd"
+	case strings.Contains(accept, "text/vnd.graphviz"):
+		return "dot"
+	default:
+		return "pgschema"
+	}
+}
+
+// writeJSONStatus is the single JSON response path: every handler
+// body and error goes through it, so Content-Type and encoder
+// settings stay consistent across the API.
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeJSON(w http.ResponseWriter, v any) { writeJSONStatus(w, http.StatusOK, v) }
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSONStatus(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,212 @@
+package main
+
+// End-to-end test of the serve-mode HTTP surface: ingest JSONL
+// batches, read the schema in every format, validate, checkpoint, and
+// restore a second service from the checkpoint — all through the
+// same mux the real server mounts.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	pghive "github.com/pghive/pghive"
+)
+
+func post(t *testing.T, srv *httptest.Server, path, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+path, "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func get(t *testing.T, srv *httptest.Server, path, accept string) (int, string, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("GET", srv.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), b
+}
+
+func jsonlBatch(firstID int) string {
+	var b strings.Builder
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&b, `{"kind":"node","id":%d,"labels":["Person"],"props":{"name":{"t":"string","v":"p%d"},"age":{"t":"int","v":"%d"}}}`+"\n",
+			firstID+i, i, 20+i)
+	}
+	for i := 0; i < 9; i++ {
+		fmt.Fprintf(&b, `{"kind":"edge","id":%d,"labels":["KNOWS"],"src":%d,"dst":%d}`+"\n",
+			firstID+i, firstID+i, firstID+i+1)
+	}
+	return b.String()
+}
+
+func TestServeHTTPEndpoints(t *testing.T) {
+	svc := pghive.NewService(pghive.Options{Seed: 1})
+	srv := httptest.NewServer(newServeMux(svc, 0))
+	defer srv.Close()
+
+	// Two ingest batches; the second one's edge endpoints partially
+	// refer to the first batch's nodes, exercising the cross-request
+	// resolver bookkeeping.
+	if code, body := post(t, srv, "/ingest", jsonlBatch(0)); code != http.StatusOK {
+		t.Fatalf("ingest 1: %d %s", code, body)
+	}
+	second := jsonlBatch(100) +
+		`{"kind":"edge","id":500,"labels":["KNOWS"],"src":100,"dst":3}` + "\n"
+	if code, body := post(t, srv, "/ingest", second); code != http.StatusOK {
+		t.Fatalf("ingest 2: %d %s", code, body)
+	}
+	if code, body := post(t, srv, "/ingest", "not json\n"); code != http.StatusBadRequest {
+		t.Fatalf("malformed ingest: %d %s", code, body)
+	}
+
+	// Stats agree with what went in.
+	var stats pghive.ServiceStats
+	code, _, body := get(t, srv, "/stats", "")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Nodes != 20 || stats.Edges != 19 || stats.Batches != 2 {
+		t.Fatalf("stats report %d nodes / %d edges / %d batches, want 20/19/2",
+			stats.Nodes, stats.Edges, stats.Batches)
+	}
+
+	// Every schema format, via ?format= and via Accept.
+	for _, c := range []struct {
+		path, accept, wantCT, wantSub string
+	}{
+		{"/schema?format=pgschema&mode=strict&name=G", "", "text/plain", "CREATE GRAPH TYPE G STRICT"},
+		{"/schema?format=pgschema&mode=loose", "", "text/plain", "LOOSE"},
+		{"/schema?format=xsd", "", "application/xml", "<xs:schema"},
+		{"/schema?format=dot&name=G", "", "text/vnd.graphviz", "digraph G"},
+		{"/schema?format=json", "", "application/json", `"nodeTypes"`},
+		{"/schema", "application/json", "application/json", `"nodeTypes"`},
+		{"/schema", "application/xml", "application/xml", "<xs:schema"},
+		{"/schema", "text/vnd.graphviz", "text/vnd.graphviz", "digraph"},
+		{"/schema", "", "text/plain", "CREATE GRAPH TYPE"},
+	} {
+		code, ct, body := get(t, srv, c.path, c.accept)
+		if code != http.StatusOK {
+			t.Fatalf("%s: %d %s", c.path, code, body)
+		}
+		if !strings.HasPrefix(ct, c.wantCT) {
+			t.Errorf("%s (accept %q): content type %q, want %q", c.path, c.accept, ct, c.wantCT)
+		}
+		if !strings.Contains(string(body), c.wantSub) {
+			t.Errorf("%s: body missing %q", c.path, c.wantSub)
+		}
+	}
+	if code, _, _ := get(t, srv, "/schema?format=nope", ""); code != http.StatusBadRequest {
+		t.Errorf("unknown format: got %d, want 400", code)
+	}
+	if code, _, _ := get(t, srv, "/schema?mode=strct", ""); code != http.StatusBadRequest {
+		t.Errorf("typo'd schema mode: got %d, want 400", code)
+	}
+	if code, _ := post(t, srv, "/validate?mode=strct", jsonlBatch(0)); code != http.StatusBadRequest {
+		t.Errorf("typo'd validate mode must not silently run loose: got %d, want 400", code)
+	}
+
+	// Validation: the ingested data conforms; an alien element does not.
+	code, body = post(t, srv, "/validate?mode=strict", jsonlBatch(0))
+	if code != http.StatusOK {
+		t.Fatalf("validate: %d %s", code, body)
+	}
+	var rep struct {
+		Checked int  `json:"checked"`
+		Valid   bool `json:"valid"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Valid || rep.Checked != 19 {
+		t.Fatalf("validate: %s", body)
+	}
+	code, body = post(t, srv, "/validate",
+		`{"kind":"node","id":0,"labels":["Alien"],"props":{}}`+"\n")
+	if code != http.StatusOK {
+		t.Fatalf("validate alien: %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Valid {
+		t.Fatal("alien element reported valid")
+	}
+
+	// Checkpoint → restore: a second service resumed from the HTTP
+	// checkpoint serves the identical schema.
+	code, ckpt := post(t, srv, "/checkpoint", "")
+	if code != http.StatusOK {
+		t.Fatalf("checkpoint: %d", code)
+	}
+	restored, err := pghive.RestoreService(pghive.Options{Seed: 1}, bytes.NewReader(ckpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.PGSchema(pghive.Strict, "G") != svc.PGSchema(pghive.Strict, "G") {
+		t.Fatal("restored service serves a different schema")
+	}
+
+	// Retract the second batch (plus its extra edge): stats return to
+	// the first batch's.
+	if code, body := post(t, srv, "/retract", second); code != http.StatusOK {
+		t.Fatalf("retract: %d %s", code, body)
+	}
+	code, _, body = get(t, srv, "/stats", "")
+	if code != http.StatusOK {
+		t.Fatal("stats after retract")
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Nodes != 10 || stats.Edges != 9 {
+		t.Fatalf("stats after retract: %d nodes / %d edges, want 10/9", stats.Nodes, stats.Edges)
+	}
+}
+
+// TestServeHTTPStreamedIngest covers the batch-size-bounded ingest
+// path (one request body split into multiple pipeline batches).
+func TestServeHTTPStreamedIngest(t *testing.T) {
+	svc := pghive.NewService(pghive.Options{Seed: 1})
+	srv := httptest.NewServer(newServeMux(svc, 5))
+	defer srv.Close()
+	if code, body := post(t, srv, "/ingest", jsonlBatch(0)); code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", code, body)
+	}
+	st := svc.Stats()
+	if st.Nodes != 10 || st.Edges != 9 {
+		t.Fatalf("streamed ingest stats: %d/%d", st.Nodes, st.Edges)
+	}
+	if st.Batches != 4 {
+		t.Fatalf("19 elements at batch size 5 should make 4 batches, got %d", st.Batches)
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+// checkpoint.go persists the FULL cross-batch state of an incremental
+// discovery, not just the schema: per-element type assignments (which
+// unlabeled-endpoint resolution and retraction need), the interned
+// shape caches, the accumulated counters, and — when the caller
+// passes it — the stream reader's endpoint bookkeeping. Restoring a
+// checkpoint taken mid-stream and finishing the stream produces a
+// schema and assignments bit-identical to the uninterrupted run;
+// WriteSchemaJSON alone cannot promise that (a schema-only resume
+// loses assignments, so previously seen unlabeled endpoints stop
+// resolving to their discovered types).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/pghive/pghive/internal/lsh"
+	"github.com/pghive/pghive/internal/pg"
+	"github.com/pghive/pghive/internal/schema"
+)
+
+// CheckpointVersion is the format version WriteCheckpoint emits.
+const CheckpointVersion = 1
+
+// resolverNode is one persisted entry of the stream's endpoint
+// bookkeeping: a node ID and its labels (never properties or edges).
+type resolverNode struct {
+	ID     pg.ID    `json:"id"`
+	Labels []string `json:"labels,omitempty"`
+}
+
+// checkpointJSON is the on-disk layout. Maps marshal with sorted keys
+// and shape entries are exported in fingerprint order, so identical
+// states serialize to identical bytes — which is what lets tests (and
+// operators) diff checkpoints directly.
+type checkpointJSON struct {
+	Version int `json:"version"`
+	// Schema is the evolving schema in WriteSchemaJSON form.
+	Schema json.RawMessage `json:"schema"`
+	// Batches counts processed batches.
+	Batches int `json:"batches"`
+	// NodeAssign / EdgeAssign map element IDs to schema type IDs.
+	NodeAssign map[pg.ID]int `json:"nodeAssign,omitempty"`
+	EdgeAssign map[pg.ID]int `json:"edgeAssign,omitempty"`
+	// Accumulated Result counters.
+	NodeClusters int `json:"nodeClusters"`
+	EdgeClusters int `json:"edgeClusters"`
+	NodeShapes   int `json:"nodeShapes"`
+	EdgeShapes   int `json:"edgeShapes"`
+	// NodeChoice / EdgeChoice are the last adaptive parameter choices.
+	NodeChoice lsh.AdaptiveChoice `json:"nodeChoice"`
+	EdgeChoice lsh.AdaptiveChoice `json:"edgeChoice"`
+	// NodeShapeCache / EdgeShapeCache are the interned shape caches.
+	NodeShapeCache []pg.ShapeEntry `json:"nodeShapeCache,omitempty"`
+	EdgeShapeCache []pg.ShapeEntry `json:"edgeShapeCache,omitempty"`
+	// Resolver is the stream's label-only endpoint bookkeeping, in ID
+	// order.
+	Resolver []resolverNode `json:"resolver,omitempty"`
+	// NextEdgeID preserves the CSV stream's sequential edge-ID counter
+	// (0 for JSONL streams, whose IDs are explicit in the input).
+	NextEdgeID pg.ID `json:"nextEdgeID,omitempty"`
+	// NextTypeID preserves the schema's type-ID counter. The schema
+	// image alone cannot: after a retraction compacts a type away, the
+	// live counter sits past the highest surviving ID, and restoring
+	// it as max+1 would reuse the compacted ID — diverging from the
+	// uninterrupted run in every later ABSTRACT_<id> name.
+	NextTypeID int `json:"nextTypeID"`
+}
+
+// CheckpointExtras carries the stream-reader state that lives outside
+// the Incremental but must survive a restore for bit-identical
+// resumption.
+type CheckpointExtras struct {
+	// Resolver is the stream's endpoint bookkeeping graph
+	// (StreamReader.Resolver()); nil when no stream is involved.
+	Resolver *pg.Graph
+	// NextEdgeID is the CSV stream's next sequential edge ID; leave 0
+	// for JSONL streams.
+	NextEdgeID pg.ID
+}
+
+// WriteCheckpoint serializes the discovery's full cross-batch state.
+// extras may be nil when the discovery is fed by explicit batches
+// rather than a stream. The caller must serialize the call with
+// writes (ProcessBatch / RetractBatch), like every other read.
+func (inc *Incremental) WriteCheckpoint(w io.Writer, extras *CheckpointExtras) error {
+	var sb bytes.Buffer
+	if err := schema.WriteJSON(&sb, inc.sch); err != nil {
+		return fmt.Errorf("core: checkpoint schema: %w", err)
+	}
+	cj := checkpointJSON{
+		Version:        CheckpointVersion,
+		Schema:         json.RawMessage(sb.Bytes()),
+		Batches:        inc.batches,
+		NextTypeID:     inc.sch.NextTypeID(),
+		NodeClusters:   inc.result.NodeClusters,
+		EdgeClusters:   inc.result.EdgeClusters,
+		NodeShapes:     inc.result.NodeShapes,
+		EdgeShapes:     inc.result.EdgeShapes,
+		NodeChoice:     inc.result.NodeChoice,
+		EdgeChoice:     inc.result.EdgeChoice,
+		NodeShapeCache: inc.nodeShapes.Export(),
+		EdgeShapeCache: inc.edgeShapes.Export(),
+	}
+	if len(inc.result.NodeAssign) > 0 {
+		cj.NodeAssign = make(map[pg.ID]int, len(inc.result.NodeAssign))
+		for id, t := range inc.result.NodeAssign {
+			cj.NodeAssign[id] = t.ID
+		}
+	}
+	if len(inc.result.EdgeAssign) > 0 {
+		cj.EdgeAssign = make(map[pg.ID]int, len(inc.result.EdgeAssign))
+		for id, t := range inc.result.EdgeAssign {
+			cj.EdgeAssign[id] = t.ID
+		}
+	}
+	if extras != nil {
+		cj.NextEdgeID = extras.NextEdgeID
+		if extras.Resolver != nil {
+			nodes := extras.Resolver.Nodes()
+			cj.Resolver = make([]resolverNode, len(nodes))
+			for i := range nodes {
+				cj.Resolver[i] = resolverNode{ID: nodes[i].ID, Labels: nodes[i].Labels}
+			}
+			// Canonical ID order, not insertion order: two logically
+			// identical states whose nodes arrived in different orders
+			// still serialize to identical bytes.
+			sort.Slice(cj.Resolver, func(i, j int) bool { return cj.Resolver[i].ID < cj.Resolver[j].ID })
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&cj)
+}
+
+// ResumeFromCheckpoint restores a discovery from a checkpoint written
+// by WriteCheckpoint. It returns the Incremental, positioned exactly
+// where the interrupted run stood, plus the persisted stream extras:
+// seed a new StreamReader over the remaining input with the returned
+// resolver nodes (SeedResolver) — and, for CSV, SetNextEdgeID — and
+// the finished run is bit-identical to one that never stopped.
+// opts must match the interrupted run's options; the checkpoint does
+// not store them (they may contain live configuration like
+// parallelism that the operator wants to change across restarts, and
+// changing discovery-relevant ones simply forfeits bit-identity).
+func ResumeFromCheckpoint(opts Options, r io.Reader) (*Incremental, *CheckpointExtras, error) {
+	var cj checkpointJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&cj); err != nil {
+		return nil, nil, fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if cj.Version != CheckpointVersion {
+		return nil, nil, fmt.Errorf("core: unsupported checkpoint version %d", cj.Version)
+	}
+	s, err := schema.ReadJSON(bytes.NewReader(cj.Schema))
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: checkpoint: %w", err)
+	}
+
+	inc := ResumeIncremental(opts, s)
+	s.SetNextTypeID(cj.NextTypeID)
+	inc.batches = cj.Batches
+	inc.result.NodeClusters = cj.NodeClusters
+	inc.result.EdgeClusters = cj.EdgeClusters
+	inc.result.NodeShapes = cj.NodeShapes
+	inc.result.EdgeShapes = cj.EdgeShapes
+	inc.result.NodeChoice = cj.NodeChoice
+	inc.result.EdgeChoice = cj.EdgeChoice
+
+	nodeByID := make(map[int]*schema.NodeType, len(s.NodeTypes))
+	for _, nt := range s.NodeTypes {
+		nodeByID[nt.ID] = nt
+	}
+	edgeByID := make(map[int]*schema.EdgeType, len(s.EdgeTypes))
+	for _, et := range s.EdgeTypes {
+		edgeByID[et.ID] = et
+	}
+	if len(cj.NodeAssign) > 0 {
+		inc.result.NodeAssign = make(map[pg.ID]*schema.NodeType, len(cj.NodeAssign))
+		for id, tid := range cj.NodeAssign {
+			t := nodeByID[tid]
+			if t == nil {
+				return nil, nil, fmt.Errorf("core: checkpoint: node %d assigned to unknown type %d", id, tid)
+			}
+			inc.result.NodeAssign[id] = t
+		}
+	}
+	if len(cj.EdgeAssign) > 0 {
+		inc.result.EdgeAssign = make(map[pg.ID]*schema.EdgeType, len(cj.EdgeAssign))
+		for id, tid := range cj.EdgeAssign {
+			t := edgeByID[tid]
+			if t == nil {
+				return nil, nil, fmt.Errorf("core: checkpoint: edge %d assigned to unknown type %d", id, tid)
+			}
+			inc.result.EdgeAssign[id] = t
+		}
+	}
+
+	if inc.nodeShapes, err = pg.RestoreShapeCache(cj.NodeShapeCache); err != nil {
+		return nil, nil, fmt.Errorf("core: checkpoint: node shapes: %w", err)
+	}
+	if inc.edgeShapes, err = pg.RestoreShapeCache(cj.EdgeShapeCache); err != nil {
+		return nil, nil, fmt.Errorf("core: checkpoint: edge shapes: %w", err)
+	}
+
+	extras := &CheckpointExtras{NextEdgeID: cj.NextEdgeID}
+	if len(cj.Resolver) > 0 {
+		g := pg.NewGraph()
+		g.AllowDanglingEdges(true)
+		for _, rn := range cj.Resolver {
+			if err := g.PutNode(rn.ID, rn.Labels, nil); err != nil {
+				return nil, nil, fmt.Errorf("core: checkpoint: resolver: %w", err)
+			}
+		}
+		extras.Resolver = g
+	}
+	return inc, extras, nil
+}

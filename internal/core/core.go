@@ -281,6 +281,9 @@ type Incremental struct {
 	// lookup and reuses its cached token set.
 	nodeShapes *pg.ShapeCache
 	edgeShapes *pg.ShapeCache
+	// batches counts ProcessBatch calls (RetractBatch excluded), so
+	// serving layers and checkpoints can report stream progress.
+	batches int
 }
 
 // NewIncremental returns a streaming pipeline with an empty schema.
@@ -311,6 +314,49 @@ func ResumeIncremental(opts Options, s *schema.Schema) *Incremental {
 
 // Schema exposes the current (evolving) schema.
 func (inc *Incremental) Schema() *schema.Schema { return inc.sch }
+
+// Batches returns the number of batches processed so far (across a
+// checkpoint restore, the count continues from the interrupted run).
+func (inc *Incremental) Batches() int { return inc.batches }
+
+// IncrementalStats summarizes the live state of an Incremental for
+// serving layers: stream progress, element coverage, and the size of
+// the cross-batch caches.
+type IncrementalStats struct {
+	// Batches counts processed batches.
+	Batches int `json:"batches"`
+	// Nodes / Edges count the elements currently assigned to a type
+	// (ingested minus retracted).
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	// NodeClusters / EdgeClusters accumulate raw LSH clusters.
+	NodeClusters int `json:"nodeClusters"`
+	EdgeClusters int `json:"edgeClusters"`
+	// NodeShapes / EdgeShapes accumulate per-batch distinct shape
+	// counts (0 with interning disabled).
+	NodeShapes int `json:"nodeShapes"`
+	EdgeShapes int `json:"edgeShapes"`
+	// CachedNodeShapes / CachedEdgeShapes are the cross-batch shape
+	// cache sizes — the distinct shapes ever seen.
+	CachedNodeShapes int `json:"cachedNodeShapes"`
+	CachedEdgeShapes int `json:"cachedEdgeShapes"`
+}
+
+// Stats snapshots the live counters. Callers must serialize it with
+// writes like every other read of an Incremental.
+func (inc *Incremental) Stats() IncrementalStats {
+	return IncrementalStats{
+		Batches:          inc.batches,
+		Nodes:            len(inc.result.NodeAssign),
+		Edges:            len(inc.result.EdgeAssign),
+		NodeClusters:     inc.result.NodeClusters,
+		EdgeClusters:     inc.result.EdgeClusters,
+		NodeShapes:       inc.result.NodeShapes,
+		EdgeShapes:       inc.result.EdgeShapes,
+		CachedNodeShapes: inc.nodeShapes.Size(),
+		CachedEdgeShapes: inc.edgeShapes.Size(),
+	}
+}
 
 // BatchTiming is the per-batch cost record used by the Fig. 7
 // experiment, plus the batch's interning statistics and — when the
@@ -637,6 +683,7 @@ func (inc *Incremental) ProcessBatch(b *pg.Batch) BatchTiming {
 	}
 
 	inc.result.Timing.add(tm)
+	inc.batches++
 	bt := BatchTiming{Index: b.Index, Timing: tm, Nodes: len(nodes), Edges: len(edges)}
 	if intern {
 		bt.NodeShapes = nodeSI.NumShapes()
@@ -688,6 +735,28 @@ func (inc *Incremental) RetractBatch(b *pg.Batch) BatchTiming {
 	return BatchTiming{Index: b.Index, Timing: tm}
 }
 
+// MemObservedOnBatch wraps a batch observer so every invocation first
+// fills the batch's AllocBytes / HeapLiveBytes counters from
+// runtime.MemStats deltas. A nil observer returns nil, which is how
+// the drain loops skip the stop-the-world MemStats reads entirely
+// when nobody can observe the counters. The returned function is not
+// safe for concurrent use (drain loops are sequential).
+func MemObservedOnBatch(onBatch func(BatchTiming)) func(BatchTiming) {
+	if onBatch == nil {
+		return nil
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	prevAlloc := ms.TotalAlloc
+	return func(bt BatchTiming) {
+		runtime.ReadMemStats(&ms)
+		bt.AllocBytes = ms.TotalAlloc - prevAlloc
+		bt.HeapLiveBytes = ms.HeapAlloc
+		prevAlloc = ms.TotalAlloc
+		onBatch(bt)
+	}
+}
+
 // DrainStream feeds every batch of the stream through ProcessBatch,
 // filling each BatchTiming's memory counters, and invokes onBatch
 // (when non-nil) after each batch. It returns on io.EOF (nil error)
@@ -695,14 +764,7 @@ func (inc *Incremental) RetractBatch(b *pg.Batch) BatchTiming {
 // so a drained stream can be followed by more batches or by another
 // stream — the incremental-maintenance loop of §4.6.
 func (inc *Incremental) DrainStream(r pg.StreamReader, onBatch func(BatchTiming)) error {
-	// The stop-the-world MemStats reads only run when someone can
-	// observe the counters.
-	var ms runtime.MemStats
-	var prevAlloc uint64
-	if onBatch != nil {
-		runtime.ReadMemStats(&ms)
-		prevAlloc = ms.TotalAlloc
-	}
+	onBatch = MemObservedOnBatch(onBatch)
 	for {
 		b, err := r.Next()
 		if err == io.EOF {
@@ -713,10 +775,6 @@ func (inc *Incremental) DrainStream(r pg.StreamReader, onBatch func(BatchTiming)
 		}
 		bt := inc.ProcessBatch(b)
 		if onBatch != nil {
-			runtime.ReadMemStats(&ms)
-			bt.AllocBytes = ms.TotalAlloc - prevAlloc
-			bt.HeapLiveBytes = ms.HeapAlloc
-			prevAlloc = ms.TotalAlloc
 			onBatch(bt)
 		}
 	}

@@ -183,6 +183,27 @@ func (g *Graph) putEdge(id ID, labels []string, src, dst ID, props map[string]Va
 	g.edges = append(g.edges, Edge{ID: id, Labels: ls, Src: src, Dst: dst, Props: props})
 }
 
+// RemoveNode deletes a node by ID, reporting whether it was present.
+// The hole is filled by swapping the last node in, so insertion order
+// is not preserved. Edges are not touched — this exists for the
+// label-only bookkeeping graphs (stream and service resolvers), which
+// must drop entries when elements are retracted or they grow without
+// bound under churn.
+func (g *Graph) RemoveNode(id ID) bool {
+	i, ok := g.nodeIdx[id]
+	if !ok {
+		return false
+	}
+	last := len(g.nodes) - 1
+	if i != last {
+		g.nodes[i] = g.nodes[last]
+		g.nodeIdx[g.nodes[i].ID] = i
+	}
+	g.nodes = g.nodes[:last]
+	delete(g.nodeIdx, id)
+	return true
+}
+
 // NumNodes returns the number of nodes.
 func (g *Graph) NumNodes() int { return len(g.nodes) }
 

@@ -78,6 +78,22 @@ func (s *streamState) trackNode(id ID, labels []string) error {
 	return s.resolver.PutNode(id, labels, nil)
 }
 
+// Resolver exposes the stream's label-only endpoint bookkeeping: every
+// node seen so far, with labels but no properties or edges. Checkpoint
+// writers persist it so a resumed stream over the remaining input can
+// still resolve edges whose endpoints arrived before the checkpoint.
+// The returned graph is owned by the stream; callers must not mutate
+// it and must read it only between Next calls.
+func (s *streamState) Resolver() *Graph { return s.resolver }
+
+// SeedResolver pre-registers a node in the endpoint bookkeeping, as if
+// it had streamed through earlier — how a checkpoint-restored run
+// rebuilds the resolver before reading the remaining input. It fails
+// on IDs already tracked.
+func (s *streamState) SeedResolver(id ID, labels []string) error {
+	return s.trackNode(id, labels)
+}
+
 // emit hands the accumulated batch out and starts a fresh one. The
 // reader keeps no reference to emitted batch graphs, so the consumer's
 // release of a batch releases its elements.
@@ -184,6 +200,16 @@ func sourceName(r io.Reader, kind string, ordinal int) string {
 func NewCSVStream(nodes, edges []io.Reader, batchSize int) *CSVStream {
 	return &CSVStream{nodeSrcs: nodes, edgeSrcs: edges, streamState: newStreamState(batchSize)}
 }
+
+// SetNextEdgeID overrides the sequential edge-ID counter. CSV rows
+// carry no edge IDs, so a checkpoint-resumed stream over the remaining
+// relationship rows must continue numbering where the interrupted run
+// stopped to keep IDs — and therefore assignments — identical.
+func (s *CSVStream) SetNextEdgeID(id ID) { s.nextEdge = id }
+
+// NextEdgeID returns the ID the next decoded relationship row will
+// get — the counterpart checkpoint writers persist for SetNextEdgeID.
+func (s *CSVStream) NextEdgeID() ID { return s.nextEdge }
 
 // Next returns the next batch, or (nil, io.EOF) at the end of the
 // stream.

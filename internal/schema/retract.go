@@ -24,6 +24,13 @@ func (s *PropStat) retractValue(v pg.Value) {
 				delete(s.Distinct, sv)
 			}
 		}
+		// Release the tracker when its last value goes: persistence
+		// canonicalizes an empty tracker to "absent" (omitempty), so
+		// keeping an empty map here would make the in-memory state
+		// diverge from its own checkpoint round trip.
+		if len(s.Distinct) == 0 {
+			s.Distinct = nil
+		}
 	}
 }
 

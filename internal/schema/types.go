@@ -420,6 +420,23 @@ func (s *Schema) AbstractEdgeTypes() []*EdgeType {
 	return out
 }
 
+// NextTypeID returns the ID the next extracted type will receive.
+// IDs are never reused: retraction can Compact a type away without
+// lowering the counter, so the gap persists — checkpoints record the
+// counter to keep resumed runs bit-identical to uninterrupted ones.
+func (s *Schema) NextTypeID() int { return s.nextID }
+
+// SetNextTypeID raises the ID counter to at least id (it never
+// lowers it — reusing a live type's ID would corrupt the schema).
+// Checkpoint restore calls it because the serialized schema alone
+// cannot distinguish "counter is max ID + 1" from "counter moved past
+// IDs whose types were since retracted and compacted away".
+func (s *Schema) SetNextTypeID(id int) {
+	if id > s.nextID {
+		s.nextID = id
+	}
+}
+
 func (s *Schema) addNodeType(t *NodeType) {
 	t.ID = s.nextID
 	s.nextID++

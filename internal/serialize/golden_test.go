@@ -1,0 +1,194 @@
+package serialize
+
+// Golden-file snapshot tests for every serving format: the rendered
+// output of a feature-complete fixture schema is compared byte for
+// byte against checked-in files under testdata/, so any formatting
+// regression in a served format shows up as a readable diff instead
+// of slipping past hand-written substring asserts. Regenerate after
+// an intentional change with:
+//
+//	go test ./internal/serialize -run Golden -update
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/pghive/pghive/internal/pg"
+	"github.com/pghive/pghive/internal/schema"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenSchema builds a fixture exercising every serializer feature:
+// mandatory/optional properties, all six data types, enum and
+// integer-range refinements, free-form strings (DistinctOverflow),
+// multi-label and abstract node types, every cardinality class, and
+// an edge type with several observed endpoint pairs. Derived fields
+// are set directly (not via infer) so the fixture is immune to
+// inference-threshold changes — these tests pin serialization only.
+func goldenSchema() *schema.Schema {
+	s := schema.New()
+
+	person := schema.NewNodeCandidate()
+	person.Token = "Person"
+	person.Labels["Person"] = 7
+	person.Instances = 7
+	person.Props["name"] = &schema.PropStat{Count: 7, Mandatory: true, DataType: pg.KindString, DistinctOverflow: true}
+	person.Props["age"] = &schema.PropStat{Count: 7, Mandatory: true, DataType: pg.KindInt, HasIntRange: true, MinInt: 18, MaxInt: 99}
+	person.Props["score"] = &schema.PropStat{Count: 3, DataType: pg.KindFloat}
+	person.Props["active"] = &schema.PropStat{Count: 7, Mandatory: true, DataType: pg.KindBool}
+	person.Props["born"] = &schema.PropStat{Count: 7, Mandatory: true, DataType: pg.KindDate}
+	person.Props["lastSeen"] = &schema.PropStat{Count: 2, DataType: pg.KindDateTime}
+	person.Props["tier"] = &schema.PropStat{Count: 7, Mandatory: true, DataType: pg.KindString, Enum: []string{"bronze", "gold", "silver"}}
+
+	admin := schema.NewNodeCandidate()
+	admin.Token = "Admin&Person"
+	admin.Labels["Person"] = 2
+	admin.Labels["Admin"] = 2
+	admin.Instances = 2
+	admin.Props["name"] = &schema.PropStat{Count: 2, Mandatory: true, DataType: pg.KindString}
+
+	org := schema.NewNodeCandidate()
+	org.Token = "Org"
+	org.Labels["Org"] = 3
+	org.Instances = 3
+	org.Props["name"] = &schema.PropStat{Count: 3, Mandatory: true, DataType: pg.KindString}
+
+	ghost := schema.NewNodeCandidate()
+	ghost.Abstract = true
+	ghost.Instances = 1
+	ghost.Props["payload"] = &schema.PropStat{Count: 1, Mandatory: true, DataType: pg.KindString}
+
+	s.AppendNodeTypes([]*schema.NodeType{person, admin, org, ghost})
+
+	knows := schema.NewEdgeCandidate()
+	knows.Token = "KNOWS"
+	knows.Labels["KNOWS"] = 9
+	knows.Instances = 9
+	knows.SrcTokens["Person"] = true
+	knows.DstTokens["Person"] = true
+	knows.Cardinality = schema.CardManyToMany
+	knows.Props["since"] = &schema.PropStat{Count: 9, Mandatory: true, DataType: pg.KindInt}
+
+	worksAt := schema.NewEdgeCandidate()
+	worksAt.Token = "WORKS_AT"
+	worksAt.Labels["WORKS_AT"] = 6
+	worksAt.Instances = 6
+	// Two observed source types: serializers emit one connection
+	// pattern per (src, dst) pair.
+	worksAt.SrcTokens["Person"] = true
+	worksAt.SrcTokens["Admin&Person"] = true
+	worksAt.DstTokens["Org"] = true
+	worksAt.Cardinality = schema.CardManyToOne
+
+	manages := schema.NewEdgeCandidate()
+	manages.Token = "MANAGES"
+	manages.Labels["MANAGES"] = 2
+	manages.Instances = 2
+	manages.SrcTokens["Org"] = true
+	manages.DstTokens["Person"] = true
+	manages.Cardinality = schema.CardOneToMany
+
+	spouse := schema.NewEdgeCandidate()
+	spouse.Token = "SPOUSE_OF"
+	spouse.Labels["SPOUSE_OF"] = 1
+	spouse.Instances = 1
+	spouse.SrcTokens["Person"] = true
+	spouse.DstTokens["Person"] = true
+	spouse.Cardinality = schema.CardOneToOne
+
+	link := schema.NewEdgeCandidate()
+	link.Abstract = true
+	link.Instances = 1
+	link.Props["weight"] = &schema.PropStat{Count: 1, Mandatory: true, DataType: pg.KindFloat}
+
+	s.AppendEdgeTypes([]*schema.EdgeType{knows, worksAt, manages, spouse, link})
+	return s
+}
+
+func TestGoldenSerializations(t *testing.T) {
+	s := goldenSchema()
+	cases := []struct {
+		file string
+		got  string
+	}{
+		{"pgschema_strict.golden", PGSchema(s, Strict, "GoldenGraph")},
+		{"pgschema_loose.golden", PGSchema(s, Loose, "GoldenGraph")},
+		{"xsd.golden", XSD(s)},
+		{"dot.golden", DOT(s, "GoldenGraph")},
+	}
+	for _, c := range cases {
+		t.Run(c.file, func(t *testing.T) {
+			path := filepath.Join("testdata", c.file)
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(c.got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if c.got != string(want) {
+				t.Errorf("output differs from %s:\n%s\n\nregenerate with -update if the change is intentional",
+					path, diffHint(string(want), c.got))
+			}
+		})
+	}
+}
+
+// The golden render must also be deterministic run to run — a map
+// iteration leaking into any serializer would flap the golden tests.
+func TestGoldenSerializationsDeterministic(t *testing.T) {
+	a, b := goldenSchema(), goldenSchema()
+	for _, mode := range []Mode{Strict, Loose} {
+		if PGSchema(a, mode, "G") != PGSchema(b, mode, "G") {
+			t.Fatalf("PGSchema %v render is nondeterministic", mode)
+		}
+	}
+	if XSD(a) != XSD(b) {
+		t.Fatal("XSD render is nondeterministic")
+	}
+	if DOT(a, "G") != DOT(b, "G") {
+		t.Fatal("DOT render is nondeterministic")
+	}
+}
+
+// diffHint shows the first differing line of two renders.
+func diffHint(want, got string) string {
+	wl, gl := splitLines(want), splitLines(got)
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		w, g := "", ""
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("line %d:\n  want: %q\n  got:  %q", i+1, w, g)
+		}
+	}
+	return "(no line-level difference found)"
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -233,6 +233,32 @@ func ResumeIncremental(opts Options, s *Schema) *Incremental {
 	return core.ResumeIncremental(opts, s)
 }
 
+// Checkpointing (see internal/core/checkpoint.go): persist the FULL
+// cross-batch state of an incremental discovery — schema, per-element
+// type assignments, interned shape caches, stream endpoint
+// bookkeeping — so a run interrupted mid-stream resumes bit-identical
+// to one that never stopped. Write with Incremental.WriteCheckpoint
+// (or Service.WriteCheckpoint), restore with ResumeFromCheckpoint (or
+// RestoreService).
+type (
+	// CheckpointExtras carries the stream-reader state persisted
+	// alongside the Incremental: the resolver bookkeeping and, for CSV
+	// streams, the sequential edge-ID counter.
+	CheckpointExtras = core.CheckpointExtras
+	// IncrementalStats summarizes the live state of an Incremental.
+	IncrementalStats = core.IncrementalStats
+)
+
+// ResumeFromCheckpoint restores an incremental discovery from a
+// checkpoint written by Incremental.WriteCheckpoint: the returned
+// pipeline continues exactly where the interrupted run stood. Seed a
+// new StreamReader over the remaining input with the returned extras
+// (SeedResolver; SetNextEdgeID for CSV) to finish the stream
+// bit-identically. opts must match the interrupted run's options.
+func ResumeFromCheckpoint(opts Options, r io.Reader) (*Incremental, *CheckpointExtras, error) {
+	return core.ResumeFromCheckpoint(opts, r)
+}
+
 // Schema model (see internal/schema).
 type (
 	// Schema is a discovered schema graph (Def. 3.4).

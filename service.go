@@ -1,0 +1,283 @@
+package pghive
+
+// service.go turns the single-caller incremental pipeline into a
+// long-running, concurrently queryable schema service. Writes
+// (Ingest, Retract, DrainStream, checkpointing) are serialized by a
+// mutex; reads are lock-free against an immutable published snapshot
+// (copy-on-publish): after every write batch the service deep-copies
+// the evolving schema, finalizes constraints on the copy, and swaps
+// it in atomically, so a reader never observes a half-merged schema,
+// a type with zero instances, or constraints that lag the statistics.
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"github.com/pghive/pghive/internal/core"
+	"github.com/pghive/pghive/internal/infer"
+	"github.com/pghive/pghive/internal/pg"
+	"github.com/pghive/pghive/internal/schema"
+	"github.com/pghive/pghive/internal/serialize"
+	"github.com/pghive/pghive/internal/validate"
+)
+
+// ServiceStats summarizes a published snapshot.
+type ServiceStats struct {
+	core.IncrementalStats
+	// NodeTypes / EdgeTypes count the snapshot's schema types.
+	NodeTypes int `json:"nodeTypes"`
+	EdgeTypes int `json:"edgeTypes"`
+	// Snapshot is the publication sequence number: 0 for the initial
+	// empty snapshot, incremented on every publish.
+	Snapshot uint64 `json:"snapshot"`
+}
+
+// ServiceSnapshot is one immutable published state: a private deep
+// copy of the schema with §4.4 constraints finalized, plus the stats
+// taken at the same instant. Readers sharing a snapshot must treat
+// the schema as read-only; the service never mutates it again.
+type ServiceSnapshot struct {
+	Schema *Schema
+	Stats  ServiceStats
+}
+
+// Service is a thread-safe serving wrapper around the §4.6
+// incremental pipeline. Any number of goroutines may call the read
+// side (Snapshot, Schema, Stats, Validate, PGSchema, XSD, DOT)
+// concurrently with each other and with writers; the write side
+// (Ingest, Retract, DrainStream, WriteCheckpoint) is serialized
+// internally.
+//
+// The service keeps its own label-only endpoint bookkeeping across
+// Ingest calls (the serving analogue of a stream reader's resolver),
+// so an edge ingested in a later request still resolves endpoint
+// labels for nodes ingested earlier. Element IDs must be unique
+// across the service's lifetime — re-ingesting an ID double-counts
+// its statistics, exactly as re-feeding it to Incremental would.
+type Service struct {
+	mu       sync.Mutex
+	inc      *Incremental
+	resolver *Graph // label-only, cross-ingest endpoint bookkeeping
+	// nextEdgeID carries the sequential edge-ID counter across CSV
+	// streams (and their checkpoints); CSV rows have no explicit edge
+	// IDs, so a later stream must continue numbering where the
+	// previous one stopped.
+	nextEdgeID pg.ID
+	snap       atomic.Pointer[ServiceSnapshot]
+	seq        uint64
+	opts       Options
+}
+
+// NewService returns a serving pipeline with an empty schema. The
+// initial published snapshot is empty but valid, so readers never
+// observe a nil schema.
+func NewService(opts Options) *Service {
+	return newService(opts, NewIncremental(opts), nil)
+}
+
+// RestoreService resumes a service from a checkpoint written by
+// Service.WriteCheckpoint (or Incremental.WriteCheckpoint): schema,
+// per-element assignments, shape caches, and the cross-ingest
+// endpoint bookkeeping all carry over, and the first published
+// snapshot already reflects the checkpointed state. opts must match
+// the checkpointed run's (see ResumeFromCheckpoint).
+func RestoreService(opts Options, r io.Reader) (*Service, error) {
+	inc, extras, err := core.ResumeFromCheckpoint(opts, r)
+	if err != nil {
+		return nil, err
+	}
+	s := newService(opts, inc, extras.Resolver)
+	s.nextEdgeID = extras.NextEdgeID
+	return s, nil
+}
+
+func newService(opts Options, inc *Incremental, resolver *Graph) *Service {
+	if resolver == nil {
+		resolver = pg.NewGraph()
+		resolver.AllowDanglingEdges(true)
+	}
+	s := &Service{inc: inc, resolver: resolver, opts: opts}
+	s.publish()
+	return s
+}
+
+// publish clones the live schema, finalizes constraints on the clone,
+// and swaps it in. Callers must hold mu.
+func (s *Service) publish() {
+	sch := s.inc.Schema().Clone()
+	infer.Finalize(sch, s.opts.Infer)
+	st := ServiceStats{IncrementalStats: s.inc.Stats(), Snapshot: s.seq,
+		NodeTypes: len(sch.NodeTypes), EdgeTypes: len(sch.EdgeTypes)}
+	s.seq++
+	s.snap.Store(&ServiceSnapshot{Schema: sch, Stats: st})
+}
+
+// track registers g's nodes in the cross-ingest endpoint bookkeeping,
+// skipping IDs already tracked (their first labels win, matching how
+// a stream resolver behaves), and advances the sequential edge-ID
+// watermark past g's edges so a later CSV stream — which assigns IDs
+// itself — can never collide with IDs the service has already seen.
+func (s *Service) track(g *Graph) {
+	nodes := g.Nodes()
+	for i := range nodes {
+		if s.resolver.Node(nodes[i].ID) == nil {
+			// Error impossible: absence was just checked and writes are
+			// serialized by mu.
+			_ = s.resolver.PutNode(nodes[i].ID, nodes[i].Labels, nil)
+		}
+	}
+	edges := g.Edges()
+	for i := range edges {
+		if id := edges[i].ID + 1; id > s.nextEdgeID {
+			s.nextEdgeID = id
+		}
+	}
+}
+
+// Ingest runs one batch through the pipeline and publishes a fresh
+// snapshot. The graph is read during the call and not retained.
+func (s *Service) Ingest(g *Graph) BatchTiming {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.track(g)
+	bt := s.inc.ProcessBatch(&Batch{Graph: g, Resolver: s.resolver, Index: s.inc.Batches() + 1})
+	s.publish()
+	return bt
+}
+
+// Retract removes a batch of previously ingested elements (every
+// element must have been ingested earlier; see
+// Incremental.RetractBatch) and publishes a fresh snapshot. Types
+// whose last instance disappears are gone from the new snapshot. The
+// batch's nodes also leave the endpoint bookkeeping, so churn does
+// not grow the resolver (or checkpoints) without bound, and a later
+// edge naming a retracted endpoint no longer resolves its stale
+// labels.
+func (s *Service) Retract(g *Graph) BatchTiming {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bt := s.inc.RetractBatch(&Batch{Graph: g, Resolver: s.resolver})
+	nodes := g.Nodes()
+	for i := range nodes {
+		s.resolver.RemoveNode(nodes[i].ID)
+	}
+	s.publish()
+	return bt
+}
+
+// csvLikeStream is the extra surface of readers that assign
+// sequential edge IDs and validate endpoints against their own
+// resolver (pg.CSVStream). The service seeds both from its own state
+// so a stream started after earlier ingests — or after a checkpoint
+// restore — continues numbering and resolving where the service
+// stands.
+type csvLikeStream interface {
+	NextEdgeID() ID
+	SetNextEdgeID(ID)
+	SeedResolver(ID, []string) error
+}
+
+// DrainStream feeds every batch of the stream through the pipeline,
+// publishing a fresh snapshot after each batch, so concurrent readers
+// watch the schema evolve while the stream loads. Like
+// Incremental.DrainStream it fills the per-batch memory counters and
+// returns on io.EOF (nil) or the first reader error; the write lock
+// is held for the whole drain, serializing it with other writers.
+//
+// CSV streams are adopted into the service's state: a fresh reader is
+// seeded with the service's endpoint bookkeeping and its sequential
+// edge-ID counter continues from the previous stream's, so relation
+// files ingested across restarts keep globally unique edge IDs. For
+// the duration of a drain the reader's own label-only bookkeeping
+// duplicates the service's (both index the streamed nodes); the
+// overhead is bounded by the ID+labels index, never properties.
+func (s *Service) DrainStream(r StreamReader, onBatch func(BatchTiming)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := r.(csvLikeStream); ok {
+		if c.NextEdgeID() == 0 && s.nextEdgeID > 0 {
+			c.SetNextEdgeID(s.nextEdgeID)
+		}
+		nodes := s.resolver.Nodes()
+		for i := range nodes {
+			// Error means the reader tracked the ID already; its labels
+			// win, matching Ingest's first-labels-win rule.
+			_ = c.SeedResolver(nodes[i].ID, nodes[i].Labels)
+		}
+		defer func() {
+			if id := c.NextEdgeID(); id > s.nextEdgeID {
+				s.nextEdgeID = id
+			}
+		}()
+	}
+	onBatch = core.MemObservedOnBatch(onBatch)
+	for {
+		b, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		// The service resolver absorbs the stream's bookkeeping so
+		// later Ingest calls still resolve endpoints of streamed nodes.
+		s.track(b.Graph)
+		bt := s.inc.ProcessBatch(&Batch{Graph: b.Graph, Resolver: s.resolver, Index: s.inc.Batches() + 1})
+		s.publish()
+		if onBatch != nil {
+			onBatch(bt)
+		}
+	}
+}
+
+// Snapshot returns the current published state. The returned snapshot
+// is immutable and remains valid (and consistent) forever; hold it
+// for as long as a stable view is needed.
+func (s *Service) Snapshot() *ServiceSnapshot { return s.snap.Load() }
+
+// Schema returns the current published schema — an immutable deep
+// copy with constraints finalized. Callers must not mutate it.
+func (s *Service) Schema() *Schema { return s.Snapshot().Schema }
+
+// Stats returns the current published statistics.
+func (s *Service) Stats() ServiceStats { return s.Snapshot().Stats }
+
+// Validate checks a graph against the current published schema.
+func (s *Service) Validate(g *Graph, mode ValidationMode) *ValidationReport {
+	return validate.Graph(g, s.Snapshot().Schema, mode)
+}
+
+// PGSchema renders the published schema as PG-Schema (§4.5).
+func (s *Service) PGSchema(mode SerializationMode, graphName string) string {
+	return serialize.PGSchema(s.Snapshot().Schema, mode, graphName)
+}
+
+// XSD renders the published schema as an XML Schema document.
+func (s *Service) XSD() string { return serialize.XSD(s.Snapshot().Schema) }
+
+// DOT renders the published schema as Graphviz DOT.
+func (s *Service) DOT(graphName string) string {
+	return serialize.DOT(s.Snapshot().Schema, graphName)
+}
+
+// WriteSchemaJSON writes the published schema in the persisted schema
+// format (statistics included, service state excluded — use
+// WriteCheckpoint for a restorable image).
+func (s *Service) WriteSchemaJSON(w io.Writer) error {
+	return schema.WriteJSON(w, s.Snapshot().Schema)
+}
+
+// WriteCheckpoint serializes the service's full state — schema,
+// assignments, shape caches, endpoint bookkeeping — so RestoreService
+// can resume it bit-identically. The write lock is held for the
+// duration, so the image is consistent with exactly the batches whose
+// snapshots were published before the call returned.
+func (s *Service) WriteCheckpoint(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inc.WriteCheckpoint(w, &core.CheckpointExtras{
+		Resolver:   s.resolver,
+		NextEdgeID: s.nextEdgeID,
+	})
+}

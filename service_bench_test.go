@@ -1,0 +1,102 @@
+package pghive_test
+
+// BenchmarkServeConcurrentReads measures the serving layer's read
+// path while writes are in flight: one background writer churns
+// ingest/retract batches through the service the whole time, and the
+// benchmark's parallel readers hit the published snapshot. Because
+// reads are lock-free pointer loads plus work on a private schema
+// copy, read latency should be flat whether or not a writer is
+// running — the copy-on-publish design's selling point. BENCH_4.json
+// records the trajectory.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	pghive "github.com/pghive/pghive"
+	"github.com/pghive/pghive/internal/datagen"
+)
+
+// serveBenchService builds a service with the LDBC base loaded and a
+// background writer churning until the returned stop function runs.
+func serveBenchService(b *testing.B) (*pghive.Service, func() int) {
+	b.Helper()
+	d := datagen.Generate(datagen.LDBC(), 0.5, 1)
+	svc := pghive.NewService(pghive.Options{Seed: 1})
+	svc.Ingest(d.Graph)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var batches atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			g := writerGraph(0, i)
+			svc.Ingest(g)
+			svc.Retract(g)
+			batches.Add(2)
+		}
+	}()
+	return svc, func() int {
+		close(stop)
+		wg.Wait()
+		return int(batches.Load())
+	}
+}
+
+func BenchmarkServeConcurrentReads(b *testing.B) {
+	b.Run("stats", func(b *testing.B) {
+		svc, stop := serveBenchService(b)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				st := svc.Stats()
+				if st.NodeTypes == 0 {
+					b.Error("empty snapshot served")
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(stop())/b.Elapsed().Seconds(), "writes/s")
+	})
+	b.Run("pgschema", func(b *testing.B) {
+		svc, stop := serveBenchService(b)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if svc.PGSchema(pghive.Strict, "G") == "" {
+					b.Error("empty render served")
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(stop())/b.Elapsed().Seconds(), "writes/s")
+	})
+	b.Run("validate", func(b *testing.B) {
+		svc, stop := serveBenchService(b)
+		// Ingested once so its types exist; the timed loop itself is
+		// pure read-side work against the published snapshot.
+		probe := writerGraph(7, 0)
+		svc.Ingest(probe)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if rep := svc.Validate(probe, pghive.ValidateLoose); !rep.Valid() {
+					b.Error("probe graph failed validation")
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(stop())/b.Elapsed().Seconds(), "writes/s")
+	})
+}
