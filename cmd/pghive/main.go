@@ -21,6 +21,7 @@
 //	pghive -input delta.jsonl -stream -schema-in s.json  # incremental maintenance
 //	pghive serve -listen :8080                 # long-running HTTP service
 //	pghive serve -restore state.ckpt           # resume from a checkpoint
+//	pghive serve -data-dir /var/lib/pghive     # durable: WAL + compaction
 package main
 
 import (
@@ -35,6 +36,7 @@ import (
 	pghive "github.com/pghive/pghive"
 	"github.com/pghive/pghive/internal/datagen"
 	"github.com/pghive/pghive/internal/lsh"
+	"github.com/pghive/pghive/internal/wal"
 )
 
 func main() {
@@ -244,18 +246,14 @@ func printSchema(format, mode, name string, s *pghive.Schema) {
 	}
 }
 
-// persistSchema writes the schema (with statistics) as JSON.
+// persistSchema writes the schema (with statistics) as JSON. The
+// write is atomic (temp file + rename): a crash mid-write must not
+// leave a truncated, unrestorable image at the target path.
 func persistSchema(path string, s *pghive.Schema) {
-	f, err := os.Create(path)
+	err := wal.WriteFileAtomic(path, func(w io.Writer) error {
+		return pghive.WriteSchemaJSON(w, s)
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pghive:", err)
-		os.Exit(1)
-	}
-	if err := pghive.WriteSchemaJSON(f, s); err != nil {
-		fmt.Fprintln(os.Stderr, "pghive:", err)
-		os.Exit(1)
-	}
-	if err := f.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "pghive:", err)
 		os.Exit(1)
 	}

@@ -11,16 +11,27 @@ package main
 //	curl 'localhost:8080/schema?format=pgschema&mode=strict'
 //	curl -X POST localhost:8080/checkpoint > state.ckpt
 //	pghive serve -restore state.ckpt     # resumes bit-identically
+//
+// With -data-dir the service is durable: every mutation is
+// write-ahead logged before it is applied, a background compactor
+// folds the log into checkpoint images, and a restart (kill -9
+// included) recovers bit-identically from the directory alone:
+//
+//	pghive serve -data-dir /var/lib/pghive
+//	curl -X POST localhost:8080/checkpoint   # force a compaction
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	pghive "github.com/pghive/pghive"
@@ -41,6 +52,10 @@ func runServe(args []string) {
 		tables    = fs.Int("tables", 0, "pin LSH table count T (0 = adaptive)")
 		bucket    = fs.Float64("bucket", 0, "pin ELSH bucket length b (0 = adaptive)")
 		batchSize = fs.Int("batch-size", 0, "elements per ingest batch when splitting large bodies (0 = one batch per request)")
+		dataDir   = fs.String("data-dir", "", "durable mode: write-ahead log every mutation under this directory and recover from it on start")
+		segBytes  = fs.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = default 8 MiB; durable mode only)")
+		compact   = fs.Duration("compact-interval", 0, "background WAL compaction cadence (0 = default 1m; durable mode only)")
+		noSync    = fs.Bool("no-sync", false, "skip the per-append WAL fsync: survives kill -9 but not power loss (durable mode only)")
 	)
 	fs.Parse(args)
 
@@ -59,7 +74,41 @@ func runServe(args []string) {
 	}
 
 	var svc *pghive.Service
-	if *restore != "" {
+	var dur *pghive.DurableService
+	switch {
+	case *dataDir != "" && *restore != "":
+		fmt.Fprintln(os.Stderr, "pghive serve: -data-dir and -restore are mutually exclusive (a data directory recovers itself)")
+		os.Exit(2)
+	case *dataDir != "":
+		var err error
+		dur, err = pghive.OpenDurable(*dataDir, opts, pghive.DurableOptions{
+			SegmentBytes:    *segBytes,
+			CompactInterval: *compact,
+			NoSync:          *noSync,
+			OnCompactError: func(err error) {
+				fmt.Fprintln(os.Stderr, "pghive serve: compaction:", err)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pghive serve:", err)
+			os.Exit(1)
+		}
+		svc = dur.Service
+		st := svc.Stats()
+		ds := dur.DurableStats()
+		fmt.Fprintf(os.Stderr, "pghive serve: recovered %d batches, %d nodes, %d edges from %s (checkpoint LSN %d, next WAL LSN %d)\n",
+			st.Batches, st.Nodes, st.Edges, *dataDir, ds.CheckpointLSN, ds.WALNextLSN)
+		// A clean shutdown closes the WAL; a kill -9 is recovered on
+		// the next start either way.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			fmt.Fprintln(os.Stderr, "pghive serve: shutting down")
+			dur.Close()
+			os.Exit(0)
+		}()
+	case *restore != "":
 		f, err := os.Open(*restore)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pghive serve:", err)
@@ -74,14 +123,14 @@ func runServe(args []string) {
 		st := svc.Stats()
 		fmt.Fprintf(os.Stderr, "pghive serve: restored %d batches, %d nodes, %d edges\n",
 			st.Batches, st.Nodes, st.Edges)
-	} else {
+	default:
 		svc = pghive.NewService(opts)
 	}
 
 	fmt.Fprintf(os.Stderr, "pghive serve: listening on %s\n", *listen)
 	server := &http.Server{
 		Addr:    *listen,
-		Handler: newServeMux(svc, *batchSize),
+		Handler: newServeMux(svc, dur, *batchSize),
 		// A stalled client must not be able to park a connection
 		// forever; ingest bodies are spooled before the service write
 		// lock is taken, so these bounds never race a healthy upload.
@@ -95,8 +144,35 @@ func runServe(args []string) {
 }
 
 // newServeMux wires the service endpoints. Factored out of runServe so
-// tests can drive the full HTTP surface via httptest.
-func newServeMux(svc *pghive.Service, batchSize int) *http.ServeMux {
+// tests can drive the full HTTP surface via httptest. dur, when
+// non-nil, is the durable wrapper around svc: writes go through its
+// write-ahead log (and can therefore fail with 500 when the log
+// cannot be made durable), and POST /checkpoint folds the log into an
+// on-disk image instead of streaming one back.
+func newServeMux(svc *pghive.Service, dur *pghive.DurableService, batchSize int) *http.ServeMux {
+	ingest := func(g *pghive.Graph) error {
+		if dur != nil {
+			_, err := dur.Ingest(g)
+			return err
+		}
+		svc.Ingest(g)
+		return nil
+	}
+	retract := func(g *pghive.Graph) error {
+		if dur != nil {
+			_, err := dur.Retract(g)
+			return err
+		}
+		svc.Retract(g)
+		return nil
+	}
+	drain := func(r pghive.StreamReader) error {
+		if dur != nil {
+			return dur.DrainStream(r, nil)
+		}
+		return svc.DrainStream(r, nil)
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -116,8 +192,16 @@ func newServeMux(svc *pghive.Service, batchSize int) *http.ServeMux {
 			// error returns, so the error response carries the stats
 			// the client needs to see how far the body got — blindly
 			// re-sending the same body would double-ingest the prefix.
-			if err := svc.DrainStream(pghive.NewJSONLStream(bytes.NewReader(body), batchSize), nil); err != nil {
-				writeJSONStatus(w, http.StatusBadRequest, map[string]any{
+			if err := drain(pghive.NewJSONLStream(bytes.NewReader(body), batchSize)); err != nil {
+				// A durability failure (WAL append) is the server's
+				// fault and retryable — it must not masquerade as a
+				// malformed-body 400, which clients treat as permanent.
+				code := http.StatusBadRequest
+				var de *pghive.DurabilityError
+				if errors.As(err, &de) {
+					code = http.StatusInternalServerError
+				}
+				writeJSONStatus(w, code, map[string]any{
 					"error": err.Error(),
 					"note":  "streamed ingest is not atomic: batches before the error were already ingested and published",
 					"stats": svc.Stats(),
@@ -130,7 +214,10 @@ func newServeMux(svc *pghive.Service, batchSize int) *http.ServeMux {
 				httpError(w, http.StatusBadRequest, err)
 				return
 			}
-			svc.Ingest(g)
+			if err := ingest(g); err != nil {
+				httpError(w, http.StatusInternalServerError, err)
+				return
+			}
 		}
 		writeJSON(w, map[string]any{"elapsedMs": time.Since(start).Milliseconds(), "stats": svc.Stats()})
 	})
@@ -140,7 +227,10 @@ func newServeMux(svc *pghive.Service, batchSize int) *http.ServeMux {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		svc.Retract(g)
+		if err := retract(g); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
 		writeJSON(w, map[string]any{"stats": svc.Stats()})
 	})
 	mux.HandleFunc("GET /schema", func(w http.ResponseWriter, r *http.Request) {
@@ -209,9 +299,26 @@ func newServeMux(svc *pghive.Service, batchSize int) *http.ServeMux {
 		})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		if dur != nil {
+			writeJSON(w, map[string]any{"stats": svc.Stats(), "durable": dur.DurableStats()})
+			return
+		}
 		writeJSON(w, svc.Stats())
 	})
 	mux.HandleFunc("POST /checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		if dur != nil {
+			// Durable mode: fold the WAL into an on-disk image. The
+			// image lands in the data directory via temp file + rename
+			// (never a truncated file at the target path), superseded
+			// segments are pruned, and the response reports the new
+			// durability state instead of streaming the image.
+			if err := dur.Compact(); err != nil {
+				httpError(w, http.StatusInternalServerError, err)
+				return
+			}
+			writeJSON(w, map[string]any{"compacted": true, "durable": dur.DurableStats()})
+			return
+		}
 		// Serialize into memory first: WriteCheckpoint holds the
 		// service write lock, so streaming it straight to a slow (or
 		// stalled) client would block every ingest for as long as the

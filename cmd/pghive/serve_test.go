@@ -68,7 +68,7 @@ func jsonlBatch(firstID int) string {
 
 func TestServeHTTPEndpoints(t *testing.T) {
 	svc := pghive.NewService(pghive.Options{Seed: 1})
-	srv := httptest.NewServer(newServeMux(svc, 0))
+	srv := httptest.NewServer(newServeMux(svc, nil, 0))
 	defer srv.Close()
 
 	// Two ingest batches; the second one's edge endpoints partially
@@ -197,7 +197,7 @@ func TestServeHTTPEndpoints(t *testing.T) {
 // path (one request body split into multiple pipeline batches).
 func TestServeHTTPStreamedIngest(t *testing.T) {
 	svc := pghive.NewService(pghive.Options{Seed: 1})
-	srv := httptest.NewServer(newServeMux(svc, 5))
+	srv := httptest.NewServer(newServeMux(svc, nil, 5))
 	defer srv.Close()
 	if code, body := post(t, srv, "/ingest", jsonlBatch(0)); code != http.StatusOK {
 		t.Fatalf("ingest: %d %s", code, body)
@@ -208,5 +208,97 @@ func TestServeHTTPStreamedIngest(t *testing.T) {
 	}
 	if st.Batches != 4 {
 		t.Fatalf("19 elements at batch size 5 should make 4 batches, got %d", st.Batches)
+	}
+}
+
+// TestServeHTTPDurable drives the durable serving mode end to end
+// through the mux: ingest over HTTP, force a compaction via
+// POST /checkpoint, "crash" (abandon the service without fanfare),
+// and reopen the data directory into a second server whose state
+// matches the first bit for bit.
+func TestServeHTTPDurable(t *testing.T) {
+	dir := t.TempDir()
+	opts := pghive.Options{Seed: 1}
+	dopts := pghive.DurableOptions{NoSync: true, DisableAutoCompact: true, SegmentBytes: 4 << 10}
+	dur, err := pghive.OpenDurable(dir, opts, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newServeMux(dur.Service, dur, 0))
+
+	if code, body := post(t, srv, "/ingest", jsonlBatch(0)); code != http.StatusOK {
+		t.Fatalf("ingest 1: %d %s", code, body)
+	}
+	if code, body := post(t, srv, "/ingest", jsonlBatch(100)); code != http.StatusOK {
+		t.Fatalf("ingest 2: %d %s", code, body)
+	}
+
+	// POST /checkpoint in durable mode compacts instead of streaming
+	// an image: the response reports the durability state.
+	code, body := post(t, srv, "/checkpoint", "")
+	if code != http.StatusOK {
+		t.Fatalf("checkpoint: %d %s", code, body)
+	}
+	var ck struct {
+		Compacted bool                `json:"compacted"`
+		Durable   pghive.DurableStats `json:"durable"`
+	}
+	if err := json.Unmarshal(body, &ck); err != nil {
+		t.Fatal(err)
+	}
+	if !ck.Compacted || ck.Durable.CheckpointLSN != 2 {
+		t.Fatalf("checkpoint response %+v, want compacted at LSN 2", ck)
+	}
+
+	// One more write after the fold, so recovery exercises checkpoint
+	// + tail replay.
+	if code, body := post(t, srv, "/retract", jsonlBatch(100)); code != http.StatusOK {
+		t.Fatalf("retract: %d %s", code, body)
+	}
+
+	// GET /stats carries the durable section.
+	code, _, body = get(t, srv, "/stats", "")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+	var st struct {
+		Stats   pghive.ServiceStats `json:"stats"`
+		Durable pghive.DurableStats `json:"durable"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats.Nodes != 10 || st.Durable.WALNextLSN != 4 {
+		t.Fatalf("durable stats %+v / %+v, want 10 nodes and next LSN 4", st.Stats, st.Durable)
+	}
+
+	var live bytes.Buffer
+	if err := dur.WriteCheckpoint(&live); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if err := dur.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen the directory into a fresh server: the state recovered
+	// from checkpoint + WAL tail matches the live state bit for bit.
+	dur2, err := pghive.OpenDurable(dir, opts, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dur2.Close()
+	var recovered bytes.Buffer
+	if err := dur2.WriteCheckpoint(&recovered); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(live.Bytes(), recovered.Bytes()) {
+		t.Fatal("recovered serve state diverges from pre-crash state")
+	}
+	srv2 := httptest.NewServer(newServeMux(dur2.Service, dur2, 0))
+	defer srv2.Close()
+	code, _, body = get(t, srv2, "/schema?format=pgschema&mode=strict&name=G", "")
+	if code != http.StatusOK || !strings.Contains(string(body), "CREATE GRAPH TYPE G STRICT") {
+		t.Fatalf("schema after recovery: %d %s", code, body)
 	}
 }

@@ -1,0 +1,473 @@
+package pghive
+
+// durable.go makes the serving layer crash-safe: a DurableService
+// records every mutation — ingest batch, retract batch, drained
+// stream batch — in a segmented write-ahead log (internal/wal)
+// *before* applying it, so the state a crash destroys is always
+// reconstructible. Startup recovery restores the newest checkpoint
+// image and replays the WAL tail above it through exactly the code
+// path live writes use, which makes the recovered service
+// bit-identical to one that never died (kill -9 at any record
+// boundary; a torn trailing record is truncated away).
+//
+// A background compactor periodically folds the log into a fresh
+// checkpoint: it seals the active segment, replays the sealed prefix
+// into a private shadow pipeline seeded from the previous checkpoint,
+// writes the image to a temporary file, renames it into place, and
+// deletes the superseded segments. The compactor shares no lock with
+// the write path — it reads only sealed segment files and its own
+// shadow state — so writers are never blocked behind a fold, no
+// matter how large the log has grown.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/pghive/pghive/internal/core"
+	"github.com/pghive/pghive/internal/pg"
+	"github.com/pghive/pghive/internal/wal"
+)
+
+// WAL record types. Stream batches replay identically to ingest
+// batches (a drained batch IS an ingest of its materialized graph);
+// the distinct tag records provenance for operators reading a log.
+const (
+	walRecIngest  byte = 1
+	walRecRetract byte = 2
+	walRecStream  byte = 3
+)
+
+const (
+	walSubdir      = "wal"
+	ckptPrefix     = "checkpoint-"
+	ckptSuffix     = ".ckpt"
+	ckptTmpPattern = "*.tmp"
+)
+
+// DurableOptions tunes the durability layer of a DurableService.
+type DurableOptions struct {
+	// SegmentBytes is the WAL segment rotation threshold (default
+	// 8 MiB). Smaller segments mean finer-grained compaction.
+	SegmentBytes int64
+	// NoSync skips the per-append fsync: still safe against process
+	// crashes (kill -9), not against power loss.
+	NoSync bool
+	// CompactInterval is the background compaction cadence (default
+	// 1 minute). Each round folds every sealed WAL segment into a
+	// checkpoint image and deletes the segments it supersedes.
+	CompactInterval time.Duration
+	// DisableAutoCompact turns the background compactor off; call
+	// Compact explicitly instead.
+	DisableAutoCompact bool
+	// OnCompactError observes background compaction failures (the
+	// compactor retries on its next tick either way). Optional.
+	OnCompactError func(error)
+}
+
+func (o DurableOptions) withDefaults() DurableOptions {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = wal.DefaultSegmentBytes
+	}
+	if o.CompactInterval <= 0 {
+		o.CompactInterval = time.Minute
+	}
+	return o
+}
+
+// DurableService is a Service whose every mutation is write-ahead
+// logged to a data directory. The read side (Snapshot, Schema, Stats,
+// Validate, renders) is the embedded Service's — lock-free against
+// the published snapshot. The write side appends to the WAL first and
+// returns an error when the log cannot be made durable; on success
+// the mutation is applied and published exactly as on a plain
+// Service.
+//
+// The data directory holds the WAL segments (wal/*.wal) and the
+// newest checkpoint image (checkpoint-<lsn>.ckpt, written atomically
+// via temp file + rename). OpenDurable recovers from both.
+type DurableService struct {
+	*Service
+	dir   string
+	log   *wal.Log
+	dopts DurableOptions
+
+	// compactMu serializes compaction rounds and guards the
+	// checkpoint bookkeeping below. The write path never takes it.
+	compactMu sync.Mutex
+	ckptLSN   uint64
+	ckptPath  string
+
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+
+	// compactTestHook, when non-nil, runs once per compaction round
+	// after the fold target is chosen and before any fold work — the
+	// point where the compactor is provably holding no lock a writer
+	// needs. Tests park the compactor here and assert writes proceed.
+	compactTestHook func()
+}
+
+// OpenDurable opens (or creates) a durable service rooted at dir:
+// restore the newest checkpoint, replay the WAL tail above it, and
+// resume serving bit-identical to the process that wrote the
+// directory. opts must match the options of the run that produced the
+// directory (like ResumeFromCheckpoint, the files do not store them).
+func OpenDurable(dir string, opts Options, dopts DurableOptions) (*DurableService, error) {
+	dopts = dopts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pghive: durable: %w", err)
+	}
+	// Leftover temporaries from an interrupted atomic checkpoint
+	// write carry no state (the rename never happened).
+	if tmps, err := filepath.Glob(filepath.Join(dir, ckptTmpPattern)); err == nil {
+		for _, t := range tmps {
+			os.Remove(t)
+		}
+	}
+
+	ckptPath, ckptLSN, err := newestCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	rp, after, err := newReplayer(opts, ckptPath)
+	if err != nil {
+		return nil, err
+	}
+	if ckptPath != "" && after != ckptLSN {
+		return nil, fmt.Errorf("pghive: durable: checkpoint %s covers WAL LSN %d, file name says %d", ckptPath, after, ckptLSN)
+	}
+
+	log, err := wal.Open(filepath.Join(dir, walSubdir), wal.Options{
+		SegmentBytes: dopts.SegmentBytes,
+		NoSync:       dopts.NoSync,
+		MinLSN:       after + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := log.Replay(after, rp.apply); err != nil {
+		log.Close()
+		return nil, err
+	}
+	// Segments fully folded into the restored checkpoint may survive
+	// a crash between checkpoint rename and pruning; finish the job.
+	if _, err := log.Prune(after); err != nil {
+		log.Close()
+		return nil, err
+	}
+
+	svc := newService(opts, rp.inc, rp.resolver)
+	svc.nextEdgeID = rp.nextEdgeID
+	d := &DurableService{
+		Service:  svc,
+		dir:      dir,
+		log:      log,
+		dopts:    dopts,
+		ckptLSN:  after,
+		ckptPath: ckptPath,
+		stop:     make(chan struct{}),
+	}
+	if !dopts.DisableAutoCompact {
+		d.done = make(chan struct{})
+		go d.compactLoop()
+	}
+	return d, nil
+}
+
+// Dir returns the service's data directory.
+func (d *DurableService) Dir() string { return d.dir }
+
+// DurabilityError marks a write rejected because it could not be made
+// durable (WAL encode/append/sync failure) — a server-side fault the
+// caller may retry, as opposed to a malformed input. The service state
+// is unchanged when one is returned.
+type DurabilityError struct{ Err error }
+
+func (e *DurabilityError) Error() string { return e.Err.Error() }
+func (e *DurabilityError) Unwrap() error { return e.Err }
+
+// append serializes g as JSONL and logs it as one WAL record. Callers
+// must hold the service write lock so the log order equals the apply
+// order — replay preserves exactly that order. Failures are wrapped
+// in DurabilityError.
+func (d *DurableService) append(t byte, g *Graph) error {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, g); err != nil {
+		return &DurabilityError{Err: fmt.Errorf("pghive: durable: encode batch: %w", err)}
+	}
+	if _, err := d.log.Append(t, buf.Bytes()); err != nil {
+		return &DurabilityError{Err: err}
+	}
+	return nil
+}
+
+// Ingest write-ahead logs the batch, then runs it through the
+// pipeline and publishes a fresh snapshot. On error the log and the
+// served state are both unchanged.
+func (d *DurableService) Ingest(g *Graph) (BatchTiming, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.append(walRecIngest, g); err != nil {
+		return BatchTiming{}, err
+	}
+	return d.ingestLocked(g), nil
+}
+
+// Retract write-ahead logs the retraction, then applies it (see
+// Service.Retract).
+func (d *DurableService) Retract(g *Graph) (BatchTiming, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.append(walRecRetract, g); err != nil {
+		return BatchTiming{}, err
+	}
+	return d.retractLocked(g), nil
+}
+
+// DrainStream feeds every batch of the stream through the pipeline,
+// write-ahead logging each materialized batch before applying it, so
+// a crash mid-stream loses at most the batch being appended — every
+// earlier batch replays on recovery. Like Service.DrainStream the
+// write lock is held for the whole drain and CSV streams are adopted
+// into the service's edge-ID and resolver state.
+func (d *DurableService) DrainStream(r StreamReader, onBatch func(BatchTiming)) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.drainLocked(r, onBatch, func(g *Graph) error {
+		return d.append(walRecStream, g)
+	})
+}
+
+// Compact folds every sealed WAL segment into a fresh checkpoint
+// image and deletes the superseded segments. It first seals the
+// active segment, so a compaction captures everything appended before
+// the call. The fold runs entirely against a private shadow pipeline
+// restored from the previous checkpoint — no service lock is taken,
+// so concurrent writers (and readers) proceed at full speed. Safe to
+// call concurrently with writes; rounds serialize among themselves.
+func (d *DurableService) Compact() error {
+	d.compactMu.Lock()
+	defer d.compactMu.Unlock()
+
+	if err := d.log.Rotate(); err != nil {
+		return err
+	}
+	sealed := d.log.Sealed()
+	var target uint64
+	for _, seg := range sealed {
+		if seg.Last > target {
+			target = seg.Last
+		}
+	}
+	if target <= d.ckptLSN {
+		// Nothing new sealed since the last fold; still prune any
+		// already-covered segments a crash may have left behind.
+		_, err := d.log.Prune(d.ckptLSN)
+		return err
+	}
+	if d.compactTestHook != nil {
+		d.compactTestHook()
+	}
+
+	// Shadow replay: previous checkpoint + sealed records up to the
+	// target, through the same apply path recovery uses. The bound
+	// keeps the fold off the active segment entirely — concurrent
+	// appends are never even read.
+	rp, after, err := newReplayer(d.opts, d.ckptPath)
+	if err != nil {
+		return err
+	}
+	if err := d.log.ReplayRange(after, target, rp.apply); err != nil {
+		return err
+	}
+
+	path := checkpointPath(d.dir, target)
+	err = wal.WriteFileAtomic(path, func(w io.Writer) error {
+		return rp.inc.WriteCheckpoint(w, &core.CheckpointExtras{
+			Resolver:   rp.resolver,
+			NextEdgeID: rp.nextEdgeID,
+			WALSeq:     target,
+		})
+	})
+	if err != nil {
+		return err
+	}
+
+	// The new image supersedes older images and every sealed segment
+	// it folded; failures past this point leave extra files a later
+	// round (or OpenDurable) removes, never an unrecoverable state.
+	prev := d.ckptPath
+	d.ckptLSN, d.ckptPath = target, path
+	if prev != "" && prev != path {
+		os.Remove(prev)
+	}
+	_, err = d.log.Prune(target)
+	return err
+}
+
+// CheckpointLSN returns the WAL sequence number covered by the newest
+// checkpoint image (zero before the first compaction).
+func (d *DurableService) CheckpointLSN() uint64 {
+	d.compactMu.Lock()
+	defer d.compactMu.Unlock()
+	return d.ckptLSN
+}
+
+// DurableStats describes the durability state of the data directory.
+type DurableStats struct {
+	// Dir is the data directory.
+	Dir string `json:"dir"`
+	// CheckpointLSN is the WAL LSN covered by the newest checkpoint.
+	CheckpointLSN uint64 `json:"checkpointLSN"`
+	// WALNextLSN is the sequence number the next mutation will carry;
+	// NextLSN-1-CheckpointLSN records replay on recovery today.
+	WALNextLSN uint64 `json:"walNextLSN"`
+	// WALSealedSegments / WALSealedBytes count the sealed segments
+	// waiting for compaction.
+	WALSealedSegments int   `json:"walSealedSegments"`
+	WALSealedBytes    int64 `json:"walSealedBytes"`
+}
+
+// DurableStats snapshots the durability counters.
+func (d *DurableService) DurableStats() DurableStats {
+	st := DurableStats{Dir: d.dir, CheckpointLSN: d.CheckpointLSN(), WALNextLSN: d.log.NextLSN()}
+	for _, seg := range d.log.Sealed() {
+		st.WALSealedSegments++
+		st.WALSealedBytes += seg.Bytes
+	}
+	return st
+}
+
+// Close stops the background compactor and closes the WAL. The state
+// is already durable — close performs no final fold; reopening the
+// directory recovers everything.
+func (d *DurableService) Close() error {
+	d.closeOnce.Do(func() {
+		close(d.stop)
+		if d.done != nil {
+			<-d.done
+		}
+		d.compactMu.Lock()
+		defer d.compactMu.Unlock()
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		d.closeErr = d.log.Close()
+	})
+	return d.closeErr
+}
+
+// compactLoop runs Compact on the configured cadence until Close.
+func (d *DurableService) compactLoop() {
+	defer close(d.done)
+	t := time.NewTicker(d.dopts.CompactInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			if err := d.Compact(); err != nil && d.dopts.OnCompactError != nil {
+				d.dopts.OnCompactError(err)
+			}
+		}
+	}
+}
+
+// walReplayer folds WAL records into an incremental pipeline plus the
+// serving-layer state that lives beside it (endpoint bookkeeping and
+// the edge-ID watermark). Recovery and the compactor's shadow fold
+// both run on it, and its apply rules are shared with the live write
+// path (trackGraph / ProcessBatch / RetractBatch in the same order),
+// which is what makes replay bit-identical to the logged run.
+type walReplayer struct {
+	inc        *Incremental
+	resolver   *Graph
+	nextEdgeID ID
+}
+
+// newReplayer builds a replayer positioned at a checkpoint image (or
+// at the empty state when ckptPath is ""), returning the WAL LSN the
+// image covers.
+func newReplayer(opts Options, ckptPath string) (*walReplayer, uint64, error) {
+	rp := &walReplayer{}
+	var after uint64
+	if ckptPath == "" {
+		rp.inc = NewIncremental(opts)
+	} else {
+		f, err := os.Open(ckptPath)
+		if err != nil {
+			return nil, 0, fmt.Errorf("pghive: durable: %w", err)
+		}
+		inc, extras, err := core.ResumeFromCheckpoint(opts, f)
+		f.Close()
+		if err != nil {
+			return nil, 0, fmt.Errorf("pghive: durable: restore %s: %w", ckptPath, err)
+		}
+		rp.inc = inc
+		rp.resolver = extras.Resolver
+		rp.nextEdgeID = extras.NextEdgeID
+		after = extras.WALSeq
+	}
+	if rp.resolver == nil {
+		rp.resolver = pg.NewGraph()
+		rp.resolver.AllowDanglingEdges(true)
+	}
+	return rp, after, nil
+}
+
+// apply folds one WAL record.
+func (rp *walReplayer) apply(rec wal.Record) error {
+	g, err := ReadJSONL(bytes.NewReader(rec.Payload), true)
+	if err != nil {
+		return fmt.Errorf("pghive: durable: wal record %d: %w", rec.LSN, err)
+	}
+	switch rec.Type {
+	case walRecIngest, walRecStream:
+		trackGraph(rp.resolver, g, &rp.nextEdgeID)
+		rp.inc.ProcessBatch(&Batch{Graph: g, Resolver: rp.resolver, Index: rp.inc.Batches() + 1})
+	case walRecRetract:
+		rp.inc.RetractBatch(&Batch{Graph: g, Resolver: rp.resolver})
+		nodes := g.Nodes()
+		for i := range nodes {
+			rp.resolver.RemoveNode(nodes[i].ID)
+		}
+	default:
+		return fmt.Errorf("pghive: durable: wal record %d has unknown type %d", rec.LSN, rec.Type)
+	}
+	return nil
+}
+
+// checkpointPath names the image covering WAL LSNs up to lsn.
+func checkpointPath(dir string, lsn uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%020d%s", ckptPrefix, lsn, ckptSuffix))
+}
+
+// newestCheckpoint locates the image with the highest covered LSN
+// ("" when the directory has none).
+func newestCheckpoint(dir string) (path string, lsn uint64, err error) {
+	names, err := filepath.Glob(filepath.Join(dir, ckptPrefix+"*"+ckptSuffix))
+	if err != nil {
+		return "", 0, fmt.Errorf("pghive: durable: %w", err)
+	}
+	sort.Strings(names)
+	for i := len(names) - 1; i >= 0; i-- {
+		base := filepath.Base(names[i])
+		num := strings.TrimSuffix(strings.TrimPrefix(base, ckptPrefix), ckptSuffix)
+		n, perr := strconv.ParseUint(num, 10, 64)
+		if perr != nil {
+			continue // not one of ours
+		}
+		return names[i], n, nil
+	}
+	return "", 0, nil
+}

@@ -1,3 +1,3 @@
 module github.com/pghive/pghive
 
-go 1.24
+go 1.23

@@ -69,6 +69,10 @@ type checkpointJSON struct {
 	// it as max+1 would reuse the compacted ID — diverging from the
 	// uninterrupted run in every later ABSTRACT_<id> name.
 	NextTypeID int `json:"nextTypeID"`
+	// WALSeq is the last write-ahead-log sequence number folded into
+	// this image (durable serving's compactor sets it; zero for
+	// manual images). Recovery replays only WAL records above it.
+	WALSeq uint64 `json:"walSeq,omitempty"`
 }
 
 // CheckpointExtras carries the stream-reader state that lives outside
@@ -81,6 +85,9 @@ type CheckpointExtras struct {
 	// NextEdgeID is the CSV stream's next sequential edge ID; leave 0
 	// for JSONL streams.
 	NextEdgeID pg.ID
+	// WALSeq is the last WAL sequence number the image covers; only
+	// the durable serving layer's compactor sets it.
+	WALSeq uint64
 }
 
 // WriteCheckpoint serializes the discovery's full cross-batch state.
@@ -120,6 +127,7 @@ func (inc *Incremental) WriteCheckpoint(w io.Writer, extras *CheckpointExtras) e
 	}
 	if extras != nil {
 		cj.NextEdgeID = extras.NextEdgeID
+		cj.WALSeq = extras.WALSeq
 		if extras.Resolver != nil {
 			nodes := extras.Resolver.Nodes()
 			cj.Resolver = make([]resolverNode, len(nodes))
@@ -207,7 +215,7 @@ func ResumeFromCheckpoint(opts Options, r io.Reader) (*Incremental, *CheckpointE
 		return nil, nil, fmt.Errorf("core: checkpoint: edge shapes: %w", err)
 	}
 
-	extras := &CheckpointExtras{NextEdgeID: cj.NextEdgeID}
+	extras := &CheckpointExtras{NextEdgeID: cj.NextEdgeID, WALSeq: cj.WALSeq}
 	if len(cj.Resolver) > 0 {
 		g := pg.NewGraph()
 		g.AllowDanglingEdges(true)

@@ -1,0 +1,244 @@
+// Command benchgate compares fresh `go test -bench` output against
+// the committed benchmark baselines (BENCH_*.json) and fails — exit
+// code 1 — only on order-of-magnitude regressions (ns/op more than
+// -max-ratio times the baseline). Everything else is informational: a
+// markdown table of measured vs baseline numbers goes to stdout, and
+// -out writes the fresh numbers as JSON for the CI artifact.
+//
+// CI runners and the machines that recorded the baselines differ, so
+// the gate is deliberately generous: its job is to catch "the
+// benchmark got 2x+ slower", not to police single-digit percentages.
+//
+//	go test -run XXX -bench 'ShapeInterning$' -benchtime 3x . | tee bench.txt
+//	go run ./internal/tools/benchgate -baseline BENCH_2.json -baseline BENCH_4.json \
+//	    -max-ratio 2 -out bench-fresh.json bench.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var baselines multiFlag
+	flag.Var(&baselines, "baseline", "baseline JSON file (repeatable); ns/op entries are extracted from any nesting")
+	maxRatio := flag.Float64("max-ratio", 2, "fail when measured ns/op exceeds baseline by more than this factor")
+	out := flag.String("out", "", "write the fresh measurements (and ratios) as JSON to this file")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no bench output files given")
+		os.Exit(2)
+	}
+	measured := map[string]float64{}
+	for _, path := range flag.Args() {
+		if err := parseBenchOutput(path, measured); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+	}
+	baseline := map[string]float64{}
+	for _, path := range baselines {
+		if err := parseBaseline(path, baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+	}
+
+	report, failures := compare(measured, baseline, *maxRatio)
+	fmt.Print(report)
+
+	if *out != "" {
+		if err := writeFresh(*out, measured, baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed more than %.1fx:\n", len(failures), *maxRatio)
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+}
+
+// benchLine matches `go test -bench` result lines, e.g.
+//
+//	BenchmarkShapeInterning/PG-HIVE-ELSH/elements=10000/interned-4   5   8284152 ns/op   12 extra/metric
+//
+// The trailing -N is the GOMAXPROCS suffix the test runner appends.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBenchOutput extracts name → ns/op from a `go test -bench`
+// transcript. A benchmark appearing several times keeps its last
+// value.
+func parseBenchOutput(path string, into map[string]float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		into[strings.TrimPrefix(m[1], "Benchmark")] = ns
+	}
+	return sc.Err()
+}
+
+// parseBaseline extracts benchmark-name → ns/op pairs from a BENCH_*.json
+// file. The files are hand-maintained narratives, so extraction is
+// structural rather than schema-bound: inside the "benchmarks" object,
+// each key names a benchmark function, and every "ns_per_op" found in
+// its subtree contributes entries — either a map of sub-benchmark
+// names to numbers, or a single number whose sub-benchmark name is the
+// enclosing object's key (e.g. results.stats.ns_per_op → "stats").
+func parseBaseline(path string, into map[string]float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	benches, ok := doc["benchmarks"].(map[string]any)
+	if !ok {
+		return fmt.Errorf("%s: no \"benchmarks\" object", path)
+	}
+	for fn, sub := range benches {
+		fn = strings.TrimPrefix(fn, "Benchmark")
+		collectNsPerOp(sub, fn, into)
+	}
+	return nil
+}
+
+// collectNsPerOp walks a baseline subtree, keying discovered ns_per_op
+// values under prefix (the benchmark function, extended by the map key
+// that encloses a scalar ns_per_op).
+func collectNsPerOp(v any, prefix string, into map[string]float64) {
+	obj, ok := v.(map[string]any)
+	if !ok {
+		return
+	}
+	for k, val := range obj {
+		if k == "ns_per_op" {
+			switch t := val.(type) {
+			case float64:
+				into[prefix] = t
+			case map[string]any:
+				for name, n := range t {
+					if ns, ok := n.(float64); ok {
+						into[prefix+"/"+name] = ns
+					}
+				}
+			}
+			continue
+		}
+		next := prefix
+		// Descend with the key appended only where the key names a
+		// sub-benchmark level (objects that eventually hold a scalar
+		// ns_per_op); structural keys like "results" stay transparent.
+		if child, ok := val.(map[string]any); ok {
+			if _, scalar := child["ns_per_op"].(float64); scalar {
+				next = prefix + "/" + k
+			}
+			collectNsPerOp(child, next, into)
+		}
+	}
+}
+
+// compare renders the informational table and returns the list of
+// >max-ratio regressions.
+func compare(measured, baseline map[string]float64, maxRatio float64) (string, []string) {
+	names := make([]string, 0, len(measured))
+	for name := range measured {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	var failures []string
+	matched := 0
+	fmt.Fprintf(&b, "| benchmark | measured ns/op | baseline ns/op | ratio | status |\n")
+	fmt.Fprintf(&b, "|---|---:|---:|---:|---|\n")
+	for _, name := range names {
+		got := measured[name]
+		base, ok := baseline[name]
+		if !ok {
+			fmt.Fprintf(&b, "| %s | %.0f | — | — | no baseline |\n", name, got)
+			continue
+		}
+		matched++
+		ratio := got / base
+		status := "ok"
+		if ratio > maxRatio {
+			status = fmt.Sprintf("REGRESSION >%.1fx", maxRatio)
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.2fx)", name, got, base, ratio))
+		}
+		fmt.Fprintf(&b, "| %s | %.0f | %.0f | %.2fx | %s |\n", name, got, base, ratio, status)
+	}
+	var unmeasured []string
+	for name := range baseline {
+		if _, ok := measured[name]; !ok {
+			unmeasured = append(unmeasured, name)
+		}
+	}
+	sort.Strings(unmeasured)
+	if len(unmeasured) > 0 {
+		fmt.Fprintf(&b, "\n%d baseline entr(ies) not measured in this run (informational): %s\n",
+			len(unmeasured), strings.Join(unmeasured, ", "))
+	}
+	if matched == 0 {
+		// A gate that silently matches nothing gates nothing: make the
+		// mismatch loud so a renamed benchmark cannot disable the job.
+		failures = append(failures, "no measured benchmark matched any baseline entry")
+	}
+	return b.String(), failures
+}
+
+// writeFresh persists the run's numbers (with ratios where a baseline
+// exists) for the CI artifact.
+func writeFresh(path string, measured, baseline map[string]float64) error {
+	type entry struct {
+		NsPerOp  float64  `json:"ns_per_op"`
+		Baseline *float64 `json:"baseline_ns_per_op,omitempty"`
+		Ratio    *float64 `json:"ratio,omitempty"`
+	}
+	out := map[string]entry{}
+	for name, got := range measured {
+		e := entry{NsPerOp: got}
+		if base, ok := baseline[name]; ok && base > 0 {
+			r := got / base
+			e.Baseline, e.Ratio = &base, &r
+		}
+		out[name] = e
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

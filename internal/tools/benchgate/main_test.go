@@ -1,0 +1,154 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: github.com/pghive/pghive
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkShapeInterning/PG-HIVE-ELSH/elements=10000/interned=true-4                 5           9000000 ns/op
+BenchmarkShapeInterning/PG-HIVE-ELSH/elements=10000/interned=false-4             5          26000000 ns/op
+BenchmarkServeConcurrentReads/stats-4                                  150000000                8.10 ns/op             244 writes/s
+BenchmarkServeConcurrentReads/pgschema-4                                   10000            150000 ns/op
+not a bench line
+PASS
+`
+
+const sampleBaseline2 = `{
+  "benchmarks": {
+    "BenchmarkShapeInterning": {
+      "description": "x",
+      "ns_per_op": {
+        "PG-HIVE-ELSH/elements=10000/interned=true": 8284152,
+        "PG-HIVE-ELSH/elements=10000/interned=false": 26182575
+      },
+      "ratios": { "PG-HIVE-ELSH/elements=10000": 3.16 }
+    },
+    "BenchmarkShapeInterningSpeedup": {
+      "default_GOGC": { "PG-HIVE-ELSH/elements=10000": { "discovery_speedup": 3.99 } }
+    }
+  }
+}`
+
+const sampleBaseline4 = `{
+  "benchmarks": {
+    "BenchmarkServeConcurrentReads": {
+      "results": {
+        "stats": { "ns_per_op": 7.1, "writes_per_s": 244, "note": "n" },
+        "pgschema": { "ns_per_op": 148827, "writes_per_s": 520 },
+        "validate": { "ns_per_op": 7796, "writes_per_s": 468 }
+      }
+    }
+  }
+}`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	measured := map[string]float64{}
+	if err := parseBenchOutput(writeTemp(t, "bench.txt", sampleBenchOutput), measured); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"ShapeInterning/PG-HIVE-ELSH/elements=10000/interned=true":  9000000,
+		"ShapeInterning/PG-HIVE-ELSH/elements=10000/interned=false": 26000000,
+		"ServeConcurrentReads/stats":                                8.10,
+		"ServeConcurrentReads/pgschema":                             150000,
+	}
+	if len(measured) != len(want) {
+		t.Fatalf("parsed %d entries, want %d: %v", len(measured), len(want), measured)
+	}
+	for k, v := range want {
+		if measured[k] != v {
+			t.Errorf("%s = %v, want %v", k, measured[k], v)
+		}
+	}
+}
+
+func TestParseBaselineShapes(t *testing.T) {
+	baseline := map[string]float64{}
+	if err := parseBaseline(writeTemp(t, "b2.json", sampleBaseline2), baseline); err != nil {
+		t.Fatal(err)
+	}
+	if err := parseBaseline(writeTemp(t, "b4.json", sampleBaseline4), baseline); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		// Map-shaped ns_per_op (BENCH_2 layout).
+		"ShapeInterning/PG-HIVE-ELSH/elements=10000/interned=true":  8284152,
+		"ShapeInterning/PG-HIVE-ELSH/elements=10000/interned=false": 26182575,
+		// Scalar ns_per_op nested under results.<name> (BENCH_4 layout).
+		"ServeConcurrentReads/stats":    7.1,
+		"ServeConcurrentReads/pgschema": 148827,
+		"ServeConcurrentReads/validate": 7796,
+	}
+	if len(baseline) != len(want) {
+		t.Fatalf("extracted %d entries, want %d: %v", len(baseline), len(want), baseline)
+	}
+	for k, v := range want {
+		if baseline[k] != v {
+			t.Errorf("%s = %v, want %v", k, baseline[k], v)
+		}
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	baseline := map[string]float64{"a/x": 100, "a/y": 100, "a/z": 100}
+
+	// Within tolerance (1.9x) and a missing baseline: no failures.
+	report, failures := compare(map[string]float64{"a/x": 190, "new": 5}, baseline, 2)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	if !strings.Contains(report, "no baseline") || !strings.Contains(report, "not measured") {
+		t.Fatalf("report missing informational rows:\n%s", report)
+	}
+
+	// Past tolerance: exactly the regressed benchmark fails.
+	_, failures = compare(map[string]float64{"a/x": 201, "a/y": 90}, baseline, 2)
+	if len(failures) != 1 || !strings.Contains(failures[0], "a/x") {
+		t.Fatalf("failures = %v, want exactly a/x", failures)
+	}
+
+	// Zero overlap is itself a failure — a renamed benchmark must not
+	// silently disable the gate.
+	_, failures = compare(map[string]float64{"renamed": 1}, baseline, 2)
+	if len(failures) != 1 {
+		t.Fatalf("no-overlap run produced %v, want one failure", failures)
+	}
+}
+
+// TestRealBaselinesParse pins the extraction against the actual
+// committed BENCH files, so a future baseline reshape that the walker
+// cannot read fails here instead of silently disarming the CI gate.
+func TestRealBaselinesParse(t *testing.T) {
+	baseline := map[string]float64{}
+	for _, f := range []string{"BENCH_2.json", "BENCH_4.json"} {
+		if err := parseBaseline(filepath.Join("..", "..", "..", f), baseline); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, key := range []string{
+		"ShapeInterning/PG-HIVE-ELSH/elements=100000/interned=true",
+		"ShapeInterning/PG-HIVE-MinHash/elements=10000/interned=false",
+		"ServeConcurrentReads/stats",
+		"ServeConcurrentReads/pgschema",
+		"ServeConcurrentReads/validate",
+	} {
+		if _, ok := baseline[key]; !ok {
+			t.Errorf("committed baselines missing %s (extracted: %d entries)", key, len(baseline))
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package wal
+
+// FuzzWALReplay hardens the segment reader against arbitrary on-disk
+// states: random byte streams, bit-flipped records, and truncations
+// must never panic, and must either replay cleanly or stop at the
+// torn tail. The corpus is seeded with real segments built by the
+// writer — the crash-point fixtures — plus truncated and corrupted
+// variants of them, so the fuzzer starts from the formats the durable
+// service actually produces.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildSeedSegment writes records through a real Log and returns the
+// segment file's bytes.
+func buildSeedSegment(f *testing.F, payloads ...string) []byte {
+	f.Helper()
+	dir := f.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i, p := range payloads {
+		if _, err := l.Append(byte(1+i%3), []byte(p)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		f.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "*"+segSuffix))
+	if err != nil || len(segs) != 1 {
+		f.Fatalf("seed segment: %v (%d files)", err, len(segs))
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+func FuzzWALReplay(f *testing.F) {
+	// Crash-point fixtures: an intact multi-record segment, the JSONL
+	// shape real WAL payloads carry, an empty log, and torn variants.
+	intact := buildSeedSegment(f, "alpha", "beta", "gamma", "delta")
+	jsonl := buildSeedSegment(f,
+		`{"kind":"node","id":1,"labels":["Person"],"props":{"name":{"t":"string","v":"a"}}}`+"\n",
+		`{"kind":"edge","id":1,"labels":["KNOWS"],"src":1,"dst":1}`+"\n")
+	f.Add(intact)
+	f.Add(jsonl)
+	f.Add(intact[:len(intact)-5])                                // torn tail
+	f.Add(intact[:len(segMagic)+3])                              // torn first header
+	f.Add(append(append([]byte{}, intact...), 0xff, 0x00, 0xfe)) // trailing garbage
+	flipped := append([]byte(nil), intact...)
+	flipped[len(flipped)/2] ^= 0x20 // bit flip mid-log
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("PGHWAL1\n"))
+	f.Add([]byte("not a wal file at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var recs []Record
+		valid, err := ScanSegment(bytes.NewReader(data), func(r Record) error {
+			recs = append(recs, Record{LSN: r.LSN, Type: r.Type, Payload: append([]byte(nil), r.Payload...)})
+			return nil
+		})
+		if err != nil {
+			// The callback never errs and bytes.Reader has no I/O
+			// failures; any error here is a reader bug.
+			t.Fatalf("ScanSegment error on in-memory data: %v", err)
+		}
+		if valid < 0 || valid > int64(len(data)) {
+			t.Fatalf("valid prefix %d outside [0, %d]", valid, len(data))
+		}
+
+		// Stopping at the torn tail must be a fixpoint: truncating at
+		// the reported prefix and re-scanning yields exactly the same
+		// records and the same (now clean) end.
+		var again []Record
+		valid2, err := ScanSegment(bytes.NewReader(data[:valid]), func(r Record) error {
+			again = append(again, Record{LSN: r.LSN, Type: r.Type, Payload: append([]byte(nil), r.Payload...)})
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("re-scan error: %v", err)
+		}
+		if valid2 != valid {
+			t.Fatalf("truncation not a fixpoint: %d then %d", valid, valid2)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("re-scan yielded %d records, first scan %d", len(again), len(recs))
+		}
+		for i := range recs {
+			if recs[i].LSN != again[i].LSN || recs[i].Type != again[i].Type || !bytes.Equal(recs[i].Payload, again[i].Payload) {
+				t.Fatalf("record %d differs between scans", i)
+			}
+		}
+
+		// Re-writing the recovered records through a fresh log and
+		// scanning that segment must reproduce types and payloads —
+		// the replay-then-rewrite loop a compactor performs.
+		if len(recs) == 0 {
+			return
+		}
+		dir := t.TempDir()
+		l, err := Open(dir, Options{NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if _, err := l.Append(r.Type, r.Payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var rewritten []Record
+		if err := l.Replay(0, func(r Record) error {
+			rewritten = append(rewritten, Record{Type: r.Type, Payload: append([]byte(nil), r.Payload...)})
+			return nil
+		}); err != nil {
+			t.Fatalf("replay of rewritten log: %v", err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if len(rewritten) != len(recs) {
+			t.Fatalf("rewrite round trip: %d records, want %d", len(rewritten), len(recs))
+		}
+		for i := range recs {
+			if recs[i].Type != rewritten[i].Type || !bytes.Equal(recs[i].Payload, rewritten[i].Payload) {
+				t.Fatalf("rewrite round trip: record %d differs", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,624 @@
+// Package wal implements a segmented, checksummed append-only
+// write-ahead log. Callers append typed binary records; each record
+// is stamped with a monotonically increasing log sequence number
+// (LSN), length-prefixed, and protected by a CRC, so a reader can
+// always tell a complete record from the torn tail a crash (or a
+// lying disk) leaves behind. The log is split into segment files that
+// rotate at a size threshold; a compaction layer that has folded a
+// prefix of the log into a checkpoint can delete the sealed segments
+// that prefix covers (Prune) without touching the segment still being
+// written.
+//
+// The package is payload-agnostic: record types are caller-defined
+// bytes and payloads are opaque. Durability policy is per-log: by
+// default every append is fsynced before it returns; Options.NoSync
+// trades power-loss durability for speed (process crashes are still
+// safe — the OS page cache survives kill -9).
+//
+// On-disk format. Every segment starts with an 8-byte magic and holds
+// a sequence of frames:
+//
+//	u32 length   = 9 + len(payload)        (little endian)
+//	u32 crc      = CRC-32C of the body
+//	body         = u64 LSN | u8 type | payload
+//
+// A frame whose length is implausible, whose bytes are incomplete, or
+// whose CRC does not match ends the readable prefix of its segment:
+// scanning stops there, and Open truncates the final segment at that
+// point so appends continue after the last durable record.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+const (
+	// DefaultSegmentBytes is the rotation threshold used when
+	// Options.SegmentBytes is zero.
+	DefaultSegmentBytes = 8 << 20
+	// MaxRecordBytes bounds a single frame. A corrupted length field
+	// almost never passes the CRC, but the bound keeps a scanner from
+	// attempting gigabyte reads before finding out.
+	MaxRecordBytes = 1 << 30
+
+	frameHeaderLen = 8 // u32 length + u32 crc
+	bodyFixedLen   = 9 // u64 lsn + u8 type
+
+	segSuffix = ".wal"
+	tmpSuffix = ".tmp"
+)
+
+// segMagic identifies (and versions) a segment file.
+var segMagic = []byte("PGHWAL1\n")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrStopReplay, returned by a Replay callback, halts the replay
+// without error — the way a caller bounded by a target LSN stops at
+// it.
+var ErrStopReplay = errors.New("wal: stop replay")
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Options configures a log.
+type Options struct {
+	// SegmentBytes is the rotation threshold: an append that would
+	// grow the active segment past it seals the segment and starts a
+	// new one (a single oversized record still gets a segment to
+	// itself). Zero selects DefaultSegmentBytes.
+	SegmentBytes int64
+	// NoSync skips the per-append fsync. Appends remain safe against
+	// process crashes (kill -9) but not against power loss.
+	NoSync bool
+	// MinLSN floors the next LSN Open assigns. A caller that restored
+	// a checkpoint covering LSNs up to C must pass C+1: if every
+	// segment the checkpoint superseded was pruned, a fresh log would
+	// otherwise restart numbering at 1 and new records would hide
+	// behind the checkpoint's replay filter.
+	MinLSN uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	return o
+}
+
+// Record is one logged mutation.
+type Record struct {
+	// LSN is the record's log sequence number; consecutive records
+	// have consecutive LSNs, starting at 1 (or Options.MinLSN).
+	LSN uint64
+	// Type is the caller-defined record type.
+	Type byte
+	// Payload is the caller's opaque payload. During replay the slice
+	// is only valid for the duration of the callback.
+	Payload []byte
+}
+
+// SegmentInfo describes one segment file.
+type SegmentInfo struct {
+	// Path is the segment file path.
+	Path string
+	// First and Last are the segment's LSN range (inclusive); zero
+	// for a segment holding no complete records.
+	First, Last uint64
+	// Records counts complete records.
+	Records int
+	// Bytes is the readable prefix length, magic included.
+	Bytes int64
+}
+
+// Log is a segmented write-ahead log rooted in one directory. Append,
+// Rotate, Sealed, Prune and Close are safe for concurrent use; Replay
+// may run concurrently with appends (it reads sealed segments and the
+// active segment's already-durable prefix).
+type Log struct {
+	dir  string
+	opts Options
+
+	mu          sync.Mutex
+	closed      bool
+	broken      bool // a failed append could not be rolled back
+	active      *os.File
+	activeInfo  SegmentInfo
+	sealed      []SegmentInfo
+	nextLSN     uint64
+	dirSyncedAt uint64 // last nextLSN at which the directory was fsynced
+}
+
+// Open scans dir (creating it if needed), truncates the torn tail of
+// the final segment, and returns a log positioned to append after the
+// last durable record. Leftover temporary files from interrupted
+// atomic writes are removed.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*"+segSuffix))
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if tmps, err := filepath.Glob(filepath.Join(dir, "*"+tmpSuffix)); err == nil {
+		for _, t := range tmps {
+			os.Remove(t)
+		}
+	}
+	sort.Strings(names) // %020d names sort in LSN order
+
+	l := &Log{dir: dir, opts: opts, nextLSN: 1}
+	if opts.MinLSN > l.nextLSN {
+		l.nextLSN = opts.MinLSN
+	}
+	for i, name := range names {
+		info, err := scanSegmentFile(name)
+		if err != nil {
+			return nil, err
+		}
+		last := i == len(names)-1
+		if info.Records == 0 {
+			// A segment with no complete record carries no state;
+			// drop it (its name could collide with the next segment
+			// this log creates).
+			if err := os.Remove(name); err != nil {
+				return nil, fmt.Errorf("wal: %w", err)
+			}
+			continue
+		}
+		if last {
+			// Truncate the torn tail so the next append lands right
+			// after the last durable record.
+			if fi, err := os.Stat(name); err == nil && fi.Size() > info.Bytes {
+				if err := os.Truncate(name, info.Bytes); err != nil {
+					return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+				}
+			}
+		}
+		if info.Last >= l.nextLSN {
+			l.nextLSN = info.Last + 1
+		}
+		l.sealed = append(l.sealed, info)
+	}
+
+	// Reopen the final segment for appending when it has room;
+	// otherwise it stays sealed and the next append starts a segment.
+	if n := len(l.sealed); n > 0 {
+		tail := l.sealed[n-1]
+		if tail.Bytes < opts.SegmentBytes {
+			f, err := os.OpenFile(tail.Path, os.O_WRONLY, 0)
+			if err != nil {
+				return nil, fmt.Errorf("wal: %w", err)
+			}
+			if _, err := f.Seek(tail.Bytes, io.SeekStart); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("wal: %w", err)
+			}
+			l.active = f
+			l.activeInfo = tail
+			l.sealed = l.sealed[:n-1]
+		}
+	}
+	return l, nil
+}
+
+// segmentName returns the file name of a segment whose first record
+// has the given LSN. Zero-padded decimal keeps lexical order equal to
+// LSN order.
+func segmentName(dir string, first uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%020d%s", first, segSuffix))
+}
+
+// Append writes one record, fsyncs it (unless Options.NoSync), and
+// returns its LSN. The payload is not retained.
+func (l *Log) Append(t byte, payload []byte) (uint64, error) {
+	if len(payload) > MaxRecordBytes-bodyFixedLen {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecordBytes", len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.broken {
+		return 0, fmt.Errorf("wal: log broken by an earlier append failure that could not be rolled back")
+	}
+	frameLen := int64(frameHeaderLen + bodyFixedLen + len(payload))
+	if l.active != nil && l.activeInfo.Records > 0 && l.activeInfo.Bytes+frameLen > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if l.active == nil {
+		if err := l.openSegmentLocked(); err != nil {
+			return 0, err
+		}
+	}
+
+	lsn := l.nextLSN
+	frame := make([]byte, frameHeaderLen+bodyFixedLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(bodyFixedLen+len(payload)))
+	body := frame[frameHeaderLen:]
+	binary.LittleEndian.PutUint64(body[0:8], lsn)
+	body[8] = t
+	copy(body[bodyFixedLen:], payload)
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(body, castagnoli))
+
+	if _, err := l.active.Write(frame); err != nil {
+		l.rollbackAppendLocked()
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if !l.opts.NoSync {
+		if err := l.active.Sync(); err != nil {
+			// The frame may be fully on disk even though its
+			// durability is unknown; it MUST NOT survive — a retry
+			// would write a second frame with the same LSN and the
+			// continuity check would reject the log on recovery.
+			l.rollbackAppendLocked()
+			return 0, fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	if l.activeInfo.Records == 0 {
+		l.activeInfo.First = lsn
+	}
+	l.activeInfo.Last = lsn
+	l.activeInfo.Records++
+	l.activeInfo.Bytes += frameLen
+	l.nextLSN = lsn + 1
+	return lsn, nil
+}
+
+// rollbackAppendLocked discards the bytes of a failed append so the
+// segment ends exactly at the last acknowledged record: without it, a
+// failed Sync could leave a complete frame on disk for an LSN the
+// caller will reuse (duplicate LSN → unrecoverable continuity error
+// on restart), and a partial write would leave garbage that makes
+// recovery's CRC scan stop before later acknowledged records. If the
+// rollback itself fails the log is marked broken and refuses further
+// appends — better unavailable than silently unrecoverable.
+func (l *Log) rollbackAppendLocked() {
+	if err := l.active.Truncate(l.activeInfo.Bytes); err == nil {
+		if _, err = l.active.Seek(l.activeInfo.Bytes, io.SeekStart); err == nil {
+			return
+		}
+	}
+	l.broken = true
+}
+
+// openSegmentLocked creates the next segment file, named after the
+// LSN its first record will carry.
+func (l *Log) openSegmentLocked() error {
+	path := segmentName(l.dir, l.nextLSN)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write(segMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if !l.opts.NoSync {
+		// The new file's directory entry must survive power loss too.
+		if err := syncDir(l.dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	l.active = f
+	l.activeInfo = SegmentInfo{Path: path, Bytes: int64(len(segMagic))}
+	return nil
+}
+
+// Rotate seals the active segment (a no-op when it holds no records),
+// so a compactor can fold everything appended so far. The next append
+// starts a fresh segment.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.rotateLocked()
+}
+
+func (l *Log) rotateLocked() error {
+	if l.active == nil {
+		return nil
+	}
+	if l.activeInfo.Records == 0 {
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	if err := l.active.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.sealed = append(l.sealed, l.activeInfo)
+	l.active = nil
+	l.activeInfo = SegmentInfo{}
+	return nil
+}
+
+// Sealed returns the sealed segments in LSN order. The slice is a
+// copy; the infos are stable (sealed segments never change).
+func (l *Log) Sealed() []SegmentInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SegmentInfo, len(l.sealed))
+	copy(out, l.sealed)
+	return out
+}
+
+// NextLSN returns the LSN the next appended record will carry.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// Prune deletes sealed segments whose every record has LSN <= upTo —
+// the segments a checkpoint covering upTo supersedes. It returns the
+// number of segments removed. The active segment is never touched.
+func (l *Log) Prune(upTo uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	removed := 0
+	for len(l.sealed) > 0 && l.sealed[0].Last <= upTo {
+		if err := os.Remove(l.sealed[0].Path); err != nil {
+			return removed, fmt.Errorf("wal: prune: %w", err)
+		}
+		l.sealed = l.sealed[1:]
+		removed++
+	}
+	return removed, nil
+}
+
+// Replay streams every durable record with LSN > after, in LSN order,
+// to fn. A callback returning ErrStopReplay halts the replay without
+// error; any other callback error aborts it. Replay verifies LSN
+// continuity: a gap — a sealed segment torn in the middle of the log,
+// or records missing below the first segment — is corruption a crash
+// cannot produce, and is reported rather than silently skipped. A
+// torn tail on the final segment ends the replay cleanly.
+func (l *Log) Replay(after uint64, fn func(Record) error) error {
+	return l.ReplayRange(after, 0, fn)
+}
+
+// ReplayRange is Replay bounded above: records with LSN > upTo are
+// not delivered and segments that start past the bound are never
+// opened (upTo 0 means unbounded). A compactor folding only the
+// sealed prefix passes its target so the live active segment — which
+// a concurrent writer is appending to — is not scanned at all.
+func (l *Log) ReplayRange(after, upTo uint64, fn func(Record) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	segs := make([]SegmentInfo, len(l.sealed), len(l.sealed)+1)
+	copy(segs, l.sealed)
+	if l.active != nil && l.activeInfo.Records > 0 {
+		segs = append(segs, l.activeInfo)
+	}
+	l.mu.Unlock()
+
+	var expect uint64
+	for _, seg := range segs {
+		if upTo > 0 && seg.First > upTo {
+			break
+		}
+		f, err := os.Open(seg.Path)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		_, err = ScanSegment(f, func(rec Record) error {
+			if expect == 0 {
+				if rec.LSN > after+1 {
+					return fmt.Errorf("wal: log starts at LSN %d but records after %d are needed (pruned or lost segment)", rec.LSN, after)
+				}
+			} else if rec.LSN != expect {
+				return fmt.Errorf("wal: LSN gap: read %d, want %d (corrupt segment %s)", rec.LSN, expect, seg.Path)
+			}
+			expect = rec.LSN + 1
+			if rec.LSN <= after {
+				return nil
+			}
+			if upTo > 0 && rec.LSN > upTo {
+				return ErrStopReplay
+			}
+			return fn(rec)
+		})
+		f.Close()
+		if err == ErrStopReplay {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync flushes the active segment to stable storage (useful with
+// Options.NoSync to sync at batch boundaries).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.active == nil {
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the active segment. Further operations
+// return ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.active == nil {
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		l.active.Close()
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	if err := l.active.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.active = nil
+	return nil
+}
+
+// scanSegmentFile scans one segment file into a SegmentInfo.
+func scanSegmentFile(path string) (SegmentInfo, error) {
+	info := SegmentInfo{Path: path}
+	f, err := os.Open(path)
+	if err != nil {
+		return info, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	info.Bytes, err = ScanSegment(f, func(rec Record) error {
+		if info.Records == 0 {
+			info.First = rec.LSN
+		}
+		info.Last = rec.LSN
+		info.Records++
+		return nil
+	})
+	if err != nil {
+		return info, err
+	}
+	return info, nil
+}
+
+// ScanSegment reads a segment byte stream, invoking fn (which may be
+// nil) for every complete record, and returns the byte offset of the
+// end of the readable prefix — the truncation point that removes a
+// torn tail. Corruption never yields an error: a missing magic, an
+// implausible length, incomplete bytes, or a CRC mismatch simply ends
+// the prefix, exactly the "stop at the torn tail" recovery rule. The
+// returned error is fn's, or a real I/O failure of r.
+func ScanSegment(r io.Reader, fn func(Record) error) (int64, error) {
+	return scanSegment(r, func(rec Record, _ int64) error {
+		if fn == nil {
+			return nil
+		}
+		return fn(rec)
+	})
+}
+
+// RecordEnds returns the byte offset just past each complete record
+// of a segment file — every boundary a kill -9 can leave the file
+// truncated at. Offsets are from the file start (magic included).
+func RecordEnds(path string) ([]int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	var ends []int64
+	_, err = scanSegment(f, func(_ Record, end int64) error {
+		ends = append(ends, end)
+		return nil
+	})
+	return ends, err
+}
+
+// scanSegment is the scanner core: fn observes each record together
+// with the offset of its end.
+func scanSegment(r io.Reader, fn func(Record, int64) error) (int64, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	if string(magic) != string(segMagic) {
+		return 0, nil
+	}
+	valid := int64(len(segMagic))
+	header := make([]byte, frameHeaderLen)
+	var body []byte
+	for {
+		if _, err := io.ReadFull(br, header); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return valid, nil
+			}
+			return valid, fmt.Errorf("wal: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		crc := binary.LittleEndian.Uint32(header[4:8])
+		if length < bodyFixedLen || length > MaxRecordBytes {
+			return valid, nil
+		}
+		if cap(body) < int(length) {
+			body = make([]byte, length)
+		}
+		body = body[:length]
+		if _, err := io.ReadFull(br, body); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return valid, nil
+			}
+			return valid, fmt.Errorf("wal: %w", err)
+		}
+		if crc32.Checksum(body, castagnoli) != crc {
+			return valid, nil
+		}
+		rec := Record{
+			LSN:     binary.LittleEndian.Uint64(body[0:8]),
+			Type:    body[8],
+			Payload: body[bodyFixedLen:],
+		}
+		valid += int64(frameHeaderLen) + int64(length)
+		if err := fn(rec, valid); err != nil {
+			return valid, err
+		}
+	}
+}
+
+// IsSegment reports whether name looks like a segment file name.
+func IsSegment(name string) bool {
+	return strings.HasSuffix(name, segSuffix)
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable. Sync errors are tolerated: some platforms and filesystems
+// reject fsync on directories, and the data-file sync already covers
+// process crashes.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}

@@ -1,0 +1,531 @@
+package pghive_test
+
+// Durable-service crash-recovery property tests. The contract: for a
+// service whose every mutation is write-ahead logged, kill -9 at ANY
+// record boundary must recover — newest checkpoint + WAL tail replay
+// — to a state bit-identical (checkpoint-image bytes, which cover
+// schema, per-element assignments, counters, shape caches, endpoint
+// bookkeeping, and the edge-ID watermark) to a plain in-memory
+// service that applied exactly the records the log retained. Crash
+// simulation is file-level: the data directory is copied or the WAL
+// truncated at record boundaries (with optional torn garbage
+// appended), and a fresh OpenDurable recovers from the files alone.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	pghive "github.com/pghive/pghive"
+	"github.com/pghive/pghive/internal/datagen"
+	"github.com/pghive/pghive/internal/wal"
+)
+
+// durableFixture is one deterministic mutation script: four ingest
+// batches, a retraction of the second, and a streamed drain — every
+// write-path kind the WAL records.
+type durableFixture struct {
+	opts       pghive.Options
+	ingests    []*pghive.Graph
+	retract    *pghive.Graph
+	streamData []byte
+	streamBS   int
+}
+
+func newDurableFixture(t *testing.T, opts pghive.Options) *durableFixture {
+	t.Helper()
+	d := datagen.Generate(datagen.LDBC(), 0.15, 42)
+	batches := pghive.SplitBatches(d.Graph, 8, rand.New(rand.NewSource(9)))
+	if len(batches) != 8 {
+		t.Fatalf("split into %d batches, want 8", len(batches))
+	}
+	fx := &durableFixture{opts: opts, streamBS: 300}
+	for _, b := range batches[:4] {
+		fx.ingests = append(fx.ingests, b.Graph)
+	}
+	fx.retract = batches[1].Graph
+	var buf bytes.Buffer
+	for _, b := range batches[4:] {
+		if err := pghive.WriteJSONL(&buf, b.Graph); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fx.streamData = buf.Bytes()
+	return fx
+}
+
+// serviceImage serializes a service's full state; two services whose
+// images are byte-equal are indistinguishable to every read and every
+// future write.
+func serviceImage(t *testing.T, s interface{ WriteCheckpoint(io.Writer) error }) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// referenceImages applies the script on a plain in-memory Service,
+// capturing the state image after every record-sized step: ref[0] is
+// the empty service, ref[i] the state after the first i WAL records.
+func (fx *durableFixture) referenceImages(t *testing.T) [][]byte {
+	t.Helper()
+	svc := pghive.NewService(fx.opts)
+	imgs := [][]byte{serviceImage(t, svc)}
+	for _, g := range fx.ingests {
+		svc.Ingest(g)
+		imgs = append(imgs, serviceImage(t, svc))
+	}
+	svc.Retract(fx.retract)
+	imgs = append(imgs, serviceImage(t, svc))
+	st := pghive.NewJSONLStream(bytes.NewReader(fx.streamData), fx.streamBS)
+	for {
+		b, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.Ingest(b.Graph)
+		imgs = append(imgs, serviceImage(t, svc))
+	}
+	return imgs
+}
+
+// runDurable applies the script through the durable API. compactAt,
+// when >= 0, triggers a manual compaction after that mutation index
+// (0-based over the 6 mutations).
+func (fx *durableFixture) runDurable(t *testing.T, dir string, dopts pghive.DurableOptions, compactAt int) {
+	t.Helper()
+	d, err := pghive.OpenDurable(dir, fx.opts, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	step := 0
+	maybeCompact := func() {
+		if step == compactAt {
+			if err := d.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		step++
+	}
+	for _, g := range fx.ingests {
+		if _, err := d.Ingest(g); err != nil {
+			t.Fatal(err)
+		}
+		maybeCompact()
+	}
+	if _, err := d.Retract(fx.retract); err != nil {
+		t.Fatal(err)
+	}
+	maybeCompact()
+	if err := d.DrainStream(pghive.NewJSONLStream(bytes.NewReader(fx.streamData), fx.streamBS), nil); err != nil {
+		t.Fatal(err)
+	}
+	maybeCompact()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// copyTree copies a directory recursively (the point-in-time file
+// state a crash freezes).
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// walSegments lists a data directory's WAL segment files in LSN order.
+func walSegments(t *testing.T, dir string) []string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "wal", "*.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(segs)
+	return segs
+}
+
+// crashPoint is one record boundary across the whole log: records is
+// the number of complete records at (and before) it.
+type crashPoint struct {
+	segIdx  int
+	end     int64
+	records int
+}
+
+// crashPoints enumerates every record boundary, including the empty
+// log (0 records).
+func crashPoints(t *testing.T, segs []string) []crashPoint {
+	t.Helper()
+	points := []crashPoint{{segIdx: -1}}
+	records := 0
+	for si, seg := range segs {
+		ends, err := wal.RecordEnds(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ends {
+			records++
+			points = append(points, crashPoint{segIdx: si, end: e, records: records})
+		}
+	}
+	return points
+}
+
+// buildCrashDir materializes the file state of a crash at p: segments
+// before p's are intact, p's segment is truncated at the boundary,
+// later segments never existed. torn, when non-nil, is appended after
+// the boundary — the half-written record the crash interrupted.
+func buildCrashDir(t *testing.T, srcDir string, segs []string, p crashPoint, torn []byte) string {
+	t.Helper()
+	dst := t.TempDir()
+	walDst := filepath.Join(dst, "wal")
+	if err := os.MkdirAll(walDst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint images predate every crash point in these tests
+	// (compaction variants copy the whole tree instead).
+	cks, err := filepath.Glob(filepath.Join(srcDir, "checkpoint-*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cks) != 0 {
+		t.Fatalf("crash-point test expects no checkpoints, found %v", cks)
+	}
+	for si, seg := range segs {
+		if si > p.segIdx {
+			break
+		}
+		data, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if si == p.segIdx {
+			data = data[:p.end]
+		}
+		data = append(append([]byte(nil), data...), torn...)
+		if err := os.WriteFile(filepath.Join(walDst, filepath.Base(seg)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestDurableCrashRecoveryProperty is the acceptance contract: over
+// {ELSH, MinHash} × interning on/off, for EVERY record-boundary crash
+// point — clean truncation and torn-tail variants — restore+replay
+// yields a state image bit-identical to the in-memory service that
+// applied exactly the surviving records.
+func TestDurableCrashRecoveryProperty(t *testing.T) {
+	torn := []byte{0x13, 0x00, 0x00, 0x00, 0xaa, 0xbb, 0xcc, 0xdd, 0x01, 0x02}
+	for _, method := range []pghive.Method{pghive.ELSH, pghive.MinHash} {
+		for _, intern := range []bool{true, false} {
+			opts := pghive.Options{Seed: 7, Method: method, DisableShapeInterning: !intern}
+			t.Run(fmt.Sprintf("%v/intern=%v", method, intern), func(t *testing.T) {
+				fx := newDurableFixture(t, opts)
+				ref := fx.referenceImages(t)
+
+				dir := t.TempDir()
+				// Small segments force rotation, so crash points span
+				// multiple files.
+				dopts := pghive.DurableOptions{NoSync: true, DisableAutoCompact: true, SegmentBytes: 32 << 10}
+				fx.runDurable(t, dir, dopts, -1)
+
+				segs := walSegments(t, dir)
+				if len(segs) < 2 {
+					t.Fatalf("want multiple WAL segments for multi-file crash points, got %d", len(segs))
+				}
+				points := crashPoints(t, segs)
+				if len(points) != len(ref) {
+					t.Fatalf("%d crash points but %d reference states", len(points), len(ref))
+				}
+
+				for _, p := range points {
+					for variant, tail := range map[string][]byte{"clean": nil, "torn": torn} {
+						crashDir := buildCrashDir(t, dir, segs, p, tail)
+						rec, err := pghive.OpenDurable(crashDir, opts, dopts)
+						if err != nil {
+							t.Fatalf("recover at %d records (%s): %v", p.records, variant, err)
+						}
+						img := serviceImage(t, rec)
+						rec.Close()
+						if !bytes.Equal(img, ref[p.records]) {
+							t.Fatalf("recovery at %d records (%s) diverges from uninterrupted run", p.records, variant)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDurableCompactionRoundTrip covers the checkpoint+tail recovery
+// path: compaction mid-script folds the log into an image and prunes
+// the superseded segments, crash images taken around it still recover
+// bit-identically, and the service keeps accepting writes afterwards.
+func TestDurableCompactionRoundTrip(t *testing.T) {
+	opts := pghive.Options{Seed: 7}
+	fx := newDurableFixture(t, opts)
+	ref := fx.referenceImages(t)
+
+	dir := t.TempDir()
+	dopts := pghive.DurableOptions{NoSync: true, DisableAutoCompact: true, SegmentBytes: 16 << 10}
+	// Compact right after the retraction (mutation index 4 = 5 records
+	// in the log).
+	fx.runDurable(t, dir, dopts, 4)
+
+	// The image file exists, named for the LSN it covers, and every
+	// sealed segment at or below it is gone.
+	cks, err := filepath.Glob(filepath.Join(dir, "checkpoint-*.ckpt"))
+	if err != nil || len(cks) != 1 {
+		t.Fatalf("checkpoints after compaction: %v (err %v), want exactly 1", cks, err)
+	}
+	want := filepath.Join(dir, fmt.Sprintf("checkpoint-%020d.ckpt", 5))
+	if cks[0] != want {
+		t.Fatalf("checkpoint file %s, want %s", cks[0], want)
+	}
+	for _, seg := range walSegments(t, dir) {
+		ends, err := wal.RecordEnds(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ends) == 0 {
+			continue
+		}
+		var lsns []uint64
+		f, err := os.Open(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wal.ScanSegment(f, func(r wal.Record) error { lsns = append(lsns, r.LSN); return nil })
+		f.Close()
+		for _, l := range lsns {
+			if l <= 5 {
+				t.Fatalf("segment %s still holds folded record %d", seg, l)
+			}
+		}
+	}
+
+	// Recovery from checkpoint + replayed tail equals the
+	// uninterrupted run...
+	rec, err := pghive.OpenDurable(dir, opts, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := serviceImage(t, rec); !bytes.Equal(got, ref[len(ref)-1]) {
+		t.Fatal("state after compaction + reopen diverges from uninterrupted run")
+	}
+	if got := rec.CheckpointLSN(); got != 5 {
+		t.Fatalf("CheckpointLSN after reopen = %d, want 5", got)
+	}
+
+	// ...and the reopened service keeps serving writes durably: the
+	// retracted batch's IDs are free again, so re-ingesting it is a
+	// legal new mutation mirrored on the reference.
+	refSvc := pghive.NewService(opts)
+	replayReference(t, refSvc, fx)
+	if _, err := rec.Ingest(fx.retract); err != nil {
+		t.Fatal(err)
+	}
+	refSvc.Ingest(fx.retract)
+	liveImg := serviceImage(t, rec)
+	if !bytes.Equal(liveImg, serviceImage(t, refSvc)) {
+		t.Fatal("post-recovery write diverges from reference")
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second compaction cycle after reopen also recovers.
+	rec2, err := pghive.OpenDurable(dir, opts, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := serviceImage(t, rec2); !bytes.Equal(got, liveImg) {
+		t.Fatal("compaction changed the served state")
+	}
+	rec2.Close()
+}
+
+// replayReference applies the whole fixture script to a plain service.
+func replayReference(t *testing.T, svc *pghive.Service, fx *durableFixture) {
+	t.Helper()
+	for _, g := range fx.ingests {
+		svc.Ingest(g)
+	}
+	svc.Retract(fx.retract)
+	if err := svc.DrainStream(pghive.NewJSONLStream(bytes.NewReader(fx.streamData), fx.streamBS), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stressGraph builds a small explicit-ID graph so concurrent writers
+// can ingest disjoint namespaces.
+func stressGraph(t testing.TB, base pghive.ID, n int) *pghive.Graph {
+	g := pghive.NewGraph()
+	for i := 0; i < n; i++ {
+		id := base + pghive.ID(i)
+		if err := g.PutNode(id, []string{"Stress"}, map[string]pghive.Value{
+			"k": pghive.Int(int64(i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		src := base + pghive.ID(i)
+		dst := base + pghive.ID((i+1)%n)
+		if err := g.PutEdge(base+pghive.ID(i), []string{"NEXT"}, src, dst, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// TestDurableServiceConcurrentStress runs writers, lock-free readers,
+// and an aggressive background compactor together under the race
+// detector, then proves the WAL-ordered history recovers to exactly
+// the live final state.
+func TestDurableServiceConcurrentStress(t *testing.T) {
+	opts := pghive.Options{Seed: 3, Parallelism: 1}
+	dir := t.TempDir()
+	d, err := pghive.OpenDurable(dir, opts, pghive.DurableOptions{
+		NoSync:          true,
+		SegmentBytes:    2 << 10,
+		CompactInterval: 2 * time.Millisecond,
+		OnCompactError:  func(err error) { t.Errorf("background compaction: %v", err) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, iters, span = 3, 12, 10
+	var writerWG, readerWG sync.WaitGroup
+	writersDone := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < iters; i++ {
+				base := pghive.ID(1_000_000*w + 1_000*i)
+				g := stressGraph(t, base, span)
+				if _, err := d.Ingest(g); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				if i%3 == 2 {
+					if _, err := d.Retract(g); err != nil {
+						t.Errorf("writer %d retract: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-writersDone:
+					return
+				default:
+				}
+				snap := d.Snapshot()
+				if snap.Stats.NodeTypes != len(snap.Schema.NodeTypes) {
+					t.Error("snapshot stats disagree with snapshot schema")
+					return
+				}
+			}
+		}()
+	}
+	writerWG.Wait()
+	close(writersDone)
+	readerWG.Wait()
+
+	liveImg := serviceImage(t, d)
+	liveStats := d.Stats()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := pghive.OpenDurable(dir, opts, pghive.DurableOptions{NoSync: true, DisableAutoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if got := serviceImage(t, rec); !bytes.Equal(got, liveImg) {
+		t.Fatal("recovered state diverges from the live service's final state")
+	}
+	if got := rec.Stats(); got.Batches != liveStats.Batches || got.Nodes != liveStats.Nodes || got.Edges != liveStats.Edges {
+		t.Fatalf("recovered stats %+v, live %+v", got, liveStats)
+	}
+}
+
+// TestOpenDurableRejectsCorruptCheckpoint: a checkpoint that cannot
+// be parsed is a hard error (atomic writes mean no crash produces
+// one), never a silent empty restart.
+func TestOpenDurableRejectsCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, fmt.Sprintf("checkpoint-%020d.ckpt", 3))
+	if err := os.WriteFile(path, []byte("{not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pghive.OpenDurable(dir, pghive.Options{Seed: 1}, pghive.DurableOptions{NoSync: true, DisableAutoCompact: true}); err == nil {
+		t.Fatal("OpenDurable accepted a corrupt checkpoint")
+	}
+}
+
+// TestOpenDurableRejectsUnknownRecordType: a WAL record whose type
+// the replayer does not know must fail recovery loudly.
+func TestOpenDurableRejectsUnknownRecordType(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(99, []byte(`{"kind":"node","id":1}`+"\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pghive.OpenDurable(dir, pghive.Options{Seed: 1}, pghive.DurableOptions{NoSync: true, DisableAutoCompact: true}); err == nil {
+		t.Fatal("OpenDurable accepted an unknown WAL record type")
+	}
+}

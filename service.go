@@ -113,33 +113,47 @@ func (s *Service) publish() {
 	s.snap.Store(&ServiceSnapshot{Schema: sch, Stats: st})
 }
 
-// track registers g's nodes in the cross-ingest endpoint bookkeeping,
-// skipping IDs already tracked (their first labels win, matching how
-// a stream resolver behaves), and advances the sequential edge-ID
-// watermark past g's edges so a later CSV stream — which assigns IDs
-// itself — can never collide with IDs the service has already seen.
-func (s *Service) track(g *Graph) {
+// trackGraph registers g's nodes in the cross-ingest endpoint
+// bookkeeping, skipping IDs already tracked (their first labels win,
+// matching how a stream resolver behaves), and advances the
+// sequential edge-ID watermark past g's edges so a later CSV stream —
+// which assigns IDs itself — can never collide with IDs already seen.
+// It is the single tracking rule shared by live serving and WAL
+// replay, which is what makes recovery bit-identical to the run that
+// logged the records.
+func trackGraph(resolver *Graph, g *Graph, nextEdgeID *ID) {
 	nodes := g.Nodes()
 	for i := range nodes {
-		if s.resolver.Node(nodes[i].ID) == nil {
-			// Error impossible: absence was just checked and writes are
-			// serialized by mu.
-			_ = s.resolver.PutNode(nodes[i].ID, nodes[i].Labels, nil)
+		if resolver.Node(nodes[i].ID) == nil {
+			// Error impossible: absence was just checked and callers
+			// serialize writes.
+			_ = resolver.PutNode(nodes[i].ID, nodes[i].Labels, nil)
 		}
 	}
 	edges := g.Edges()
 	for i := range edges {
-		if id := edges[i].ID + 1; id > s.nextEdgeID {
-			s.nextEdgeID = id
+		if id := edges[i].ID + 1; id > *nextEdgeID {
+			*nextEdgeID = id
 		}
 	}
 }
+
+// track applies trackGraph to the service's own state. Callers must
+// hold mu.
+func (s *Service) track(g *Graph) { trackGraph(s.resolver, g, &s.nextEdgeID) }
 
 // Ingest runs one batch through the pipeline and publishes a fresh
 // snapshot. The graph is read during the call and not retained.
 func (s *Service) Ingest(g *Graph) BatchTiming {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.ingestLocked(g)
+}
+
+// ingestLocked is the write path shared by Ingest, DrainStream, and
+// the durable layer (which appends to its WAL first). Callers must
+// hold mu.
+func (s *Service) ingestLocked(g *Graph) BatchTiming {
 	s.track(g)
 	bt := s.inc.ProcessBatch(&Batch{Graph: g, Resolver: s.resolver, Index: s.inc.Batches() + 1})
 	s.publish()
@@ -157,6 +171,12 @@ func (s *Service) Ingest(g *Graph) BatchTiming {
 func (s *Service) Retract(g *Graph) BatchTiming {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.retractLocked(g)
+}
+
+// retractLocked is the retraction path shared by Retract and the
+// durable layer. Callers must hold mu.
+func (s *Service) retractLocked(g *Graph) BatchTiming {
 	bt := s.inc.RetractBatch(&Batch{Graph: g, Resolver: s.resolver})
 	nodes := g.Nodes()
 	for i := range nodes {
@@ -195,22 +215,16 @@ type csvLikeStream interface {
 func (s *Service) DrainStream(r StreamReader, onBatch func(BatchTiming)) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if c, ok := r.(csvLikeStream); ok {
-		if c.NextEdgeID() == 0 && s.nextEdgeID > 0 {
-			c.SetNextEdgeID(s.nextEdgeID)
-		}
-		nodes := s.resolver.Nodes()
-		for i := range nodes {
-			// Error means the reader tracked the ID already; its labels
-			// win, matching Ingest's first-labels-win rule.
-			_ = c.SeedResolver(nodes[i].ID, nodes[i].Labels)
-		}
-		defer func() {
-			if id := c.NextEdgeID(); id > s.nextEdgeID {
-				s.nextEdgeID = id
-			}
-		}()
-	}
+	return s.drainLocked(r, onBatch, nil)
+}
+
+// drainLocked is the drain protocol shared by Service.DrainStream and
+// the durable layer: CSV-stream adoption, memory-counter observation,
+// and per-batch processing, with an optional perBatch hook running
+// before each batch is applied (the durable layer's WAL append).
+// Callers must hold mu.
+func (s *Service) drainLocked(r StreamReader, onBatch func(BatchTiming), perBatch func(*Graph) error) error {
+	defer s.seedStreamLocked(r)()
 	onBatch = core.MemObservedOnBatch(onBatch)
 	for {
 		b, err := r.Next()
@@ -220,13 +234,43 @@ func (s *Service) DrainStream(r StreamReader, onBatch func(BatchTiming)) error {
 		if err != nil {
 			return err
 		}
+		if perBatch != nil {
+			if err := perBatch(b.Graph); err != nil {
+				return err
+			}
+		}
 		// The service resolver absorbs the stream's bookkeeping so
-		// later Ingest calls still resolve endpoints of streamed nodes.
-		s.track(b.Graph)
-		bt := s.inc.ProcessBatch(&Batch{Graph: b.Graph, Resolver: s.resolver, Index: s.inc.Batches() + 1})
-		s.publish()
+		// later Ingest calls still resolve endpoints of streamed nodes
+		// (ingestLocked tracks the batch before processing it).
+		bt := s.ingestLocked(b.Graph)
 		if onBatch != nil {
 			onBatch(bt)
+		}
+	}
+}
+
+// seedStreamLocked adopts a CSV-like stream into the service's state
+// (edge-ID continuation, resolver seeding) and returns the function
+// that harvests the stream's final edge-ID watermark — callers defer
+// it around their drain loop. For other readers both halves are
+// no-ops. Callers must hold mu.
+func (s *Service) seedStreamLocked(r StreamReader) (finish func()) {
+	c, ok := r.(csvLikeStream)
+	if !ok {
+		return func() {}
+	}
+	if c.NextEdgeID() == 0 && s.nextEdgeID > 0 {
+		c.SetNextEdgeID(s.nextEdgeID)
+	}
+	nodes := s.resolver.Nodes()
+	for i := range nodes {
+		// Error means the reader tracked the ID already; its labels
+		// win, matching Ingest's first-labels-win rule.
+		_ = c.SeedResolver(nodes[i].ID, nodes[i].Labels)
+	}
+	return func() {
+		if id := c.NextEdgeID(); id > s.nextEdgeID {
+			s.nextEdgeID = id
 		}
 	}
 }
