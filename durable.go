@@ -22,8 +22,6 @@ package pghive
 import (
 	"bytes"
 	"fmt"
-	"io"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -33,6 +31,7 @@ import (
 
 	"github.com/pghive/pghive/internal/core"
 	"github.com/pghive/pghive/internal/pg"
+	"github.com/pghive/pghive/internal/vfs"
 	"github.com/pghive/pghive/internal/wal"
 )
 
@@ -70,6 +69,10 @@ type DurableOptions struct {
 	// OnCompactError observes background compaction failures (the
 	// compactor retries on its next tick either way). Optional.
 	OnCompactError func(error)
+	// FS is the filesystem the data directory lives on; nil selects
+	// the real OS. Fault-injection tests substitute vfs.MemFS /
+	// vfs.InjectFS to prove recovery survives hostile disks.
+	FS vfs.FS
 }
 
 func (o DurableOptions) withDefaults() DurableOptions {
@@ -96,6 +99,7 @@ func (o DurableOptions) withDefaults() DurableOptions {
 type DurableService struct {
 	*Service
 	dir   string
+	fs    vfs.FS
 	log   *wal.Log
 	dopts DurableOptions
 
@@ -124,22 +128,23 @@ type DurableService struct {
 // directory (like ResumeFromCheckpoint, the files do not store them).
 func OpenDurable(dir string, opts Options, dopts DurableOptions) (*DurableService, error) {
 	dopts = dopts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := vfs.OrOS(dopts.FS)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("pghive: durable: %w", err)
 	}
 	// Leftover temporaries from an interrupted atomic checkpoint
 	// write carry no state (the rename never happened).
-	if tmps, err := filepath.Glob(filepath.Join(dir, ckptTmpPattern)); err == nil {
+	if tmps, err := fsys.Glob(filepath.Join(dir, ckptTmpPattern)); err == nil {
 		for _, t := range tmps {
-			os.Remove(t)
+			fsys.Remove(t)
 		}
 	}
 
-	ckptPath, ckptLSN, err := newestCheckpoint(dir)
+	ckptPath, ckptLSN, err := newestCheckpoint(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
-	rp, after, err := newReplayer(opts, ckptPath)
+	rp, after, err := newReplayer(opts, fsys, ckptPath)
 	if err != nil {
 		return nil, err
 	}
@@ -151,6 +156,7 @@ func OpenDurable(dir string, opts Options, dopts DurableOptions) (*DurableServic
 		SegmentBytes: dopts.SegmentBytes,
 		NoSync:       dopts.NoSync,
 		MinLSN:       after + 1,
+		FS:           dopts.FS,
 	})
 	if err != nil {
 		return nil, err
@@ -171,6 +177,7 @@ func OpenDurable(dir string, opts Options, dopts DurableOptions) (*DurableServic
 	d := &DurableService{
 		Service:  svc,
 		dir:      dir,
+		fs:       fsys,
 		log:      log,
 		dopts:    dopts,
 		ckptLSN:  after,
@@ -283,7 +290,7 @@ func (d *DurableService) Compact() error {
 	// target, through the same apply path recovery uses. The bound
 	// keeps the fold off the active segment entirely — concurrent
 	// appends are never even read.
-	rp, after, err := newReplayer(d.opts, d.ckptPath)
+	rp, after, err := newReplayer(d.opts, d.fs, d.ckptPath)
 	if err != nil {
 		return err
 	}
@@ -292,12 +299,10 @@ func (d *DurableService) Compact() error {
 	}
 
 	path := checkpointPath(d.dir, target)
-	err = wal.WriteFileAtomic(path, func(w io.Writer) error {
-		return rp.inc.WriteCheckpoint(w, &core.CheckpointExtras{
-			Resolver:   rp.resolver,
-			NextEdgeID: rp.nextEdgeID,
-			WALSeq:     target,
-		})
+	err = rp.inc.WriteCheckpointFile(d.fs, path, &core.CheckpointExtras{
+		Resolver:   rp.resolver,
+		NextEdgeID: rp.nextEdgeID,
+		WALSeq:     target,
 	})
 	if err != nil {
 		return err
@@ -309,7 +314,7 @@ func (d *DurableService) Compact() error {
 	prev := d.ckptPath
 	d.ckptLSN, d.ckptPath = target, path
 	if prev != "" && prev != path {
-		os.Remove(prev)
+		d.fs.Remove(prev)
 	}
 	_, err = d.log.Prune(target)
 	return err
@@ -336,11 +341,16 @@ type DurableStats struct {
 	// waiting for compaction.
 	WALSealedSegments int   `json:"walSealedSegments"`
 	WALSealedBytes    int64 `json:"walSealedBytes"`
+	// WALBroken reports a WAL that refuses writes because a failed
+	// append could not be rolled back; the service still serves reads
+	// and the directory still recovers, but the last failed record's
+	// durability is indeterminate until then.
+	WALBroken bool `json:"walBroken"`
 }
 
 // DurableStats snapshots the durability counters.
 func (d *DurableService) DurableStats() DurableStats {
-	st := DurableStats{Dir: d.dir, CheckpointLSN: d.CheckpointLSN(), WALNextLSN: d.log.NextLSN()}
+	st := DurableStats{Dir: d.dir, CheckpointLSN: d.CheckpointLSN(), WALNextLSN: d.log.NextLSN(), WALBroken: d.log.Broken()}
 	for _, seg := range d.log.Sealed() {
 		st.WALSealedSegments++
 		st.WALSealedBytes += seg.Bytes
@@ -398,18 +408,13 @@ type walReplayer struct {
 // newReplayer builds a replayer positioned at a checkpoint image (or
 // at the empty state when ckptPath is ""), returning the WAL LSN the
 // image covers.
-func newReplayer(opts Options, ckptPath string) (*walReplayer, uint64, error) {
+func newReplayer(opts Options, fsys vfs.FS, ckptPath string) (*walReplayer, uint64, error) {
 	rp := &walReplayer{}
 	var after uint64
 	if ckptPath == "" {
 		rp.inc = NewIncremental(opts)
 	} else {
-		f, err := os.Open(ckptPath)
-		if err != nil {
-			return nil, 0, fmt.Errorf("pghive: durable: %w", err)
-		}
-		inc, extras, err := core.ResumeFromCheckpoint(opts, f)
-		f.Close()
+		inc, extras, err := core.LoadCheckpoint(fsys, opts, ckptPath)
 		if err != nil {
 			return nil, 0, fmt.Errorf("pghive: durable: restore %s: %w", ckptPath, err)
 		}
@@ -454,8 +459,8 @@ func checkpointPath(dir string, lsn uint64) string {
 
 // newestCheckpoint locates the image with the highest covered LSN
 // ("" when the directory has none).
-func newestCheckpoint(dir string) (path string, lsn uint64, err error) {
-	names, err := filepath.Glob(filepath.Join(dir, ckptPrefix+"*"+ckptSuffix))
+func newestCheckpoint(fsys vfs.FS, dir string) (path string, lsn uint64, err error) {
+	names, err := fsys.Glob(filepath.Join(dir, ckptPrefix+"*"+ckptSuffix))
 	if err != nil {
 		return "", 0, fmt.Errorf("pghive: durable: %w", err)
 	}

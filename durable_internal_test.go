@@ -4,14 +4,16 @@ package pghive
 // compactor is parked indefinitely inside its fold (via the test
 // hook, which runs while compactMu is held and the fold target is
 // chosen) and writers must still complete ingests, retractions, and
-// reads. This is deterministic — no timing heuristics: if the
-// compactor held any lock a writer needs, the writes below would
-// block until the hook is released and the watchdog would fire.
+// reads. This is deterministic — no timing heuristics anywhere: the
+// writes run inline, so if the compactor held any lock they need the
+// test deadlocks on the spot (and the go test timeout dumps every
+// goroutine), and the park itself is verified by a non-blocking read
+// of the compactor's completion channel, not by sleeping. CI load
+// can slow this test down but can never flip its verdict.
 
 import (
 	"bytes"
 	"testing"
-	"time"
 )
 
 func internalStressGraph(t *testing.T, base ID, n int) *Graph {
@@ -57,31 +59,32 @@ func TestCompactorNeverBlocksWriters(t *testing.T) {
 	go func() { compactDone <- d.Compact() }()
 	<-entered
 
-	// The compactor is frozen mid-fold. Every service operation must
-	// still complete promptly.
-	opsDone := make(chan struct{})
-	go func() {
-		defer close(opsDone)
-		for i := 3; i < 8; i++ {
-			g := internalStressGraph(t, ID(100*i), 8)
-			if _, err := d.Ingest(g); err != nil {
-				t.Errorf("ingest during compaction: %v", err)
-				return
-			}
-			if i == 5 {
-				if _, err := d.Retract(g); err != nil {
-					t.Errorf("retract during compaction: %v", err)
-					return
-				}
-			}
-			_ = d.Stats()
-			_ = d.Schema()
+	// The compactor is frozen mid-fold. Every service operation runs
+	// inline on this goroutine: if the fold held any lock the write
+	// or read path needs, the next call would block here forever and
+	// the test binary's own timeout would fail the run with full
+	// stack traces — no watchdog to misfire under CI load.
+	for i := 3; i < 8; i++ {
+		g := internalStressGraph(t, ID(100*i), 8)
+		if _, err := d.Ingest(g); err != nil {
+			t.Fatalf("ingest during compaction: %v", err)
 		}
-	}()
+		if i == 5 {
+			if _, err := d.Retract(g); err != nil {
+				t.Fatalf("retract during compaction: %v", err)
+			}
+		}
+		_ = d.Stats()
+		_ = d.Schema()
+	}
+
+	// Every operation completed while the compactor was provably
+	// still parked: the hook cannot return before release is closed,
+	// so a finished Compact here would mean the sync point is broken.
 	select {
-	case <-opsDone:
-	case <-time.After(30 * time.Second):
-		t.Fatal("writers blocked behind a parked compactor")
+	case err := <-compactDone:
+		t.Fatalf("compactor finished while parked (err=%v) — sync point broken", err)
+	default:
 	}
 
 	close(release)

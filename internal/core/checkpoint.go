@@ -21,6 +21,7 @@ import (
 	"github.com/pghive/pghive/internal/lsh"
 	"github.com/pghive/pghive/internal/pg"
 	"github.com/pghive/pghive/internal/schema"
+	"github.com/pghive/pghive/internal/vfs"
 )
 
 // CheckpointVersion is the format version WriteCheckpoint emits.
@@ -227,4 +228,26 @@ func ResumeFromCheckpoint(opts Options, r io.Reader) (*Incremental, *CheckpointE
 		extras.Resolver = g
 	}
 	return inc, extras, nil
+}
+
+// LoadCheckpoint opens a checkpoint image on fsys (nil selects the
+// real OS) and restores it via ResumeFromCheckpoint.
+func LoadCheckpoint(fsys vfs.FS, opts Options, path string) (*Incremental, *CheckpointExtras, error) {
+	f, err := vfs.Open(vfs.OrOS(fsys), path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: checkpoint: %w", err)
+	}
+	defer f.Close()
+	return ResumeFromCheckpoint(opts, f)
+}
+
+// WriteCheckpointFile writes the checkpoint image crash-safely to
+// path on fsys (nil selects the real OS): the image is staged in a
+// temporary file and renamed into place, so a crash at any instant
+// leaves either the previous image or the complete new one. The
+// caller must serialize with writes, as for WriteCheckpoint.
+func (inc *Incremental) WriteCheckpointFile(fsys vfs.FS, path string, extras *CheckpointExtras) error {
+	return vfs.WriteFileAtomic(fsys, path, func(w io.Writer) error {
+		return inc.WriteCheckpoint(w, extras)
+	})
 }

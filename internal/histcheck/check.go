@@ -1,0 +1,329 @@
+package histcheck
+
+// check.go: the offline history checker. Check never talks to a
+// service — it receives a History and decides whether every recorded
+// observation is explainable by SOME linearization of the scripted
+// batches. It is deliberately defensive: a malformed history (unknown
+// writer, out-of-order acks, inverted stamps) is reported as a
+// violation rather than trusted, so the checker can be fuzzed with
+// arbitrary bytes and driven by recorders it has never met.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Violation is one detected breach of the serving contract (or of the
+// history's own well-formedness). Kind is a stable machine-checkable
+// tag; Detail is for humans.
+type Violation struct {
+	Kind    string // "malformed", "monotonicity", "realtime", "determinism", "visibility", "conservation"
+	Session string // offending session, when attributable
+	Detail  string
+}
+
+func (v *Violation) Error() string {
+	if v.Session != "" {
+		return fmt.Sprintf("histcheck: %s violation in session %s: %s", v.Kind, v.Session, v.Detail)
+	}
+	return fmt.Sprintf("histcheck: %s violation: %s", v.Kind, v.Detail)
+}
+
+// Violation kinds.
+const (
+	KindMalformed    = "malformed"
+	KindMonotonicity = "monotonicity"
+	KindRealtime     = "realtime"
+	KindDeterminism  = "determinism"
+	KindVisibility   = "visibility"
+	KindConservation = "conservation"
+)
+
+// maxPrefixCombos bounds the prefix-vector search per observation.
+// Honest recorders produce tiny ranges (a writer has at most one
+// batch in flight), so hitting the cap means the history is too loose
+// to verify cheaply; the observation is then accepted, not failed.
+const maxPrefixCombos = 1 << 16
+
+// ack is a validated acknowledgement with its real-time window.
+type ack struct{ start, end int64 }
+
+// Check validates a recorded history against the serving contract.
+// It returns nil when every event is explainable, and the first
+// *Violation found otherwise. The order checks run in is fixed
+// (well-formedness, then per-session monotonicity, then real-time
+// ordering, then determinism, then visibility and conservation), so
+// a history with several defects reports a deterministic one.
+func Check(h *History) error {
+	if h == nil {
+		return &Violation{Kind: KindMalformed, Detail: "nil history"}
+	}
+
+	// Well-formedness: every event belongs to a session, has a
+	// coherent stamp window, and is either an ack or an observation.
+	// Acks must name a scripted writer and arrive in 1..n order per
+	// writer (writers are sequential clients by construction).
+	byWriter := make(map[string][]ack)
+	var observations []Event
+	perSession := make(map[string][]Event)
+	for i, e := range h.Events {
+		if e.Session == "" {
+			return &Violation{Kind: KindMalformed, Detail: fmt.Sprintf("event %d has no session", i)}
+		}
+		if e.Start >= e.End {
+			return &Violation{Kind: KindMalformed, Session: e.Session,
+				Detail: fmt.Sprintf("event %d stamp window [%d,%d) is empty or inverted", i, e.Start, e.End)}
+		}
+		switch {
+		case e.Writer != "" && e.Obs == nil:
+			spec, ok := h.Writers[e.Writer]
+			if !ok {
+				return &Violation{Kind: KindMalformed, Session: e.Session,
+					Detail: fmt.Sprintf("ack for unscripted writer %q", e.Writer)}
+			}
+			if want := len(byWriter[e.Writer]) + 1; e.Seq != want || e.Seq > len(spec) {
+				return &Violation{Kind: KindMalformed, Session: e.Session,
+					Detail: fmt.Sprintf("writer %q ack seq %d, want %d of %d", e.Writer, e.Seq, want, len(spec))}
+			}
+			byWriter[e.Writer] = append(byWriter[e.Writer], ack{e.Start, e.End})
+		case e.Writer == "" && e.Obs != nil:
+			observations = append(observations, e)
+		default:
+			return &Violation{Kind: KindMalformed, Session: e.Session,
+				Detail: fmt.Sprintf("event %d is neither a pure ack nor a pure observation", i)}
+		}
+		perSession[e.Session] = append(perSession[e.Session], e)
+	}
+	// Acks must be recorded in stamp order (a sequential writer
+	// cannot acknowledge batch k+1 before batch k's window closed).
+	for w, acks := range byWriter {
+		for i := 1; i < len(acks); i++ {
+			if acks[i].start <= acks[i-1].end {
+				return &Violation{Kind: KindMalformed,
+					Detail: fmt.Sprintf("writer %q acks %d and %d overlap in real time", w, i, i+1)}
+			}
+		}
+	}
+
+	if v := checkSessionMonotonicity(perSession); v != nil {
+		return v
+	}
+	if v := checkRealtimeMonotonicity(observations); v != nil {
+		return v
+	}
+	if v := checkSnapshotDeterminism(observations); v != nil {
+		return v
+	}
+	for _, e := range observations {
+		if v := checkConservation(e); v != nil {
+			return v
+		}
+		if v := checkVisibility(h, byWriter, e); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// checkSessionMonotonicity: within one session, in stamp order, the
+// observed snapshot sequence number never decreases. A client that
+// reads snapshot 7 and then snapshot 5 has time-travelled.
+func checkSessionMonotonicity(perSession map[string][]Event) *Violation {
+	for session, events := range perSession {
+		sort.SliceStable(events, func(i, j int) bool { return events[i].Start < events[j].Start })
+		last, have := uint64(0), false
+		for _, e := range events {
+			if e.Obs == nil || !e.Obs.HasSnapshot {
+				continue
+			}
+			if have && e.Obs.Snapshot < last {
+				return &Violation{Kind: KindMonotonicity, Session: session,
+					Detail: fmt.Sprintf("snapshot went backwards: %d after %d", e.Obs.Snapshot, last)}
+			}
+			last, have = e.Obs.Snapshot, true
+		}
+	}
+	return nil
+}
+
+// checkRealtimeMonotonicity: across ALL sessions, an observation that
+// finished before another began must not carry a newer snapshot —
+// the publication sequence is a single register and reads of it must
+// be consistent with real time. Sweep in Start order, folding in the
+// maximum snapshot among observations that have fully completed.
+func checkRealtimeMonotonicity(observations []Event) *Violation {
+	snaps := make([]Event, 0, len(observations))
+	for _, e := range observations {
+		if e.Obs.HasSnapshot {
+			snaps = append(snaps, e)
+		}
+	}
+	byStart := append([]Event(nil), snaps...)
+	sort.SliceStable(byStart, func(i, j int) bool { return byStart[i].Start < byStart[j].Start })
+	byEnd := append([]Event(nil), snaps...)
+	sort.SliceStable(byEnd, func(i, j int) bool { return byEnd[i].End < byEnd[j].End })
+
+	var maxSnap uint64
+	var maxFrom string
+	done := 0
+	for _, e := range byStart {
+		for done < len(byEnd) && byEnd[done].End < e.Start {
+			if s := byEnd[done].Obs.Snapshot; s > maxSnap {
+				maxSnap, maxFrom = s, byEnd[done].Session
+			}
+			done++
+		}
+		if e.Obs.Snapshot < maxSnap {
+			return &Violation{Kind: KindRealtime, Session: e.Session,
+				Detail: fmt.Sprintf("observed snapshot %d after session %s had already finished observing %d",
+					e.Obs.Snapshot, maxFrom, maxSnap)}
+		}
+	}
+	return nil
+}
+
+// checkSnapshotDeterminism: a snapshot sequence number names exactly
+// one published state, so every observation of it must report the
+// same stats — and, ordering snapshots by sequence, the batch counter
+// must be non-decreasing (batches are never un-processed).
+func checkSnapshotDeterminism(observations []Event) *Violation {
+	type statsAt struct {
+		batches, nodes, edges int
+		session               string
+	}
+	seen := make(map[uint64]statsAt)
+	for _, e := range observations {
+		o := e.Obs
+		if !o.HasSnapshot || !o.HasStats {
+			continue
+		}
+		if prev, ok := seen[o.Snapshot]; ok {
+			if prev.batches != o.Batches || prev.nodes != o.Nodes || prev.edges != o.Edges {
+				return &Violation{Kind: KindDeterminism, Session: e.Session,
+					Detail: fmt.Sprintf("snapshot %d reported as (batches=%d nodes=%d edges=%d) and, to session %s, (batches=%d nodes=%d edges=%d)",
+						o.Snapshot, o.Batches, o.Nodes, o.Edges, prev.session, prev.batches, prev.nodes, prev.edges)}
+			}
+			continue
+		}
+		seen[o.Snapshot] = statsAt{o.Batches, o.Nodes, o.Edges, e.Session}
+	}
+	order := make([]uint64, 0, len(seen))
+	for s := range seen {
+		order = append(order, s)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for i := 1; i < len(order); i++ {
+		a, b := seen[order[i-1]], seen[order[i]]
+		if b.batches < a.batches {
+			return &Violation{Kind: KindDeterminism, Session: b.session,
+				Detail: fmt.Sprintf("batches regressed from %d (snapshot %d) to %d (snapshot %d)",
+					a.batches, order[i-1], b.batches, order[i])}
+		}
+	}
+	return nil
+}
+
+// checkConservation: when one atomic read returned both stats and
+// per-type instance sums, they describe the same snapshot, so the
+// instance sums must equal the element totals exactly.
+func checkConservation(e Event) *Violation {
+	o := e.Obs
+	if !o.HasStats || !o.HasInstances {
+		return nil
+	}
+	if o.NodeInstances != o.Nodes {
+		return &Violation{Kind: KindConservation, Session: e.Session,
+			Detail: fmt.Sprintf("node type instances sum to %d, stats count %d nodes", o.NodeInstances, o.Nodes)}
+	}
+	if o.EdgeInstances != o.Edges {
+		return &Violation{Kind: KindConservation, Session: e.Session,
+			Detail: fmt.Sprintf("edge type instances sum to %d, stats count %d edges", o.EdgeInstances, o.Edges)}
+	}
+	return nil
+}
+
+// checkVisibility: every observation must be a sum of whole scripted
+// batches — some per-writer prefix vector j, bounded below by the
+// acks that completed before the observation began and above by the
+// acks that started before it ended. Batches apply atomically, so a
+// count that no reachable vector explains means a reader saw a torn
+// or fabricated state.
+func checkVisibility(h *History, byWriter map[string][]ack, e Event) *Violation {
+	o := e.Obs
+	if !o.HasStats && !o.HasInstances {
+		return nil
+	}
+	writers := make([]string, 0, len(h.Writers))
+	for w := range h.Writers {
+		writers = append(writers, w)
+	}
+	sort.Strings(writers)
+
+	// Per-writer visible-prefix bounds from the stamp evidence.
+	low := make([]int, len(writers))
+	high := make([]int, len(writers))
+	combos := 1
+	for i, w := range writers {
+		for _, a := range byWriter[w] {
+			if a.end < e.Start {
+				low[i]++
+			}
+			if a.start < e.End {
+				high[i]++
+			}
+		}
+		combos *= high[i] - low[i] + 1
+		if combos > maxPrefixCombos {
+			return nil // too loose to verify cheaply; not a violation
+		}
+	}
+
+	// targets: (nodes, edges, batch count) the vector must hit.
+	// A stats observation pins all three; an instances-only
+	// observation pins nodes and edges (the schema document has no
+	// batch counter).
+	wantNodes, wantEdges := o.Nodes, o.Edges
+	if !o.HasStats {
+		wantNodes, wantEdges = o.NodeInstances, o.EdgeInstances
+	}
+
+	var search func(i, nodes, edges, batches int) bool
+	search = func(i, nodes, edges, batches int) bool {
+		if nodes > wantNodes || edges > wantEdges {
+			return false
+		}
+		if i == len(writers) {
+			if nodes != wantNodes || edges != wantEdges {
+				return false
+			}
+			if o.HasStats && batches != o.Batches {
+				return false
+			}
+			// In the ingest-only-from-empty model each mutation
+			// publishes exactly one snapshot, so the sequence number
+			// equals the visible batch count.
+			if o.HasStats && o.HasSnapshot && uint64(batches) != o.Snapshot {
+				return false
+			}
+			return true
+		}
+		spec := h.Writers[writers[i]]
+		nodesAt, edgesAt := 0, 0
+		for k := 0; k <= high[i]; k++ {
+			if k >= low[i] && search(i+1, nodes+nodesAt, edges+edgesAt, batches+k) {
+				return true
+			}
+			if k < len(spec) {
+				nodesAt += spec[k].Nodes
+				edgesAt += spec[k].Edges
+			}
+		}
+		return false
+	}
+	if !search(0, 0, 0, 0) {
+		return &Violation{Kind: KindVisibility, Session: e.Session,
+			Detail: fmt.Sprintf("observation (nodes=%d edges=%d batches=%d snapshot=%d) matches no reachable batch-prefix state within bounds low=%v high=%v",
+				wantNodes, wantEdges, o.Batches, o.Snapshot, low, high)}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+// Package histcheck is a black-box correctness harness for the
+// serving layer: it drives a live service (in-process or over HTTP)
+// with concurrent client sessions, records what every session
+// observed into a History, and checks that history offline against
+// the service's external consistency contract — without ever looking
+// inside the implementation.
+//
+// The workload model is deliberately narrow so the checker can be
+// exact: the service starts empty and every mutation is a scripted
+// ingest batch whose node/edge counts are known in advance (the
+// History carries the script). Under that model the set of states any
+// reader may observe is the product of per-writer prefixes — writer w
+// having j_w of its batches visible — and every recorded observation
+// must be explainable by some prefix vector consistent with the
+// real-time bounds the recorder stamped. Batch node counts are kept
+// multiples of five by the driver, so a torn batch (a state between
+// two prefixes) is arithmetically unreachable and a single off-by-one
+// in an observed node count is a detected violation, not noise.
+//
+// Checked invariants (see Check):
+//   - per-session snapshot monotonicity: a client never sees the
+//     publication sequence number move backwards;
+//   - real-time snapshot monotonicity: an observation that finished
+//     before another began cannot carry a newer snapshot;
+//   - snapshot determinism: two observations of the same snapshot
+//     sequence number report identical stats;
+//   - atomic batch visibility: every observed (nodes, edges, batches)
+//     triple is a sum of whole scripted batches, within the
+//     prefix-vector bounds implied by ack/observation stamps;
+//   - instance conservation: an atomic snapshot's per-type instance
+//     counts sum to its own node and edge totals.
+package histcheck
+
+// BatchSpec is the externally visible size of one scripted ingest
+// batch: how many nodes and edges it adds. The checker only ever
+// reasons about these counts, never about batch contents.
+type BatchSpec struct {
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+}
+
+// Observation is one read of the service's public state. The three
+// Has* flags record which facets the transport returned atomically:
+// a stats read carries HasSnapshot+HasStats, a schema read carries
+// HasInstances only, and an in-process snapshot carries all three —
+// which is what licenses the conservation check between its stats
+// and its instance sums.
+type Observation struct {
+	// HasSnapshot: Snapshot is the publication sequence number the
+	// read was served from (0 = the initial empty snapshot).
+	HasSnapshot bool   `json:"hasSnapshot,omitempty"`
+	Snapshot    uint64 `json:"snapshot,omitempty"`
+
+	// HasStats: the service's own element totals.
+	HasStats bool `json:"hasStats,omitempty"`
+	Batches  int  `json:"batches,omitempty"`
+	Nodes    int  `json:"nodes,omitempty"`
+	Edges    int  `json:"edges,omitempty"`
+
+	// HasInstances: sums of per-type instance counts over the
+	// published schema, non-abstract types only (abstract supertypes
+	// aggregate their children and would double-count).
+	HasInstances  bool `json:"hasInstances,omitempty"`
+	NodeInstances int  `json:"nodeInstances,omitempty"`
+	EdgeInstances int  `json:"edgeInstances,omitempty"`
+}
+
+// Event is one entry in a session's recorded history: either a
+// mutation acknowledgement (Writer != "") or an observation
+// (Obs != nil). Start and End are ticks from the recorder's shared
+// logical clock taken immediately before the call was issued and
+// immediately after it returned; they are what turns a pile of
+// per-session logs into real-time ordering evidence.
+type Event struct {
+	Session string `json:"session"`
+	Start   int64  `json:"start"`
+	End     int64  `json:"end"`
+
+	// Acknowledgement fields: Writer's batch number Seq (1-based
+	// index into History.Writers[Writer]) was durably applied and
+	// published before End.
+	Writer string `json:"writer,omitempty"`
+	Seq    int    `json:"seq,omitempty"`
+
+	Obs *Observation `json:"obs,omitempty"`
+}
+
+// History is a complete record of one harness run: the per-writer
+// batch script and every session's stamped events. The model assumes
+// the service started empty and received no mutations outside the
+// script.
+type History struct {
+	Writers map[string][]BatchSpec `json:"writers"`
+	Events  []Event                `json:"events"`
+}

@@ -1,17 +1,23 @@
 // Command benchgate compares fresh `go test -bench` output against
 // the committed benchmark baselines (BENCH_*.json) and fails — exit
-// code 1 — only on order-of-magnitude regressions (ns/op more than
-// -max-ratio times the baseline). Everything else is informational: a
-// markdown table of measured vs baseline numbers goes to stdout, and
-// -out writes the fresh numbers as JSON for the CI artifact.
+// code 1 — only on order-of-magnitude regressions: ns/op more than
+// -max-ratio times the baseline, or (when the run used -benchmem and
+// the baseline records allocs_per_op) allocations per op more than
+// -max-alloc-ratio times the baseline plus a small absolute slack.
+// Everything else is informational: a markdown table of measured vs
+// baseline numbers goes to stdout, and -out writes the fresh numbers
+// as JSON for the CI artifact.
 //
 // CI runners and the machines that recorded the baselines differ, so
-// the gate is deliberately generous: its job is to catch "the
+// the time gate is deliberately generous: its job is to catch "the
 // benchmark got 2x+ slower", not to police single-digit percentages.
+// Allocation counts are far more stable across machines, but an
+// absolute slack of a couple of allocs keeps zero-alloc baselines
+// from turning one stray allocation into a hard failure.
 //
-//	go test -run XXX -bench 'ShapeInterning$' -benchtime 3x . | tee bench.txt
+//	go test -run XXX -bench 'ShapeInterning$' -benchtime 3x -benchmem . | tee bench.txt
 //	go run ./internal/tools/benchgate -baseline BENCH_2.json -baseline BENCH_4.json \
-//	    -max-ratio 2 -out bench-fresh.json bench.txt
+//	    -max-ratio 2 -max-alloc-ratio 2 -out bench-fresh.json bench.txt
 package main
 
 import (
@@ -34,8 +40,10 @@ func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	var baselines multiFlag
-	flag.Var(&baselines, "baseline", "baseline JSON file (repeatable); ns/op entries are extracted from any nesting")
+	flag.Var(&baselines, "baseline", "baseline JSON file (repeatable); ns_per_op/allocs_per_op entries are extracted from any nesting")
 	maxRatio := flag.Float64("max-ratio", 2, "fail when measured ns/op exceeds baseline by more than this factor")
+	maxAllocRatio := flag.Float64("max-alloc-ratio", 2,
+		fmt.Sprintf("fail when measured allocs/op exceeds baseline by more than this factor plus %d allocs of slack", allocSlack))
 	out := flag.String("out", "", "write the fresh measurements (and ratios) as JSON to this file")
 	flag.Parse()
 
@@ -43,14 +51,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate: no bench output files given")
 		os.Exit(2)
 	}
-	measured := map[string]float64{}
+	measured := newMetrics()
 	for _, path := range flag.Args() {
 		if err := parseBenchOutput(path, measured); err != nil {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
 			os.Exit(2)
 		}
 	}
-	baseline := map[string]float64{}
+	baseline := newMetrics()
 	for _, path := range baselines {
 		if err := parseBaseline(path, baseline); err != nil {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
@@ -58,7 +66,7 @@ func main() {
 		}
 	}
 
-	report, failures := compare(measured, baseline, *maxRatio)
+	report, failures := compare(measured, baseline, *maxRatio, *maxAllocRatio)
 	fmt.Print(report)
 
 	if *out != "" {
@@ -68,13 +76,31 @@ func main() {
 		}
 	}
 	if len(failures) > 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed more than %.1fx:\n", len(failures), *maxRatio)
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed past the gate (ns >%.1fx, allocs >%.1fx+%d):\n",
+			len(failures), *maxRatio, *maxAllocRatio, allocSlack)
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "  %s\n", f)
 		}
 		os.Exit(1)
 	}
 }
+
+// metrics holds one side of the comparison: benchmark name → ns/op,
+// and (where measured/recorded) benchmark name → allocs/op.
+type metrics struct {
+	ns     map[string]float64
+	allocs map[string]float64
+}
+
+func newMetrics() *metrics {
+	return &metrics{ns: map[string]float64{}, allocs: map[string]float64{}}
+}
+
+// allocSlack is the absolute allocation headroom added on top of the
+// ratio gate: a benchmark with a zero-alloc baseline would otherwise
+// fail on its first incidental allocation, which is exactly the kind
+// of noise this gate must not page on.
+const allocSlack = 2
 
 // benchLine matches `go test -bench` result lines, e.g.
 //
@@ -83,10 +109,15 @@ func main() {
 // The trailing -N is the GOMAXPROCS suffix the test runner appends.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
 
-// parseBenchOutput extracts name → ns/op from a `go test -bench`
-// transcript. A benchmark appearing several times keeps its last
-// value.
-func parseBenchOutput(path string, into map[string]float64) error {
+// allocsField matches the -benchmem allocation column. It is anchored
+// on the unit, not the column position, because custom metrics
+// (b.ReportMetric) print between ns/op and B/op.
+var allocsField = regexp.MustCompile(`\s([0-9]+) allocs/op\s*$`)
+
+// parseBenchOutput extracts name → ns/op (and, for -benchmem runs,
+// name → allocs/op) from a `go test -bench` transcript. A benchmark
+// appearing several times keeps its last value.
+func parseBenchOutput(path string, into *metrics) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -95,7 +126,8 @@ func parseBenchOutput(path string, into map[string]float64) error {
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
@@ -103,19 +135,26 @@ func parseBenchOutput(path string, into map[string]float64) error {
 		if err != nil {
 			continue
 		}
-		into[strings.TrimPrefix(m[1], "Benchmark")] = ns
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		into.ns[name] = ns
+		if a := allocsField.FindStringSubmatch(line); a != nil {
+			if allocs, err := strconv.ParseFloat(a[1], 64); err == nil {
+				into.allocs[name] = allocs
+			}
+		}
 	}
 	return sc.Err()
 }
 
-// parseBaseline extracts benchmark-name → ns/op pairs from a BENCH_*.json
-// file. The files are hand-maintained narratives, so extraction is
-// structural rather than schema-bound: inside the "benchmarks" object,
-// each key names a benchmark function, and every "ns_per_op" found in
-// its subtree contributes entries — either a map of sub-benchmark
-// names to numbers, or a single number whose sub-benchmark name is the
-// enclosing object's key (e.g. results.stats.ns_per_op → "stats").
-func parseBaseline(path string, into map[string]float64) error {
+// parseBaseline extracts benchmark-name → ns/op and → allocs/op pairs
+// from a BENCH_*.json file. The files are hand-maintained narratives,
+// so extraction is structural rather than schema-bound: inside the
+// "benchmarks" object, each key names a benchmark function, and every
+// "ns_per_op" / "allocs_per_op" found in its subtree contributes
+// entries — either a map of sub-benchmark names to numbers, or a
+// single number whose sub-benchmark name is the enclosing object's
+// key (e.g. results.stats.ns_per_op → "stats").
+func parseBaseline(path string, into *metrics) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -130,51 +169,65 @@ func parseBaseline(path string, into map[string]float64) error {
 	}
 	for fn, sub := range benches {
 		fn = strings.TrimPrefix(fn, "Benchmark")
-		collectNsPerOp(sub, fn, into)
+		collectMetrics(sub, fn, into)
 	}
 	return nil
 }
 
-// collectNsPerOp walks a baseline subtree, keying discovered ns_per_op
-// values under prefix (the benchmark function, extended by the map key
-// that encloses a scalar ns_per_op).
-func collectNsPerOp(v any, prefix string, into map[string]float64) {
+// collectMetrics walks a baseline subtree, keying discovered
+// ns_per_op / allocs_per_op values under prefix (the benchmark
+// function, extended by the map key that encloses a scalar metric).
+func collectMetrics(v any, prefix string, into *metrics) {
 	obj, ok := v.(map[string]any)
 	if !ok {
 		return
 	}
 	for k, val := range obj {
-		if k == "ns_per_op" {
-			switch t := val.(type) {
-			case float64:
-				into[prefix] = t
-			case map[string]any:
-				for name, n := range t {
-					if ns, ok := n.(float64); ok {
-						into[prefix+"/"+name] = ns
-					}
-				}
-			}
+		switch k {
+		case "ns_per_op":
+			addMetric(val, prefix, into.ns)
+			continue
+		case "allocs_per_op":
+			addMetric(val, prefix, into.allocs)
 			continue
 		}
 		next := prefix
 		// Descend with the key appended only where the key names a
-		// sub-benchmark level (objects that eventually hold a scalar
-		// ns_per_op); structural keys like "results" stay transparent.
+		// sub-benchmark level (objects that directly hold a scalar
+		// metric); structural keys like "results" stay transparent.
 		if child, ok := val.(map[string]any); ok {
-			if _, scalar := child["ns_per_op"].(float64); scalar {
+			if hasScalarMetric(child) {
 				next = prefix + "/" + k
 			}
-			collectNsPerOp(child, next, into)
+			collectMetrics(child, next, into)
+		}
+	}
+}
+
+func hasScalarMetric(m map[string]any) bool {
+	_, ns := m["ns_per_op"].(float64)
+	_, allocs := m["allocs_per_op"].(float64)
+	return ns || allocs
+}
+
+func addMetric(val any, prefix string, into map[string]float64) {
+	switch t := val.(type) {
+	case float64:
+		into[prefix] = t
+	case map[string]any:
+		for name, n := range t {
+			if v, ok := n.(float64); ok {
+				into[prefix+"/"+name] = v
+			}
 		}
 	}
 }
 
 // compare renders the informational table and returns the list of
-// >max-ratio regressions.
-func compare(measured, baseline map[string]float64, maxRatio float64) (string, []string) {
-	names := make([]string, 0, len(measured))
-	for name := range measured {
+// regressions past either gate.
+func compare(measured, baseline *metrics, maxRatio, maxAllocRatio float64) (string, []string) {
+	names := make([]string, 0, len(measured.ns))
+	for name := range measured.ns {
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -182,27 +235,54 @@ func compare(measured, baseline map[string]float64, maxRatio float64) (string, [
 	var b strings.Builder
 	var failures []string
 	matched := 0
-	fmt.Fprintf(&b, "| benchmark | measured ns/op | baseline ns/op | ratio | status |\n")
-	fmt.Fprintf(&b, "|---|---:|---:|---:|---|\n")
+	fmt.Fprintf(&b, "| benchmark | measured ns/op | baseline ns/op | ratio | measured allocs/op | baseline allocs/op | status |\n")
+	fmt.Fprintf(&b, "|---|---:|---:|---:|---:|---:|---|\n")
 	for _, name := range names {
-		got := measured[name]
-		base, ok := baseline[name]
-		if !ok {
-			fmt.Fprintf(&b, "| %s | %.0f | — | — | no baseline |\n", name, got)
+		got := measured.ns[name]
+		gotAllocs, haveAllocs := measured.allocs[name]
+		allocCell := "—"
+		if haveAllocs {
+			allocCell = fmt.Sprintf("%.0f", gotAllocs)
+		}
+		base, ok := baseline.ns[name]
+		baseAllocs, okAllocs := baseline.allocs[name]
+		baseAllocCell := "—"
+		if okAllocs {
+			baseAllocCell = fmt.Sprintf("%.0f", baseAllocs)
+		}
+		if !ok && !okAllocs {
+			fmt.Fprintf(&b, "| %s | %.0f | — | — | %s | — | no baseline |\n", name, got, allocCell)
 			continue
 		}
 		matched++
-		ratio := got / base
 		status := "ok"
-		if ratio > maxRatio {
-			status = fmt.Sprintf("REGRESSION >%.1fx", maxRatio)
-			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.2fx)", name, got, base, ratio))
+		ratioCell := "—"
+		if ok {
+			ratio := got / base
+			ratioCell = fmt.Sprintf("%.2fx", ratio)
+			if ratio > maxRatio {
+				status = fmt.Sprintf("REGRESSION >%.1fx", maxRatio)
+				failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.2fx)", name, got, base, ratio))
+			}
 		}
-		fmt.Fprintf(&b, "| %s | %.0f | %.0f | %.2fx | %s |\n", name, got, base, ratio, status)
+		// The allocation gate is ratio plus absolute slack: allocs/op
+		// is near-deterministic, but a zero-alloc baseline must not
+		// turn one incidental allocation into a failure.
+		if okAllocs && haveAllocs && gotAllocs > baseAllocs*maxAllocRatio+allocSlack {
+			status = fmt.Sprintf("ALLOC REGRESSION >%.1fx", maxAllocRatio)
+			failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f", name, gotAllocs, baseAllocs))
+		}
+		if ok {
+			fmt.Fprintf(&b, "| %s | %.0f | %.0f | %s | %s | %s | %s |\n",
+				name, got, base, ratioCell, allocCell, baseAllocCell, status)
+		} else {
+			fmt.Fprintf(&b, "| %s | %.0f | — | %s | %s | %s | %s |\n",
+				name, got, ratioCell, allocCell, baseAllocCell, status)
+		}
 	}
 	var unmeasured []string
-	for name := range baseline {
-		if _, ok := measured[name]; !ok {
+	for name := range baseline.ns {
+		if _, ok := measured.ns[name]; !ok {
 			unmeasured = append(unmeasured, name)
 		}
 	}
@@ -221,18 +301,28 @@ func compare(measured, baseline map[string]float64, maxRatio float64) (string, [
 
 // writeFresh persists the run's numbers (with ratios where a baseline
 // exists) for the CI artifact.
-func writeFresh(path string, measured, baseline map[string]float64) error {
+func writeFresh(path string, measured, baseline *metrics) error {
 	type entry struct {
-		NsPerOp  float64  `json:"ns_per_op"`
-		Baseline *float64 `json:"baseline_ns_per_op,omitempty"`
-		Ratio    *float64 `json:"ratio,omitempty"`
+		NsPerOp        float64  `json:"ns_per_op"`
+		Baseline       *float64 `json:"baseline_ns_per_op,omitempty"`
+		Ratio          *float64 `json:"ratio,omitempty"`
+		AllocsPerOp    *float64 `json:"allocs_per_op,omitempty"`
+		BaselineAllocs *float64 `json:"baseline_allocs_per_op,omitempty"`
 	}
 	out := map[string]entry{}
-	for name, got := range measured {
+	for name, got := range measured.ns {
 		e := entry{NsPerOp: got}
-		if base, ok := baseline[name]; ok && base > 0 {
+		if base, ok := baseline.ns[name]; ok && base > 0 {
 			r := got / base
 			e.Baseline, e.Ratio = &base, &r
+		}
+		if allocs, ok := measured.allocs[name]; ok {
+			a := allocs
+			e.AllocsPerOp = &a
+			if base, ok := baseline.allocs[name]; ok {
+				ba := base
+				e.BaselineAllocs = &ba
+			}
 		}
 		out[name] = e
 	}

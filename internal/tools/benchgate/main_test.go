@@ -11,9 +11,9 @@ const sampleBenchOutput = `goos: linux
 goarch: amd64
 pkg: github.com/pghive/pghive
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
-BenchmarkShapeInterning/PG-HIVE-ELSH/elements=10000/interned=true-4                 5           9000000 ns/op
+BenchmarkShapeInterning/PG-HIVE-ELSH/elements=10000/interned=true-4                 5           9000000 ns/op          4.000 node-types        1199032 B/op        690 allocs/op
 BenchmarkShapeInterning/PG-HIVE-ELSH/elements=10000/interned=false-4             5          26000000 ns/op
-BenchmarkServeConcurrentReads/stats-4                                  150000000                8.10 ns/op             244 writes/s
+BenchmarkServeConcurrentReads/stats-4                                  150000000                8.10 ns/op             244 writes/s               1 B/op          0 allocs/op
 BenchmarkServeConcurrentReads/pgschema-4                                   10000            150000 ns/op
 not a bench line
 PASS
@@ -27,6 +27,10 @@ const sampleBaseline2 = `{
         "PG-HIVE-ELSH/elements=10000/interned=true": 8284152,
         "PG-HIVE-ELSH/elements=10000/interned=false": 26182575
       },
+      "allocs_per_op": {
+        "PG-HIVE-ELSH/elements=10000/interned=true": 690,
+        "PG-HIVE-ELSH/elements=10000/interned=false": 24721
+      },
       "ratios": { "PG-HIVE-ELSH/elements=10000": 3.16 }
     },
     "BenchmarkShapeInterningSpeedup": {
@@ -39,8 +43,8 @@ const sampleBaseline4 = `{
   "benchmarks": {
     "BenchmarkServeConcurrentReads": {
       "results": {
-        "stats": { "ns_per_op": 7.1, "writes_per_s": 244, "note": "n" },
-        "pgschema": { "ns_per_op": 148827, "writes_per_s": 520 },
+        "stats": { "ns_per_op": 7.1, "allocs_per_op": 0, "writes_per_s": 244, "note": "n" },
+        "pgschema": { "ns_per_op": 148827, "allocs_per_op": 622, "writes_per_s": 520 },
         "validate": { "ns_per_op": 7796, "writes_per_s": 468 }
       }
     }
@@ -57,35 +61,49 @@ func writeTemp(t *testing.T, name, content string) string {
 }
 
 func TestParseBenchOutput(t *testing.T) {
-	measured := map[string]float64{}
+	measured := newMetrics()
 	if err := parseBenchOutput(writeTemp(t, "bench.txt", sampleBenchOutput), measured); err != nil {
 		t.Fatal(err)
 	}
-	want := map[string]float64{
+	wantNs := map[string]float64{
 		"ShapeInterning/PG-HIVE-ELSH/elements=10000/interned=true":  9000000,
 		"ShapeInterning/PG-HIVE-ELSH/elements=10000/interned=false": 26000000,
 		"ServeConcurrentReads/stats":                                8.10,
 		"ServeConcurrentReads/pgschema":                             150000,
 	}
-	if len(measured) != len(want) {
-		t.Fatalf("parsed %d entries, want %d: %v", len(measured), len(want), measured)
+	if len(measured.ns) != len(wantNs) {
+		t.Fatalf("parsed %d ns entries, want %d: %v", len(measured.ns), len(wantNs), measured.ns)
 	}
-	for k, v := range want {
-		if measured[k] != v {
-			t.Errorf("%s = %v, want %v", k, measured[k], v)
+	for k, v := range wantNs {
+		if measured.ns[k] != v {
+			t.Errorf("ns[%s] = %v, want %v", k, measured.ns[k], v)
+		}
+	}
+	// Allocations only where the line carried an allocs/op column —
+	// including a genuine zero, which must be recorded, not dropped.
+	wantAllocs := map[string]float64{
+		"ShapeInterning/PG-HIVE-ELSH/elements=10000/interned=true": 690,
+		"ServeConcurrentReads/stats":                               0,
+	}
+	if len(measured.allocs) != len(wantAllocs) {
+		t.Fatalf("parsed %d alloc entries, want %d: %v", len(measured.allocs), len(wantAllocs), measured.allocs)
+	}
+	for k, v := range wantAllocs {
+		if got, ok := measured.allocs[k]; !ok || got != v {
+			t.Errorf("allocs[%s] = %v (present=%v), want %v", k, got, ok, v)
 		}
 	}
 }
 
 func TestParseBaselineShapes(t *testing.T) {
-	baseline := map[string]float64{}
+	baseline := newMetrics()
 	if err := parseBaseline(writeTemp(t, "b2.json", sampleBaseline2), baseline); err != nil {
 		t.Fatal(err)
 	}
 	if err := parseBaseline(writeTemp(t, "b4.json", sampleBaseline4), baseline); err != nil {
 		t.Fatal(err)
 	}
-	want := map[string]float64{
+	wantNs := map[string]float64{
 		// Map-shaped ns_per_op (BENCH_2 layout).
 		"ShapeInterning/PG-HIVE-ELSH/elements=10000/interned=true":  8284152,
 		"ShapeInterning/PG-HIVE-ELSH/elements=10000/interned=false": 26182575,
@@ -94,21 +112,95 @@ func TestParseBaselineShapes(t *testing.T) {
 		"ServeConcurrentReads/pgschema": 148827,
 		"ServeConcurrentReads/validate": 7796,
 	}
-	if len(baseline) != len(want) {
-		t.Fatalf("extracted %d entries, want %d: %v", len(baseline), len(want), baseline)
+	if len(baseline.ns) != len(wantNs) {
+		t.Fatalf("extracted %d ns entries, want %d: %v", len(baseline.ns), len(wantNs), baseline.ns)
 	}
-	for k, v := range want {
-		if baseline[k] != v {
-			t.Errorf("%s = %v, want %v", k, baseline[k], v)
+	for k, v := range wantNs {
+		if baseline.ns[k] != v {
+			t.Errorf("ns[%s] = %v, want %v", k, baseline.ns[k], v)
+		}
+	}
+	wantAllocs := map[string]float64{
+		"ShapeInterning/PG-HIVE-ELSH/elements=10000/interned=true":  690,
+		"ShapeInterning/PG-HIVE-ELSH/elements=10000/interned=false": 24721,
+		"ServeConcurrentReads/stats":                                0,
+		"ServeConcurrentReads/pgschema":                             622,
+	}
+	if len(baseline.allocs) != len(wantAllocs) {
+		t.Fatalf("extracted %d alloc entries, want %d: %v", len(baseline.allocs), len(wantAllocs), baseline.allocs)
+	}
+	for k, v := range wantAllocs {
+		if got, ok := baseline.allocs[k]; !ok || got != v {
+			t.Errorf("allocs[%s] = %v (present=%v), want %v", k, got, ok, v)
 		}
 	}
 }
 
+// TestParseBaselineErrors: every way a baseline file can be unusable
+// must surface as an error, never as a silently empty baseline — an
+// empty baseline would disarm the gate while CI stays green.
+func TestParseBaselineErrors(t *testing.T) {
+	cases := []struct {
+		name, content, wantErr string
+	}{
+		{"not-json", "this is not json {", "invalid character"},
+		{"missing-benchmarks-key", `{"pr": 9, "title": "no benchmarks here"}`, `no "benchmarks" object`},
+		{"benchmarks-wrong-type", `{"benchmarks": [1, 2, 3]}`, `no "benchmarks" object`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := parseBaseline(writeTemp(t, "bad.json", tc.content), newMetrics())
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+	t.Run("unreadable-file", func(t *testing.T) {
+		if err := parseBaseline(filepath.Join(t.TempDir(), "absent.json"), newMetrics()); err == nil {
+			t.Fatal("missing file produced no error")
+		}
+	})
+}
+
+// TestParseBenchOutputErrors: unreadable transcripts fail loudly;
+// transcripts with no recognizable bench lines parse to an empty set
+// (which the compare stage then flags as zero overlap).
+func TestParseBenchOutputErrors(t *testing.T) {
+	if err := parseBenchOutput(filepath.Join(t.TempDir(), "absent.txt"), newMetrics()); err == nil {
+		t.Fatal("missing file produced no error")
+	}
+	malformed := newMetrics()
+	err := parseBenchOutput(writeTemp(t, "garbage.txt",
+		"BenchmarkBroken-4 not-a-count NaNish ns/op\nrandom noise\nBenchmarkAlso 12 (missing unit)\n"), malformed)
+	if err != nil {
+		t.Fatalf("malformed transcript errored instead of parsing empty: %v", err)
+	}
+	if len(malformed.ns) != 0 {
+		t.Fatalf("malformed transcript produced entries: %v", malformed.ns)
+	}
+	_, failures := compare(malformed, metricsFrom(map[string]float64{"a/x": 100}, nil), 2, 2)
+	if len(failures) != 1 || !strings.Contains(failures[0], "no measured benchmark") {
+		t.Fatalf("empty measurement set must trip the zero-overlap failure, got %v", failures)
+	}
+}
+
+// metricsFrom builds a metrics value from literal maps (nil = empty).
+func metricsFrom(ns, allocs map[string]float64) *metrics {
+	m := newMetrics()
+	for k, v := range ns {
+		m.ns[k] = v
+	}
+	for k, v := range allocs {
+		m.allocs[k] = v
+	}
+	return m
+}
+
 func TestCompareGate(t *testing.T) {
-	baseline := map[string]float64{"a/x": 100, "a/y": 100, "a/z": 100}
+	baseline := metricsFrom(map[string]float64{"a/x": 100, "a/y": 100, "a/z": 100}, nil)
 
 	// Within tolerance (1.9x) and a missing baseline: no failures.
-	report, failures := compare(map[string]float64{"a/x": 190, "new": 5}, baseline, 2)
+	report, failures := compare(metricsFrom(map[string]float64{"a/x": 190, "new": 5}, nil), baseline, 2, 2)
 	if len(failures) != 0 {
 		t.Fatalf("unexpected failures: %v", failures)
 	}
@@ -117,16 +209,61 @@ func TestCompareGate(t *testing.T) {
 	}
 
 	// Past tolerance: exactly the regressed benchmark fails.
-	_, failures = compare(map[string]float64{"a/x": 201, "a/y": 90}, baseline, 2)
+	_, failures = compare(metricsFrom(map[string]float64{"a/x": 201, "a/y": 90}, nil), baseline, 2, 2)
 	if len(failures) != 1 || !strings.Contains(failures[0], "a/x") {
 		t.Fatalf("failures = %v, want exactly a/x", failures)
 	}
 
 	// Zero overlap is itself a failure — a renamed benchmark must not
 	// silently disable the gate.
-	_, failures = compare(map[string]float64{"renamed": 1}, baseline, 2)
+	_, failures = compare(metricsFrom(map[string]float64{"renamed": 1}, nil), baseline, 2, 2)
 	if len(failures) != 1 {
 		t.Fatalf("no-overlap run produced %v, want one failure", failures)
+	}
+}
+
+func TestCompareAllocGate(t *testing.T) {
+	baseline := metricsFrom(
+		map[string]float64{"a/x": 100, "a/zero": 100},
+		map[string]float64{"a/x": 100, "a/zero": 0},
+	)
+
+	// Time fine, allocations doubled-plus-slack: alloc gate fires.
+	report, failures := compare(metricsFrom(
+		map[string]float64{"a/x": 100, "a/zero": 100},
+		map[string]float64{"a/x": 203, "a/zero": 0},
+	), baseline, 2, 2)
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
+		t.Fatalf("failures = %v, want one alloc regression", failures)
+	}
+	if !strings.Contains(report, "ALLOC REGRESSION") {
+		t.Fatalf("report missing alloc regression status:\n%s", report)
+	}
+
+	// Within ratio+slack — including a zero-alloc baseline picking up
+	// slack-many allocations: no failures.
+	_, failures = compare(metricsFrom(
+		map[string]float64{"a/x": 100, "a/zero": 100},
+		map[string]float64{"a/x": 202, "a/zero": allocSlack},
+	), baseline, 2, 2)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+
+	// Zero-alloc baseline exceeded past the slack: fires even though
+	// the ratio term alone (anything × 0) never would.
+	_, failures = compare(metricsFrom(
+		map[string]float64{"a/zero": 100},
+		map[string]float64{"a/zero": allocSlack + 1},
+	), baseline, 2, 2)
+	if len(failures) != 1 || !strings.Contains(failures[0], "a/zero") {
+		t.Fatalf("failures = %v, want a/zero alloc regression", failures)
+	}
+
+	// A -benchmem-less run (no measured allocs) is never alloc-gated.
+	_, failures = compare(metricsFrom(map[string]float64{"a/x": 100}, nil), baseline, 2, 2)
+	if len(failures) != 0 {
+		t.Fatalf("alloc gate fired without measured allocations: %v", failures)
 	}
 }
 
@@ -134,7 +271,7 @@ func TestCompareGate(t *testing.T) {
 // committed BENCH files, so a future baseline reshape that the walker
 // cannot read fails here instead of silently disarming the CI gate.
 func TestRealBaselinesParse(t *testing.T) {
-	baseline := map[string]float64{}
+	baseline := newMetrics()
 	for _, f := range []string{"BENCH_2.json", "BENCH_4.json"} {
 		if err := parseBaseline(filepath.Join("..", "..", "..", f), baseline); err != nil {
 			t.Fatal(err)
@@ -147,8 +284,11 @@ func TestRealBaselinesParse(t *testing.T) {
 		"ServeConcurrentReads/pgschema",
 		"ServeConcurrentReads/validate",
 	} {
-		if _, ok := baseline[key]; !ok {
-			t.Errorf("committed baselines missing %s (extracted: %d entries)", key, len(baseline))
+		if _, ok := baseline.ns[key]; !ok {
+			t.Errorf("committed baselines missing ns/op for %s (extracted: %d entries)", key, len(baseline.ns))
+		}
+		if _, ok := baseline.allocs[key]; !ok {
+			t.Errorf("committed baselines missing allocs/op for %s (extracted: %d entries)", key, len(baseline.allocs))
 		}
 	}
 }

@@ -1,0 +1,61 @@
+package vfs
+
+// atomic.go: crash-safe whole-file writes over any FS. The content is
+// staged in a same-directory temporary file, fsynced, renamed into
+// place, and the directory is fsynced; rename within a directory is
+// atomic on POSIX filesystems, so readers see either the old file or
+// the complete new one, never a prefix.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// TmpSuffix marks staging files left behind by interrupted atomic
+// writes; recovery code removes anything matching "*"+TmpSuffix.
+const TmpSuffix = ".tmp"
+
+// WriteFileAtomic writes the content produced by write to path so
+// that a crash at any instant leaves either the previous file or the
+// complete new one. On any error the target path is untouched and the
+// staging file is removed (a crash may still leave it; sweep
+// "*"+TmpSuffix on recovery).
+func WriteFileAtomic(fsys FS, path string, write func(io.Writer) error) error {
+	fsys = OrOS(fsys)
+	dir := filepath.Dir(path)
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+"-*"+TmpSuffix)
+	if err != nil {
+		return fmt.Errorf("vfs: atomic write: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			fsys.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriter(tmp)
+	if err := write(bw); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("vfs: atomic write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("vfs: atomic write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("vfs: atomic write: %w", err)
+	}
+	name := tmp.Name()
+	tmp = nil // the deferred cleanup no longer owns it
+	if err := fsys.Rename(name, path); err != nil {
+		fsys.Remove(name)
+		return fmt.Errorf("vfs: atomic write: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("vfs: atomic write: %w", err)
+	}
+	return nil
+}

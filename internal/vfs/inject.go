@@ -1,0 +1,287 @@
+package vfs
+
+// inject.go: a fault-injecting filesystem wrapper. InjectFS counts
+// every operation flowing to the inner FS and consults a Plan; when a
+// fault matches, the operation fails in the planned way. Each fault
+// fires exactly once and is then spent, so "fsync fails once, then
+// succeeds" is the natural behavior of a single OpSync fault. Combine
+// with MemFS.Crash to model the full hostile-disk repertoire: short
+// writes, lying fsyncs (data persisted, error reported), renames
+// undone by power loss.
+
+import (
+	"errors"
+	"io/fs"
+	"sync"
+)
+
+// ErrInjected is the default error returned by injected faults.
+var ErrInjected = errors.New("vfs: injected fault")
+
+// Op identifies a class of filesystem operation for fault matching.
+type Op int
+
+const (
+	// AnyOp matches every operation; Fault.N counts all operations.
+	AnyOp Op = iota
+	// OpOpen matches OpenFile and CreateTemp calls.
+	OpOpen
+	// OpWrite matches File.Write calls.
+	OpWrite
+	// OpSync matches File.Sync calls.
+	OpSync
+	// OpSyncDir matches FS.SyncDir calls.
+	OpSyncDir
+	// OpRename matches FS.Rename calls.
+	OpRename
+	// OpRemove matches FS.Remove calls.
+	OpRemove
+	// OpTruncate matches File.Truncate and FS.Truncate calls.
+	OpTruncate
+	opCount
+)
+
+var opNames = [...]string{"any", "open", "write", "sync", "syncdir", "rename", "remove", "truncate"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "unknown"
+}
+
+// Mode selects how a matched fault manifests.
+type Mode int
+
+const (
+	// FailEarly returns the error without performing the operation.
+	FailEarly Mode = iota
+	// FailLate performs the operation, then returns the error anyway —
+	// the lying disk: an fsync that persisted the data but reported
+	// failure, a rename that took effect before the power died.
+	FailLate
+	// ShortWrite applies to OpWrite: writes roughly half the buffer,
+	// reports the short count with an error.
+	ShortWrite
+)
+
+// Fault is one planned failure: the Nth operation of kind Op (1-based,
+// counted per kind; for AnyOp, counted across all operations) fails
+// with Mode and Err. A fault fires once and is spent.
+type Fault struct {
+	Op   Op
+	N    int
+	Mode Mode
+	// Err is the error to return; nil means ErrInjected.
+	Err error
+}
+
+func (f Fault) error() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+// Plan holds pending faults and operation counters. A single Plan is
+// consulted by one InjectFS; it is safe for concurrent use.
+type Plan struct {
+	mu     sync.Mutex
+	faults []Fault
+	count  [opCount]int
+	fired  []Fault
+}
+
+// NewPlan returns a Plan that will trigger the given faults.
+func NewPlan(faults ...Fault) *Plan {
+	return &Plan{faults: faults}
+}
+
+// Ops returns how many operations of each kind have executed so far.
+// Index by Op; index AnyOp for the total. Useful for probing a
+// workload once fault-free and then scheduling faults at every
+// observed operation index.
+func (p *Plan) Ops() [int(opCount)]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.count
+}
+
+// Fired returns the faults that have triggered, in order.
+func (p *Plan) Fired() []Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Fault(nil), p.fired...)
+}
+
+// next records one operation of kind op and returns the fault to
+// apply, if any.
+func (p *Plan) next(op Op) (Fault, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.count[AnyOp]++
+	p.count[op]++
+	for i, f := range p.faults {
+		if f.Op != AnyOp && f.Op != op {
+			continue
+		}
+		if p.count[f.Op] != f.N {
+			continue
+		}
+		p.faults = append(p.faults[:i], p.faults[i+1:]...)
+		p.fired = append(p.fired, f)
+		return f, true
+	}
+	return Fault{}, false
+}
+
+// InjectFS wraps an FS and fails operations per its Plan.
+type InjectFS struct {
+	inner FS
+	plan  *Plan
+}
+
+// NewInjectFS wraps inner with the fault plan.
+func NewInjectFS(inner FS, plan *Plan) *InjectFS {
+	return &InjectFS{inner: inner, plan: plan}
+}
+
+func (ifs *InjectFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if f, ok := ifs.plan.next(OpOpen); ok && f.Mode == FailEarly {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: f.error()}
+	}
+	inner, err := ifs.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{inner: inner, fs: ifs}, nil
+}
+
+func (ifs *InjectFS) CreateTemp(dir, pattern string) (File, error) {
+	if f, ok := ifs.plan.next(OpOpen); ok && f.Mode == FailEarly {
+		return nil, &fs.PathError{Op: "createtemp", Path: dir, Err: f.error()}
+	}
+	inner, err := ifs.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{inner: inner, fs: ifs}, nil
+}
+
+func (ifs *InjectFS) Rename(oldpath, newpath string) error {
+	f, ok := ifs.plan.next(OpRename)
+	if ok && f.Mode == FailEarly {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: f.error()}
+	}
+	err := ifs.inner.Rename(oldpath, newpath)
+	if err == nil && ok {
+		err = &fs.PathError{Op: "rename", Path: oldpath, Err: f.error()}
+	}
+	return err
+}
+
+func (ifs *InjectFS) Remove(name string) error {
+	f, ok := ifs.plan.next(OpRemove)
+	if ok && f.Mode == FailEarly {
+		return &fs.PathError{Op: "remove", Path: name, Err: f.error()}
+	}
+	err := ifs.inner.Remove(name)
+	if err == nil && ok {
+		err = &fs.PathError{Op: "remove", Path: name, Err: f.error()}
+	}
+	return err
+}
+
+func (ifs *InjectFS) Truncate(name string, size int64) error {
+	f, ok := ifs.plan.next(OpTruncate)
+	if ok && f.Mode == FailEarly {
+		return &fs.PathError{Op: "truncate", Path: name, Err: f.error()}
+	}
+	err := ifs.inner.Truncate(name, size)
+	if err == nil && ok {
+		err = &fs.PathError{Op: "truncate", Path: name, Err: f.error()}
+	}
+	return err
+}
+
+func (ifs *InjectFS) Stat(name string) (fs.FileInfo, error) { return ifs.inner.Stat(name) }
+
+func (ifs *InjectFS) MkdirAll(path string, perm fs.FileMode) error {
+	return ifs.inner.MkdirAll(path, perm)
+}
+
+func (ifs *InjectFS) Glob(pattern string) ([]string, error) { return ifs.inner.Glob(pattern) }
+
+func (ifs *InjectFS) SyncDir(dir string) error {
+	f, ok := ifs.plan.next(OpSyncDir)
+	if ok && f.Mode == FailEarly {
+		return &fs.PathError{Op: "syncdir", Path: dir, Err: f.error()}
+	}
+	err := ifs.inner.SyncDir(dir)
+	if err == nil && ok {
+		err = &fs.PathError{Op: "syncdir", Path: dir, Err: f.error()}
+	}
+	return err
+}
+
+// injectFile wraps an open file so writes, syncs, and truncates pass
+// through the plan.
+type injectFile struct {
+	inner File
+	fs    *InjectFS
+}
+
+func (f *injectFile) Name() string                            { return f.inner.Name() }
+func (f *injectFile) Read(p []byte) (int, error)              { return f.inner.Read(p) }
+func (f *injectFile) ReadAt(p []byte, off int64) (int, error) { return f.inner.ReadAt(p, off) }
+func (f *injectFile) Seek(offset int64, whence int) (int64, error) {
+	return f.inner.Seek(offset, whence)
+}
+func (f *injectFile) Close() error { return f.inner.Close() }
+
+func (f *injectFile) Write(p []byte) (int, error) {
+	ft, ok := f.fs.plan.next(OpWrite)
+	if !ok {
+		return f.inner.Write(p)
+	}
+	switch ft.Mode {
+	case FailEarly:
+		return 0, &fs.PathError{Op: "write", Path: f.inner.Name(), Err: ft.error()}
+	case ShortWrite:
+		n, err := f.inner.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, &fs.PathError{Op: "write", Path: f.inner.Name(), Err: ft.error()}
+	default: // FailLate: the write lands, the error is reported anyway.
+		n, err := f.inner.Write(p)
+		if err != nil {
+			return n, err
+		}
+		return n, &fs.PathError{Op: "write", Path: f.inner.Name(), Err: ft.error()}
+	}
+}
+
+func (f *injectFile) Sync() error {
+	ft, ok := f.fs.plan.next(OpSync)
+	if ok && ft.Mode == FailEarly {
+		return &fs.PathError{Op: "sync", Path: f.inner.Name(), Err: ft.error()}
+	}
+	err := f.inner.Sync()
+	if err == nil && ok {
+		err = &fs.PathError{Op: "sync", Path: f.inner.Name(), Err: ft.error()}
+	}
+	return err
+}
+
+func (f *injectFile) Truncate(size int64) error {
+	ft, ok := f.fs.plan.next(OpTruncate)
+	if ok && ft.Mode == FailEarly {
+		return &fs.PathError{Op: "truncate", Path: f.inner.Name(), Err: ft.error()}
+	}
+	err := f.inner.Truncate(size)
+	if err == nil && ok {
+		err = &fs.PathError{Op: "truncate", Path: f.inner.Name(), Err: ft.error()}
+	}
+	return err
+}

@@ -3,54 +3,21 @@ package wal
 // atomic.go: crash-safe whole-file writes. Checkpoint images (and any
 // other persisted artifact) must never be observable half-written — a
 // crash mid-write would otherwise leave a truncated, unrestorable
-// file at the target path. WriteFileAtomic stages the content in a
-// temporary file in the same directory, fsyncs it, and renames it
-// into place; rename within a directory is atomic on POSIX
-// filesystems, so readers see either the old file or the complete new
-// one, never a prefix.
+// file at the target path. The mechanics live in vfs.WriteFileAtomic
+// (stage in a same-directory temp file, fsync, rename, fsync the
+// directory); this wrapper binds it to the real OS filesystem for
+// callers that don't thread a vfs.FS.
 
 import (
-	"bufio"
-	"fmt"
 	"io"
-	"os"
-	"path/filepath"
+
+	"github.com/pghive/pghive/internal/vfs"
 )
 
-// WriteFileAtomic writes the content produced by write to path so
-// that a crash at any instant leaves either the previous file or the
-// complete new one. The temporary file carries a ".tmp" suffix;
-// Open removes leftovers from interrupted writes.
+// WriteFileAtomic writes the content produced by write to path on the
+// real filesystem so that a crash at any instant leaves either the
+// previous file or the complete new one. The temporary file carries a
+// ".tmp" suffix; Open removes leftovers from interrupted writes.
 func WriteFileAtomic(path string, write func(io.Writer) error) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+"-*"+tmpSuffix)
-	if err != nil {
-		return fmt.Errorf("wal: atomic write: %w", err)
-	}
-	defer func() {
-		if tmp != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
-		}
-	}()
-	bw := bufio.NewWriter(tmp)
-	if err := write(bw); err != nil {
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("wal: atomic write: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		return fmt.Errorf("wal: atomic write: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("wal: atomic write: %w", err)
-	}
-	name := tmp.Name()
-	tmp = nil // the deferred cleanup no longer owns it
-	if err := os.Rename(name, path); err != nil {
-		os.Remove(name)
-		return fmt.Errorf("wal: atomic write: %w", err)
-	}
-	return syncDir(dir)
+	return vfs.WriteFileAtomic(vfs.OS, path, write)
 }

@@ -40,6 +40,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"github.com/pghive/pghive/internal/vfs"
 )
 
 const (
@@ -87,6 +89,10 @@ type Options struct {
 	// otherwise restart numbering at 1 and new records would hide
 	// behind the checkpoint's replay filter.
 	MinLSN uint64
+	// FS is the filesystem the log lives on; nil selects the real OS.
+	// Tests substitute vfs.MemFS / vfs.InjectFS to prove the log
+	// survives hostile disks.
+	FS vfs.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -128,11 +134,12 @@ type SegmentInfo struct {
 type Log struct {
 	dir  string
 	opts Options
+	fs   vfs.FS
 
 	mu          sync.Mutex
 	closed      bool
 	broken      bool // a failed append could not be rolled back
-	active      *os.File
+	active      vfs.File
 	activeInfo  SegmentInfo
 	sealed      []SegmentInfo
 	nextLSN     uint64
@@ -145,26 +152,27 @@ type Log struct {
 // atomic writes are removed.
 func Open(dir string, opts Options) (*Log, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := vfs.OrOS(opts.FS)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	names, err := filepath.Glob(filepath.Join(dir, "*"+segSuffix))
+	names, err := fsys.Glob(filepath.Join(dir, "*"+segSuffix))
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	if tmps, err := filepath.Glob(filepath.Join(dir, "*"+tmpSuffix)); err == nil {
+	if tmps, err := fsys.Glob(filepath.Join(dir, "*"+tmpSuffix)); err == nil {
 		for _, t := range tmps {
-			os.Remove(t)
+			fsys.Remove(t)
 		}
 	}
 	sort.Strings(names) // %020d names sort in LSN order
 
-	l := &Log{dir: dir, opts: opts, nextLSN: 1}
+	l := &Log{dir: dir, opts: opts, fs: fsys, nextLSN: 1}
 	if opts.MinLSN > l.nextLSN {
 		l.nextLSN = opts.MinLSN
 	}
 	for i, name := range names {
-		info, err := scanSegmentFile(name)
+		info, err := scanSegmentFile(fsys, name)
 		if err != nil {
 			return nil, err
 		}
@@ -173,7 +181,7 @@ func Open(dir string, opts Options) (*Log, error) {
 			// A segment with no complete record carries no state;
 			// drop it (its name could collide with the next segment
 			// this log creates).
-			if err := os.Remove(name); err != nil {
+			if err := fsys.Remove(name); err != nil {
 				return nil, fmt.Errorf("wal: %w", err)
 			}
 			continue
@@ -181,8 +189,8 @@ func Open(dir string, opts Options) (*Log, error) {
 		if last {
 			// Truncate the torn tail so the next append lands right
 			// after the last durable record.
-			if fi, err := os.Stat(name); err == nil && fi.Size() > info.Bytes {
-				if err := os.Truncate(name, info.Bytes); err != nil {
+			if fi, err := fsys.Stat(name); err == nil && fi.Size() > info.Bytes {
+				if err := fsys.Truncate(name, info.Bytes); err != nil {
 					return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
 				}
 			}
@@ -198,7 +206,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	if n := len(l.sealed); n > 0 {
 		tail := l.sealed[n-1]
 		if tail.Bytes < opts.SegmentBytes {
-			f, err := os.OpenFile(tail.Path, os.O_WRONLY, 0)
+			f, err := fsys.OpenFile(tail.Path, os.O_WRONLY, 0)
 			if err != nil {
 				return nil, fmt.Errorf("wal: %w", err)
 			}
@@ -289,31 +297,48 @@ func (l *Log) Append(t byte, payload []byte) (uint64, error) {
 // rollback itself fails the log is marked broken and refuses further
 // appends — better unavailable than silently unrecoverable.
 func (l *Log) rollbackAppendLocked() {
-	if err := l.active.Truncate(l.activeInfo.Bytes); err == nil {
-		if _, err = l.active.Seek(l.activeInfo.Bytes, io.SeekStart); err == nil {
-			return
+	if err := l.active.Truncate(l.activeInfo.Bytes); err != nil {
+		l.broken = true
+		return
+	}
+	if _, err := l.active.Seek(l.activeInfo.Bytes, io.SeekStart); err != nil {
+		l.broken = true
+		return
+	}
+	if !l.opts.NoSync {
+		// The truncation must itself be made durable. A failed fsync
+		// does not promise the frame's bytes missed the platter — the
+		// disk may have persisted them and then reported failure — so
+		// without this sync a crash can resurrect the discarded frame
+		// and recovery would replay a mutation the caller was told
+		// failed.
+		if err := l.active.Sync(); err != nil {
+			l.broken = true
 		}
 	}
-	l.broken = true
 }
 
 // openSegmentLocked creates the next segment file, named after the
 // LSN its first record will carry.
 func (l *Log) openSegmentLocked() error {
 	path := segmentName(l.dir, l.nextLSN)
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	if _, err := f.Write(segMagic); err != nil {
+		// Remove the magic-less file: leaving it would make every
+		// retry fail O_EXCL against a name the log still wants.
 		f.Close()
+		l.fs.Remove(path)
 		return fmt.Errorf("wal: %w", err)
 	}
 	if !l.opts.NoSync {
 		// The new file's directory entry must survive power loss too.
-		if err := syncDir(l.dir); err != nil {
+		if err := l.fs.SyncDir(l.dir); err != nil {
 			f.Close()
-			return err
+			l.fs.Remove(path)
+			return fmt.Errorf("wal: %w", err)
 		}
 	}
 	l.active = f
@@ -369,6 +394,16 @@ func (l *Log) NextLSN() uint64 {
 	return l.nextLSN
 }
 
+// Broken reports whether a failed append could not be rolled back, in
+// which case the log refuses further appends: the failed record's
+// durability is indeterminate (it may or may not survive a crash),
+// and accepting more appends could put a duplicate LSN on disk.
+func (l *Log) Broken() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.broken
+}
+
 // Prune deletes sealed segments whose every record has LSN <= upTo —
 // the segments a checkpoint covering upTo supersedes. It returns the
 // number of segments removed. The active segment is never touched.
@@ -380,7 +415,7 @@ func (l *Log) Prune(upTo uint64) (int, error) {
 	}
 	removed := 0
 	for len(l.sealed) > 0 && l.sealed[0].Last <= upTo {
-		if err := os.Remove(l.sealed[0].Path); err != nil {
+		if err := l.fs.Remove(l.sealed[0].Path); err != nil {
 			return removed, fmt.Errorf("wal: prune: %w", err)
 		}
 		l.sealed = l.sealed[1:]
@@ -423,7 +458,7 @@ func (l *Log) ReplayRange(after, upTo uint64, fn func(Record) error) error {
 		if upTo > 0 && seg.First > upTo {
 			break
 		}
-		f, err := os.Open(seg.Path)
+		f, err := vfs.Open(l.fs, seg.Path)
 		if err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
@@ -496,9 +531,9 @@ func (l *Log) Close() error {
 }
 
 // scanSegmentFile scans one segment file into a SegmentInfo.
-func scanSegmentFile(path string) (SegmentInfo, error) {
+func scanSegmentFile(fsys vfs.FS, path string) (SegmentInfo, error) {
 	info := SegmentInfo{Path: path}
-	f, err := os.Open(path)
+	f, err := vfs.Open(fsys, path)
 	if err != nil {
 		return info, fmt.Errorf("wal: %w", err)
 	}
@@ -607,18 +642,4 @@ func scanSegment(r io.Reader, fn func(Record, int64) error) (int64, error) {
 // IsSegment reports whether name looks like a segment file name.
 func IsSegment(name string) bool {
 	return strings.HasSuffix(name, segSuffix)
-}
-
-// syncDir fsyncs a directory so renames and creates within it are
-// durable. Sync errors are tolerated: some platforms and filesystems
-// reject fsync on directories, and the data-file sync already covers
-// process crashes.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("wal: %w", err)
-	}
-	defer d.Close()
-	d.Sync()
-	return nil
 }

@@ -1,0 +1,197 @@
+package wal
+
+// wal_fault_test.go: the log against a hostile disk. These tests run
+// the WAL on vfs.MemFS wrapped in vfs.InjectFS, so a failed fsync, a
+// short write, or a lying disk (data persisted, error reported) can
+// be scheduled at an exact operation, the machine "crashed", and the
+// reopened log inspected for exactly the records that were
+// acknowledged — no more, no fewer.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/pghive/pghive/internal/vfs"
+)
+
+// faultLog opens a log on a fresh MemFS behind the given fault plan.
+func faultLog(t *testing.T, plan *vfs.Plan) (*Log, *vfs.MemFS) {
+	t.Helper()
+	mem := vfs.NewMemFS()
+	l, err := Open("wal", Options{FS: vfs.NewInjectFS(mem, plan), SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, mem
+}
+
+// reopen crashes the memfs and opens the surviving state fault-free.
+func reopen(t *testing.T, mem *vfs.MemFS) *Log {
+	t.Helper()
+	mem.Crash()
+	l, err := Open("wal", Options{FS: mem, SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	return l
+}
+
+// TestFailedSyncRollbackIsDurable is the regression test for the
+// rollback-durability bug: Append's sync fails *late* — the disk
+// persisted the frame and then reported failure — so the in-memory
+// rollback truncation must itself be fsynced. Before the fix the
+// truncation lived only in the cache; a crash resurrected the frame
+// and recovery replayed a mutation the caller was told failed.
+func TestFailedSyncRollbackIsDurable(t *testing.T) {
+	// Per-kind op order: append 1 = write(magic), syncdir, write(frame),
+	// sync#1; append 2 = write(frame), sync#2.
+	plan := vfs.NewPlan(vfs.Fault{Op: vfs.OpSync, N: 2, Mode: vfs.FailLate})
+	l, mem := faultLog(t, plan)
+	if _, err := l.Append(1, []byte("acked")); err != nil {
+		t.Fatalf("append 1: %v", err)
+	}
+	if _, err := l.Append(1, []byte("failed")); !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("append 2 err = %v, want injected sync failure", err)
+	}
+	if fired := plan.Fired(); len(fired) != 1 {
+		t.Fatalf("fault did not fire: %v", fired)
+	}
+
+	// The fault is spent, so the rollback's own sync succeeded and the
+	// log stays usable: the LSN is reused and the append lands.
+	lsn, err := l.Append(1, []byte("retried"))
+	if err != nil {
+		t.Fatalf("append 3: %v", err)
+	}
+	if lsn != 2 {
+		t.Fatalf("retried LSN = %d, want 2 (reuse of the failed LSN)", lsn)
+	}
+	l.Close()
+
+	// Crash and recover: exactly the acknowledged records, in order.
+	l2 := reopen(t, mem)
+	defer l2.Close()
+	recs := collect(t, l2, 0)
+	if len(recs) != 2 || string(recs[0].Payload) != "acked" || string(recs[1].Payload) != "retried" {
+		t.Fatalf("recovered %d records %q — the rolled-back frame must not resurrect", len(recs), payloads(recs))
+	}
+}
+
+// TestFailedSyncRollbackCrashBeforeRetry crashes immediately after
+// the failed append, with no retry: the un-acked frame must not be
+// replayable even though the lying disk persisted it.
+func TestFailedSyncRollbackCrashBeforeRetry(t *testing.T) {
+	plan := vfs.NewPlan(vfs.Fault{Op: vfs.OpSync, N: 2, Mode: vfs.FailLate})
+	l, mem := faultLog(t, plan)
+	if _, err := l.Append(1, []byte("acked")); err != nil {
+		t.Fatalf("append 1: %v", err)
+	}
+	if _, err := l.Append(1, []byte("failed")); err == nil {
+		t.Fatal("append 2 succeeded, want injected failure")
+	}
+
+	l2 := reopen(t, mem)
+	defer l2.Close()
+	recs := collect(t, l2, 0)
+	if len(recs) != 1 || string(recs[0].Payload) != "acked" {
+		t.Fatalf("recovered %q, want exactly the acked record", payloads(recs))
+	}
+	if got := l2.NextLSN(); got != 2 {
+		t.Fatalf("NextLSN = %d, want 2", got)
+	}
+}
+
+// TestRollbackFailureBreaksLog: when the rollback cannot be made
+// durable either (sync fails twice in a row), the log must refuse
+// further appends rather than risk a duplicate LSN on disk.
+func TestRollbackFailureBreaksLog(t *testing.T) {
+	plan := vfs.NewPlan(
+		vfs.Fault{Op: vfs.OpSync, N: 1, Mode: vfs.FailEarly}, // append's sync
+		vfs.Fault{Op: vfs.OpSync, N: 2, Mode: vfs.FailEarly}, // rollback's sync
+	)
+	l, _ := faultLog(t, plan)
+	defer l.Close()
+	if _, err := l.Append(1, []byte("x")); err == nil {
+		t.Fatal("append succeeded, want injected failure")
+	}
+	_, err := l.Append(1, []byte("y"))
+	if err == nil || !strings.Contains(err.Error(), "broken") {
+		t.Fatalf("append on broken log: err = %v, want broken-log refusal", err)
+	}
+}
+
+// TestShortWriteRolledBack: a frame written halfway must vanish; the
+// acknowledged prefix stays replayable and the log stays usable.
+func TestShortWriteRolledBack(t *testing.T) {
+	// Writes per kind: magic = 1, frame1 = 2, frame2 = 3.
+	plan := vfs.NewPlan(vfs.Fault{Op: vfs.OpWrite, N: 3, Mode: vfs.ShortWrite})
+	l, mem := faultLog(t, plan)
+	if _, err := l.Append(1, []byte("acked")); err != nil {
+		t.Fatalf("append 1: %v", err)
+	}
+	if _, err := l.Append(1, []byte("torn-by-short-write")); !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("append 2 err = %v, want injected short write", err)
+	}
+	if _, err := l.Append(1, []byte("after")); err != nil {
+		t.Fatalf("append 3 after rollback: %v", err)
+	}
+	l.Close()
+
+	l2 := reopen(t, mem)
+	defer l2.Close()
+	recs := collect(t, l2, 0)
+	if len(recs) != 2 || string(recs[0].Payload) != "acked" || string(recs[1].Payload) != "after" {
+		t.Fatalf("recovered %q, want [acked after]", payloads(recs))
+	}
+}
+
+// TestSegmentCreateFailureLeavesNoResidue: when writing a new
+// segment's magic fails, the created file must be removed — leaving a
+// magic-less file would make every retry fail O_EXCL on a name the
+// log still wants.
+func TestSegmentCreateFailureLeavesNoResidue(t *testing.T) {
+	plan := vfs.NewPlan(vfs.Fault{Op: vfs.OpWrite, N: 1, Mode: vfs.FailEarly}) // the magic write
+	l, _ := faultLog(t, plan)
+	defer l.Close()
+	if _, err := l.Append(1, []byte("x")); !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("append err = %v, want injected magic-write failure", err)
+	}
+	lsn, err := l.Append(1, []byte("x"))
+	if err != nil {
+		t.Fatalf("retry after create failure: %v", err)
+	}
+	if lsn != 1 {
+		t.Fatalf("retry LSN = %d, want 1", lsn)
+	}
+}
+
+// TestSyncDirFailureSurfacedAndRetryable: a failed directory fsync on
+// segment creation must surface as an append error (the dirent may
+// not survive power loss) and must not wedge the log.
+func TestSyncDirFailureSurfacedAndRetryable(t *testing.T) {
+	plan := vfs.NewPlan(vfs.Fault{Op: vfs.OpSyncDir, N: 1, Mode: vfs.FailEarly})
+	l, mem := faultLog(t, plan)
+	if _, err := l.Append(1, []byte("x")); !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("append err = %v, want injected syncdir failure", err)
+	}
+	if _, err := l.Append(1, []byte("acked")); err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	l.Close()
+
+	l2 := reopen(t, mem)
+	defer l2.Close()
+	recs := collect(t, l2, 0)
+	if len(recs) != 1 || string(recs[0].Payload) != "acked" {
+		t.Fatalf("recovered %q, want [acked]", payloads(recs))
+	}
+}
+
+func payloads(recs []Record) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = string(r.Payload)
+	}
+	return out
+}
