@@ -6,6 +6,19 @@ package main
 // POST /validate) are lock-free against the latest published
 // snapshot, so schema queries stay fast while batches load.
 //
+// Every endpoint (except the /healthz and /readyz probes) sits behind
+// an internal/admission gate: bounded concurrency (503 + Retry-After
+// past capacity), a bounded write queue (429 + Retry-After), a
+// per-request deadline propagated via context into the service write
+// path, a request-body cap (413), and panic recovery. Writes accept
+// an Idempotency-Key header in durable mode — a retried write whose
+// first attempt was applied answers "replayed" instead of applying
+// twice, even across a crash. A durable service that degrades to
+// read-only (broken WAL, full disk) answers writes with 409 and a
+// machine-readable reason until re-armed via POST /rearm or a
+// space-freeing compaction. SIGTERM drains: stop admitting, finish
+// in-flight requests within -drain-timeout, final checkpoint, exit.
+//
 //	pghive serve -listen :8080
 //	curl -X POST --data-binary @batch.jsonl localhost:8080/ingest
 //	curl 'localhost:8080/schema?format=pgschema&mode=strict'
@@ -22,6 +35,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -35,6 +49,7 @@ import (
 	"time"
 
 	pghive "github.com/pghive/pghive"
+	"github.com/pghive/pghive/internal/admission"
 	"github.com/pghive/pghive/internal/lsh"
 )
 
@@ -56,6 +71,12 @@ func runServe(args []string) {
 		segBytes  = fs.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = default 8 MiB; durable mode only)")
 		compact   = fs.Duration("compact-interval", 0, "background WAL compaction cadence (0 = default 1m; durable mode only)")
 		noSync    = fs.Bool("no-sync", false, "skip the per-append WAL fsync: survives kill -9 but not power loss (durable mode only)")
+
+		maxBody    = fs.Int64("max-body-bytes", admission.DefaultMaxBodyBytes, "request-body cap in bytes, answered with 413 past it (-1 disables)")
+		reqTimeout = fs.Duration("request-timeout", admission.DefaultRequestTimeout, "per-request deadline propagated into the service (-1s disables)")
+		maxConc    = fs.Int("max-concurrent", admission.DefaultMaxConcurrent, "concurrent requests admitted before 503 + Retry-After (-1 disables)")
+		maxWrites  = fs.Int("max-write-queue", admission.DefaultMaxWriteQueue, "mutating requests admitted at once before 429 + Retry-After (-1 disables)")
+		drainWait  = fs.Duration("drain-timeout", 20*time.Second, "graceful-shutdown budget for in-flight requests on SIGTERM")
 	)
 	fs.Parse(args)
 
@@ -98,16 +119,6 @@ func runServe(args []string) {
 		ds := dur.DurableStats()
 		fmt.Fprintf(os.Stderr, "pghive serve: recovered %d batches, %d nodes, %d edges from %s (checkpoint LSN %d, next WAL LSN %d)\n",
 			st.Batches, st.Nodes, st.Edges, *dataDir, ds.CheckpointLSN, ds.WALNextLSN)
-		// A clean shutdown closes the WAL; a kill -9 is recovered on
-		// the next start either way.
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sig
-			fmt.Fprintln(os.Stderr, "pghive serve: shutting down")
-			dur.Close()
-			os.Exit(0)
-		}()
 	case *restore != "":
 		f, err := os.Open(*restore)
 		if err != nil {
@@ -127,63 +138,145 @@ func runServe(args []string) {
 		svc = pghive.NewService(opts)
 	}
 
+	gate := admission.New(admission.Config{
+		MaxConcurrent:  *maxConc,
+		MaxWriteQueue:  *maxWrites,
+		RequestTimeout: *reqTimeout,
+		MaxBodyBytes:   *maxBody,
+		OnPanic: func(v any) {
+			fmt.Fprintln(os.Stderr, "pghive serve: recovered handler panic:", v)
+		},
+	})
+
 	fmt.Fprintf(os.Stderr, "pghive serve: listening on %s\n", *listen)
+	// A stalled client must not be able to park a connection forever:
+	// header/idle bounds plus full read/write timeouts sized past the
+	// per-request deadline, so the admission deadline (not the socket
+	// teardown) is what a slow handler hits first.
+	rwTimeout := time.Minute
+	if *reqTimeout > 0 {
+		rwTimeout = *reqTimeout + 10*time.Second
+	}
 	server := &http.Server{
-		Addr:    *listen,
-		Handler: newServeMux(svc, dur, *batchSize),
-		// A stalled client must not be able to park a connection
-		// forever; ingest bodies are spooled before the service write
-		// lock is taken, so these bounds never race a healthy upload.
+		Addr:              *listen,
+		Handler:           newServeMux(svc, dur, *batchSize, gate),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       rwTimeout,
+		WriteTimeout:      rwTimeout,
 		IdleTimeout:       2 * time.Minute,
 	}
-	if err := server.ListenAndServe(); err != nil {
+
+	// SIGTERM/SIGINT is a real drain, not an abort: refuse new work
+	// (readiness flips, the load balancer routes away), let in-flight
+	// requests finish within the budget, then stop the listener and —
+	// in durable mode — fold the WAL into a final checkpoint so the
+	// next start recovers instantly.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "pghive serve: draining")
+		select {
+		case <-gate.Drain():
+		case <-time.After(*drainWait):
+			fmt.Fprintln(os.Stderr, "pghive serve: drain timeout; aborting in-flight requests")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		server.Shutdown(ctx)
+		if dur != nil {
+			if err := dur.Compact(); err != nil {
+				fmt.Fprintln(os.Stderr, "pghive serve: final checkpoint:", err)
+			}
+			if err := dur.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "pghive serve: close:", err)
+			}
+		}
+		os.Exit(0)
+	}()
+
+	if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "pghive serve:", err)
 		os.Exit(1)
 	}
+	select {} // Shutdown in flight; the drain goroutine exits the process
 }
 
 // newServeMux wires the service endpoints. Factored out of runServe so
 // tests can drive the full HTTP surface via httptest. dur, when
 // non-nil, is the durable wrapper around svc: writes go through its
 // write-ahead log (and can therefore fail with 500 when the log
-// cannot be made durable), and POST /checkpoint folds the log into an
-// on-disk image instead of streaming one back.
-func newServeMux(svc *pghive.Service, dur *pghive.DurableService, batchSize int) *http.ServeMux {
-	ingest := func(g *pghive.Graph) error {
-		if dur != nil {
-			_, err := dur.Ingest(g)
-			return err
-		}
-		svc.Ingest(g)
-		return nil
+// cannot be made durable, or 409 when the service has degraded to
+// declared read-only mode), idempotency keys are honored, and
+// POST /checkpoint folds the log into an on-disk image instead of
+// streaming one back. gate, when nil, gets the default admission
+// limits; the /healthz and /readyz probes bypass it so orchestrators
+// can always see the truth, even at capacity or while draining.
+func newServeMux(svc *pghive.Service, dur *pghive.DurableService, batchSize int, gate *admission.Gate) *http.ServeMux {
+	if gate == nil {
+		gate = admission.New(admission.Config{})
 	}
-	retract := func(g *pghive.Graph) error {
+	ingest := func(ctx context.Context, key string, g *pghive.Graph) (replayed bool, err error) {
 		if dur != nil {
-			_, err := dur.Retract(g)
-			return err
+			_, replayed, err = dur.IngestIdempotent(ctx, key, g)
+			return replayed, err
 		}
-		svc.Retract(g)
-		return nil
+		_, err = svc.IngestContext(ctx, g)
+		return false, err
 	}
-	drain := func(r pghive.StreamReader) error {
+	retract := func(ctx context.Context, key string, g *pghive.Graph) (replayed bool, err error) {
 		if dur != nil {
-			return dur.DrainStream(r, nil)
+			_, replayed, err = dur.RetractIdempotent(ctx, key, g)
+			return replayed, err
 		}
-		return svc.DrainStream(r, nil)
+		_, err = svc.RetractContext(ctx, g)
+		return false, err
+	}
+	drain := func(ctx context.Context, r pghive.StreamReader) error {
+		if dur != nil {
+			return dur.DrainStreamContext(ctx, r, nil)
+		}
+		return svc.DrainStreamContext(ctx, r, nil)
+	}
+	// idempotencyKey validates the Idempotency-Key header; on a
+	// contract violation it writes the 400 and reports ok=false.
+	idempotencyKey := func(w http.ResponseWriter, r *http.Request) (string, bool) {
+		key := r.Header.Get("Idempotency-Key")
+		if key == "" {
+			return "", true
+		}
+		if dur == nil {
+			httpError(w, http.StatusBadRequest,
+				errors.New("Idempotency-Key requires durable mode (serve with -data-dir)"))
+			return "", false
+		}
+		if len(key) > pghive.MaxIdempotencyKeyLen {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("Idempotency-Key longer than %d bytes", pghive.MaxIdempotencyKeyLen))
+			return "", false
+		}
+		return key, true
 	}
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
+	handleWrite := func(pattern string, h http.HandlerFunc) { mux.Handle(pattern, gate.WrapWrite(h)) }
+	handleRead := func(pattern string, h http.HandlerFunc) { mux.Handle(pattern, gate.Wrap(h)) }
+
+	handleWrite("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		if batchSize > 0 {
+		key, ok := idempotencyKey(w, r)
+		if !ok {
+			return
+		}
+		replayed := false
+		if batchSize > 0 && key == "" {
 			// Spool the body before touching the service: DrainStream
 			// holds the write lock, and reading a slow client's upload
 			// under it would let one stalled connection block every
 			// writer.
 			body, err := io.ReadAll(r.Body)
 			if err != nil {
-				httpError(w, http.StatusBadRequest, err)
+				requestError(w, r, err)
 				return
 			}
 			// The spooled body streams through in bounded pipeline
@@ -192,14 +285,24 @@ func newServeMux(svc *pghive.Service, dur *pghive.DurableService, batchSize int)
 			// error returns, so the error response carries the stats
 			// the client needs to see how far the body got — blindly
 			// re-sending the same body would double-ingest the prefix.
-			if err := drain(pghive.NewJSONLStream(bytes.NewReader(body), batchSize)); err != nil {
+			if err := drain(r.Context(), pghive.NewJSONLStream(bytes.NewReader(body), batchSize)); err != nil {
+				var roe *pghive.ReadOnlyError
+				if errors.As(err, &roe) {
+					// Fail-fast: refused before any batch was applied.
+					serviceError(w, err)
+					return
+				}
 				// A durability failure (WAL append) is the server's
 				// fault and retryable — it must not masquerade as a
 				// malformed-body 400, which clients treat as permanent.
+				// A deadline expiry mid-stream is likewise the 503 kind.
 				code := http.StatusBadRequest
 				var de *pghive.DurabilityError
-				if errors.As(err, &de) {
+				switch {
+				case errors.As(err, &de):
 					code = http.StatusInternalServerError
+				case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+					code = http.StatusServiceUnavailable
 				}
 				writeJSONStatus(w, code, map[string]any{
 					"error": err.Error(),
@@ -209,31 +312,43 @@ func newServeMux(svc *pghive.Service, dur *pghive.DurableService, batchSize int)
 				return
 			}
 		} else {
+			// Keyed requests always land as one atomic batch, whatever
+			// -batch-size says: a key promises all-or-nothing, and a
+			// split stream could replay half on retry.
 			g, err := pghive.ReadJSONL(r.Body, true)
 			if err != nil {
-				httpError(w, http.StatusBadRequest, err)
+				requestError(w, r, err)
 				return
 			}
-			if err := ingest(g); err != nil {
-				httpError(w, http.StatusInternalServerError, err)
+			if replayed, err = ingest(r.Context(), key, g); err != nil {
+				serviceError(w, err)
 				return
 			}
 		}
-		writeJSON(w, map[string]any{"elapsedMs": time.Since(start).Milliseconds(), "stats": svc.Stats()})
+		writeJSON(w, map[string]any{
+			"elapsedMs": time.Since(start).Milliseconds(),
+			"replayed":  replayed,
+			"stats":     svc.Stats(),
+		})
 	})
-	mux.HandleFunc("POST /retract", func(w http.ResponseWriter, r *http.Request) {
+	handleWrite("POST /retract", func(w http.ResponseWriter, r *http.Request) {
+		key, ok := idempotencyKey(w, r)
+		if !ok {
+			return
+		}
 		g, err := pghive.ReadJSONL(r.Body, true)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			requestError(w, r, err)
 			return
 		}
-		if err := retract(g); err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+		replayed, err := retract(r.Context(), key, g)
+		if err != nil {
+			serviceError(w, err)
 			return
 		}
-		writeJSON(w, map[string]any{"stats": svc.Stats()})
+		writeJSON(w, map[string]any{"replayed": replayed, "stats": svc.Stats()})
 	})
-	mux.HandleFunc("GET /schema", func(w http.ResponseWriter, r *http.Request) {
+	handleRead("GET /schema", func(w http.ResponseWriter, r *http.Request) {
 		mode := pghive.Strict
 		switch strings.ToLower(r.URL.Query().Get("mode")) {
 		case "", "strict":
@@ -270,10 +385,10 @@ func newServeMux(svc *pghive.Service, dur *pghive.DurableService, batchSize int)
 				fmt.Errorf("unknown schema format (want json, pgschema, xsd, or dot)"))
 		}
 	})
-	mux.HandleFunc("POST /validate", func(w http.ResponseWriter, r *http.Request) {
+	handleRead("POST /validate", func(w http.ResponseWriter, r *http.Request) {
 		g, err := pghive.ReadJSONL(r.Body, true)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			requestError(w, r, err)
 			return
 		}
 		mode := pghive.ValidateLoose
@@ -298,14 +413,66 @@ func newServeMux(svc *pghive.Service, dur *pghive.DurableService, batchSize int)
 			"violations": violations, "truncated": rep.Truncated,
 		})
 	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+	handleRead("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		if dur != nil {
-			writeJSON(w, map[string]any{"stats": svc.Stats(), "durable": dur.DurableStats()})
+			writeJSON(w, map[string]any{
+				"stats":     svc.Stats(),
+				"durable":   dur.DurableStats(),
+				"admission": gate.Stats(),
+			})
 			return
 		}
 		writeJSON(w, svc.Stats())
 	})
-	mux.HandleFunc("POST /checkpoint", func(w http.ResponseWriter, r *http.Request) {
+	// Probes bypass the gate: an orchestrator must see the truth even
+	// when the server is at capacity or draining.
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness: the process is up and serving reads — true even in
+		// degraded read-only mode, which is declared, not fatal.
+		resp := map[string]any{"status": "ok"}
+		if dur != nil {
+			if reason, degraded := dur.Degraded(); degraded {
+				resp["status"] = "degraded"
+				resp["readOnly"] = true
+				resp["reason"] = reason
+			}
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness: should the load balancer route here? No while
+		// draining. Degraded read-only still serves reads, so it stays
+		// ready — but declares itself so operators can alert.
+		if gate.Draining() {
+			w.Header().Set("Retry-After", "1")
+			writeJSONStatus(w, http.StatusServiceUnavailable,
+				map[string]any{"ready": false, "reason": "draining"})
+			return
+		}
+		resp := map[string]any{"ready": true}
+		if dur != nil {
+			if reason, degraded := dur.Degraded(); degraded {
+				resp["readOnly"] = true
+				resp["reason"] = reason
+			}
+		}
+		writeJSON(w, resp)
+	})
+	handleRead("POST /rearm", func(w http.ResponseWriter, r *http.Request) {
+		// Operator re-arm: re-open the WAL from disk and restore write
+		// service after read-only degradation. No-op when healthy.
+		if dur == nil {
+			httpError(w, http.StatusBadRequest,
+				errors.New("rearm requires durable mode (serve with -data-dir)"))
+			return
+		}
+		if err := dur.Rearm(); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, map[string]any{"rearmed": true, "durable": dur.DurableStats()})
+	})
+	handleRead("POST /checkpoint", func(w http.ResponseWriter, r *http.Request) {
 		if dur != nil {
 			// Durable mode: fold the WAL into an on-disk image. The
 			// image lands in the data directory via temp file + rename
@@ -369,4 +536,41 @@ func writeJSON(w http.ResponseWriter, v any) { writeJSONStatus(w, http.StatusOK,
 
 func httpError(w http.ResponseWriter, code int, err error) {
 	writeJSONStatus(w, code, map[string]string{"error": err.Error()})
+}
+
+// requestError maps a body-read failure to its status: the admission
+// body cap answers 413 (http.MaxBytesReader already hung up the
+// connection), everything else is the client's malformed input. The
+// cap is detected through the gate, not just the error chain, because
+// the JSONL parser reports the truncated tail as a syntax error.
+func requestError(w http.ResponseWriter, r *http.Request, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) || admission.BodyLimitExceeded(r) {
+		httpError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	httpError(w, http.StatusBadRequest, err)
+}
+
+// serviceError maps a failed (non-streamed) service write to the
+// declared status contract:
+//
+//	409 read-only degraded — retrying is pointless until re-arm
+//	503 deadline/cancel    — the request never entered the WAL; back
+//	                         off and retry
+//	500 durability failure — the WAL rejected the append; retryable
+//	                         (idempotency keys make the retry safe)
+func serviceError(w http.ResponseWriter, err error) {
+	var roe *pghive.ReadOnlyError
+	switch {
+	case errors.As(err, &roe):
+		writeJSONStatus(w, http.StatusConflict, map[string]any{
+			"error": err.Error(), "readOnly": true, "reason": roe.Reason,
+		})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, err)
+	default:
+		httpError(w, http.StatusInternalServerError, err)
+	}
 }

@@ -18,15 +18,40 @@ package pghive
 // the write path — it reads only sealed segment files and its own
 // shadow state — so writers are never blocked behind a fold, no
 // matter how large the log has grown.
+//
+// Two robustness layers ride on top of durability:
+//
+// Read-only degradation. When the WAL declares itself broken (a
+// failed append could not be rolled back) or the disk is full
+// (ENOSPC), every further write would either fail anyway or risk
+// compounding the damage — so the service declares read-only mode:
+// reads keep serving the last published snapshot, writes fail fast
+// with a machine-readable ReadOnlyError, and DurableStats exposes the
+// state. A successful compaction (which frees superseded segments)
+// re-arms a disk-full service automatically; Rearm re-opens the log
+// from disk and re-arms any degradation, including a broken WAL.
+//
+// Idempotency keys. A write submitted with a key is applied at most
+// once per key retention window: the key travels inside the WAL
+// record, so replay — recovery after a crash, the compactor's shadow
+// fold, and Rearm's catch-up — rebuilds the applied-key set from the
+// same bytes that rebuild the state. A client that timed out or got
+// a 5xx can therefore retry the same key blindly; if the first
+// attempt was applied (even if the ack was lost to a crash), the
+// retry reports "replayed" instead of double-applying.
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/pghive/pghive/internal/core"
@@ -38,10 +63,15 @@ import (
 // WAL record types. Stream batches replay identically to ingest
 // batches (a drained batch IS an ingest of its materialized graph);
 // the distinct tag records provenance for operators reading a log.
+// Keyed variants prefix the payload with the write's idempotency key
+// (u8 length + bytes), so the applied-key set is reconstructible from
+// the log alone.
 const (
-	walRecIngest  byte = 1
-	walRecRetract byte = 2
-	walRecStream  byte = 3
+	walRecIngest       byte = 1
+	walRecRetract      byte = 2
+	walRecStream       byte = 3
+	walRecIngestKeyed  byte = 4
+	walRecRetractKeyed byte = 5
 )
 
 const (
@@ -49,6 +79,21 @@ const (
 	ckptPrefix     = "checkpoint-"
 	ckptSuffix     = ".ckpt"
 	ckptTmpPattern = "*.tmp"
+)
+
+// MaxIdempotencyKeyLen bounds an idempotency key: the key is encoded
+// in the WAL record behind a one-byte length.
+const MaxIdempotencyKeyLen = 255
+
+// Declared read-only reasons (DurableService.Degraded,
+// DurableStats.ReadOnlyReason).
+const (
+	// DegradeWALBroken: a failed WAL append could not be rolled back;
+	// the log refuses all appends until re-armed (see wal.Log.Broken).
+	DegradeWALBroken = "wal-broken"
+	// DegradeDiskFull: an append failed with ENOSPC. Compaction (which
+	// deletes superseded segments) re-arms this state automatically.
+	DegradeDiskFull = "disk-full"
 )
 
 // DurableOptions tunes the durability layer of a DurableService.
@@ -69,6 +114,11 @@ type DurableOptions struct {
 	// OnCompactError observes background compaction failures (the
 	// compactor retries on its next tick either way). Optional.
 	OnCompactError func(error)
+	// MaxIdempotencyKeys bounds the retained applied-key set (default
+	// 65536). When full, the oldest key is forgotten — a retry older
+	// than the whole retention window can then re-apply, so clients
+	// should retry promptly, not days later.
+	MaxIdempotencyKeys int
 	// FS is the filesystem the data directory lives on; nil selects
 	// the real OS. Fault-injection tests substitute vfs.MemFS /
 	// vfs.InjectFS to prove recovery survives hostile disks.
@@ -82,16 +132,19 @@ func (o DurableOptions) withDefaults() DurableOptions {
 	if o.CompactInterval <= 0 {
 		o.CompactInterval = time.Minute
 	}
+	if o.MaxIdempotencyKeys <= 0 {
+		o.MaxIdempotencyKeys = 65536
+	}
 	return o
 }
 
 // DurableService is a Service whose every mutation is write-ahead
 // logged to a data directory. The read side (Snapshot, Schema, Stats,
 // Validate, renders) is the embedded Service's — lock-free against
-// the published snapshot. The write side appends to the WAL first and
-// returns an error when the log cannot be made durable; on success
-// the mutation is applied and published exactly as on a plain
-// Service.
+// the published snapshot, and available even in read-only degraded
+// mode. The write side appends to the WAL first and returns an error
+// when the log cannot be made durable; on success the mutation is
+// applied and published exactly as on a plain Service.
 //
 // The data directory holds the WAL segments (wal/*.wal) and the
 // newest checkpoint image (checkpoint-<lsn>.ckpt, written atomically
@@ -100,11 +153,25 @@ type DurableService struct {
 	*Service
 	dir   string
 	fs    vfs.FS
-	log   *wal.Log
+	log   atomic.Pointer[wal.Log]
 	dopts DurableOptions
 
-	// compactMu serializes compaction rounds and guards the
-	// checkpoint bookkeeping below. The write path never takes it.
+	// appliedLSN is the LSN of the last WAL record whose mutation the
+	// live state has absorbed. Guarded by mu. Rearm replays records
+	// above it, which is what reconciles the live state with a frame
+	// that survived a rolled-back append.
+	appliedLSN uint64
+
+	// keys is the applied idempotency-key set (internally locked).
+	keys *idemStore
+
+	// degradedReason, when non-nil, declares read-only mode and why.
+	// Set by the write path on unrecoverable append failures; cleared
+	// by Rearm and by compaction when the log is still writable.
+	degradedReason atomic.Pointer[string]
+
+	// compactMu serializes compaction rounds (and Rearm) and guards
+	// the checkpoint bookkeeping below. The write path never takes it.
 	compactMu sync.Mutex
 	ckptLSN   uint64
 	ckptPath  string
@@ -120,6 +187,11 @@ type DurableService struct {
 	// needs. Tests park the compactor here and assert writes proceed.
 	compactTestHook func()
 }
+
+// wal returns the current write-ahead log. The pointer is atomic only
+// because Rearm swaps in a re-opened log while readers (DurableStats)
+// may be probing the old one.
+func (d *DurableService) wal() *wal.Log { return d.log.Load() }
 
 // OpenDurable opens (or creates) a durable service rooted at dir:
 // restore the newest checkpoint, replay the WAL tail above it, and
@@ -144,7 +216,7 @@ func OpenDurable(dir string, opts Options, dopts DurableOptions) (*DurableServic
 	if err != nil {
 		return nil, err
 	}
-	rp, after, err := newReplayer(opts, fsys, ckptPath)
+	rp, after, err := newReplayer(opts, fsys, ckptPath, dopts.MaxIdempotencyKeys)
 	if err != nil {
 		return nil, err
 	}
@@ -175,15 +247,17 @@ func OpenDurable(dir string, opts Options, dopts DurableOptions) (*DurableServic
 	svc := newService(opts, rp.inc, rp.resolver)
 	svc.nextEdgeID = rp.nextEdgeID
 	d := &DurableService{
-		Service:  svc,
-		dir:      dir,
-		fs:       fsys,
-		log:      log,
-		dopts:    dopts,
-		ckptLSN:  after,
-		ckptPath: ckptPath,
-		stop:     make(chan struct{}),
+		Service:    svc,
+		dir:        dir,
+		fs:         fsys,
+		dopts:      dopts,
+		appliedLSN: log.NextLSN() - 1,
+		keys:       rp.keys,
+		ckptLSN:    after,
+		ckptPath:   ckptPath,
+		stop:       make(chan struct{}),
 	}
+	d.log.Store(log)
 	if !dopts.DisableAutoCompact {
 		d.done = make(chan struct{})
 		go d.compactLoop()
@@ -203,42 +277,178 @@ type DurabilityError struct{ Err error }
 func (e *DurabilityError) Error() string { return e.Err.Error() }
 func (e *DurabilityError) Unwrap() error { return e.Err }
 
-// append serializes g as JSONL and logs it as one WAL record. Callers
-// must hold the service write lock so the log order equals the apply
-// order — replay preserves exactly that order. Failures are wrapped
-// in DurabilityError.
-func (d *DurableService) append(t byte, g *Graph) error {
-	var buf bytes.Buffer
-	if err := WriteJSONL(&buf, g); err != nil {
-		return &DurabilityError{Err: fmt.Errorf("pghive: durable: encode batch: %w", err)}
+// ReadOnlyError marks a write rejected fast because the service is in
+// declared read-only degraded mode (Reason is one of the Degrade*
+// constants). The WAL was not touched; reads keep serving. The state
+// clears on a successful Rearm — or, for DegradeDiskFull, on the next
+// successful compaction.
+type ReadOnlyError struct{ Reason string }
+
+func (e *ReadOnlyError) Error() string {
+	return "pghive: durable: service is read-only (" + e.Reason + ")"
+}
+
+// Degraded reports whether the service is in declared read-only mode,
+// and why (one of the Degrade* constants).
+func (d *DurableService) Degraded() (reason string, degraded bool) {
+	if r := d.degradedReason.Load(); r != nil {
+		return *r, true
 	}
-	if _, err := d.log.Append(t, buf.Bytes()); err != nil {
-		return &DurabilityError{Err: err}
+	return "", false
+}
+
+// failFastLocked rejects writes in read-only mode before they touch
+// the WAL. Callers must hold mu.
+func (d *DurableService) failFastLocked() error {
+	if r := d.degradedReason.Load(); r != nil {
+		return &ReadOnlyError{Reason: *r}
 	}
 	return nil
+}
+
+// maybeDegradeLocked inspects a failed append and declares read-only
+// mode when the failure is one no retry can outrun: a broken log
+// (every future append is refused anyway, better to say so cheaply)
+// or a full disk (retrying only hammers a volume that needs space
+// freed). A transient injected fault or I/O hiccup does NOT degrade —
+// the next write simply tries again. Callers must hold mu.
+func (d *DurableService) maybeDegradeLocked(err error) {
+	switch {
+	case d.wal().Broken():
+		d.degrade(DegradeWALBroken)
+	case errors.Is(err, syscall.ENOSPC):
+		d.degrade(DegradeDiskFull)
+	}
+}
+
+func (d *DurableService) degrade(reason string) {
+	r := reason
+	d.degradedReason.CompareAndSwap(nil, &r)
+}
+
+// clearDegradeIfWritable lifts read-only mode when the log itself
+// still accepts appends — the disk-full path, where compaction just
+// freed superseded segments. A broken log stays degraded until Rearm.
+func (d *DurableService) clearDegradeIfWritable() {
+	if d.degradedReason.Load() != nil && !d.wal().Broken() {
+		d.degradedReason.Store(nil)
+	}
+}
+
+// append serializes g (behind the idempotency key, for keyed record
+// types) and logs it as one WAL record, returning the record's LSN.
+// Callers must hold the service write lock so the log order equals
+// the apply order — replay preserves exactly that order. Failures are
+// wrapped in DurabilityError; unrecoverable ones degrade the service
+// to read-only.
+func (d *DurableService) append(t byte, key string, g *Graph) (uint64, error) {
+	var buf bytes.Buffer
+	if t == walRecIngestKeyed || t == walRecRetractKeyed {
+		if len(key) == 0 || len(key) > MaxIdempotencyKeyLen {
+			return 0, fmt.Errorf("pghive: durable: idempotency key must be 1..%d bytes, got %d", MaxIdempotencyKeyLen, len(key))
+		}
+		buf.WriteByte(byte(len(key)))
+		buf.WriteString(key)
+	}
+	if err := WriteJSONL(&buf, g); err != nil {
+		return 0, &DurabilityError{Err: fmt.Errorf("pghive: durable: encode batch: %w", err)}
+	}
+	lsn, err := d.wal().Append(t, buf.Bytes())
+	if err != nil {
+		d.maybeDegradeLocked(err)
+		return 0, &DurabilityError{Err: err}
+	}
+	return lsn, nil
+}
+
+// noteAppliedLocked records that the mutation logged at lsn is (about
+// to be) absorbed into the live state. Callers must hold mu.
+func (d *DurableService) noteAppliedLocked(key string, lsn uint64) {
+	d.appliedLSN = lsn
+	if key != "" {
+		d.keys.add(key, lsn)
+	}
 }
 
 // Ingest write-ahead logs the batch, then runs it through the
 // pipeline and publishes a fresh snapshot. On error the log and the
 // served state are both unchanged.
 func (d *DurableService) Ingest(g *Graph) (BatchTiming, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if err := d.append(walRecIngest, g); err != nil {
-		return BatchTiming{}, err
-	}
-	return d.ingestLocked(g), nil
+	return d.IngestContext(context.Background(), g)
+}
+
+// IngestContext is Ingest with a deadline on write admission: if ctx
+// ends while the call is queued behind other writers, nothing is
+// logged or applied and ctx's error is returned.
+func (d *DurableService) IngestContext(ctx context.Context, g *Graph) (BatchTiming, error) {
+	bt, _, err := d.IngestIdempotent(ctx, "", g)
+	return bt, err
+}
+
+// IngestIdempotent is IngestContext with an idempotency key (""
+// degrades to a plain ingest). If a write with the same key was
+// already applied — in this process's lifetime or recovered from the
+// WAL/checkpoint after a crash — nothing is applied again and
+// replayed is true. The key is WAL-logged inside the batch's record,
+// so the at-most-once promise survives crashes, compaction, and
+// re-arm; it is bounded only by DurableOptions.MaxIdempotencyKeys.
+func (d *DurableService) IngestIdempotent(ctx context.Context, key string, g *Graph) (bt BatchTiming, replayed bool, err error) {
+	return d.writeIdempotent(ctx, key, g, false)
 }
 
 // Retract write-ahead logs the retraction, then applies it (see
 // Service.Retract).
 func (d *DurableService) Retract(g *Graph) (BatchTiming, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if err := d.append(walRecRetract, g); err != nil {
-		return BatchTiming{}, err
+	return d.RetractContext(context.Background(), g)
+}
+
+// RetractContext is Retract with a deadline on write admission.
+func (d *DurableService) RetractContext(ctx context.Context, g *Graph) (BatchTiming, error) {
+	bt, _, err := d.RetractIdempotent(ctx, "", g)
+	return bt, err
+}
+
+// RetractIdempotent is RetractContext with an idempotency key (see
+// IngestIdempotent for the contract).
+func (d *DurableService) RetractIdempotent(ctx context.Context, key string, g *Graph) (bt BatchTiming, replayed bool, err error) {
+	return d.writeIdempotent(ctx, key, g, true)
+}
+
+// writeIdempotent is the single durable write path: admission (with
+// ctx deadline), replay detection, read-only fail-fast, WAL append,
+// apply, publish.
+func (d *DurableService) writeIdempotent(ctx context.Context, key string, g *Graph, retract bool) (BatchTiming, bool, error) {
+	if err := d.mu.LockContext(ctx); err != nil {
+		return BatchTiming{}, false, err
 	}
-	return d.retractLocked(g), nil
+	defer d.mu.Unlock()
+	if key != "" {
+		if _, seen := d.keys.seen(key); seen {
+			return BatchTiming{}, true, nil
+		}
+	}
+	if err := d.failFastLocked(); err != nil {
+		return BatchTiming{}, false, err
+	}
+	t := walRecIngest
+	if retract {
+		t = walRecRetract
+	}
+	if key != "" {
+		t = walRecIngestKeyed
+		if retract {
+			t = walRecRetractKeyed
+		}
+	}
+	lsn, err := d.append(t, key, g)
+	if err != nil {
+		return BatchTiming{}, false, err
+	}
+	d.noteAppliedLocked(key, lsn)
+	if retract {
+		return d.retractLocked(g), false, nil
+	}
+	return d.ingestLocked(g), false, nil
 }
 
 // DrainStream feeds every batch of the stream through the pipeline,
@@ -248,10 +458,30 @@ func (d *DurableService) Retract(g *Graph) (BatchTiming, error) {
 // write lock is held for the whole drain and CSV streams are adopted
 // into the service's edge-ID and resolver state.
 func (d *DurableService) DrainStream(r StreamReader, onBatch func(BatchTiming)) error {
-	d.mu.Lock()
+	return d.DrainStreamContext(context.Background(), r, onBatch)
+}
+
+// DrainStreamContext is DrainStream with a deadline covering write
+// admission and the drain itself (checked before each batch). Expiry
+// mid-stream is not a rollback: durably logged batches stay applied.
+func (d *DurableService) DrainStreamContext(ctx context.Context, r StreamReader, onBatch func(BatchTiming)) error {
+	if err := d.mu.LockContext(ctx); err != nil {
+		return err
+	}
 	defer d.mu.Unlock()
+	if err := d.failFastLocked(); err != nil {
+		return err
+	}
 	return d.drainLocked(r, onBatch, func(g *Graph) error {
-		return d.append(walRecStream, g)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lsn, err := d.append(walRecStream, "", g)
+		if err != nil {
+			return err
+		}
+		d.noteAppliedLocked("", lsn)
+		return nil
 	})
 }
 
@@ -262,14 +492,19 @@ func (d *DurableService) DrainStream(r StreamReader, onBatch func(BatchTiming)) 
 // restored from the previous checkpoint — no service lock is taken,
 // so concurrent writers (and readers) proceed at full speed. Safe to
 // call concurrently with writes; rounds serialize among themselves.
+//
+// A successful round also re-arms a disk-full degraded service: the
+// pruned segments are exactly the space the write path was starving
+// for. A broken-WAL degradation is not cleared here — see Rearm.
 func (d *DurableService) Compact() error {
 	d.compactMu.Lock()
 	defer d.compactMu.Unlock()
 
-	if err := d.log.Rotate(); err != nil {
+	lg := d.wal()
+	if err := lg.Rotate(); err != nil {
 		return err
 	}
-	sealed := d.log.Sealed()
+	sealed := lg.Sealed()
 	var target uint64
 	for _, seg := range sealed {
 		if seg.Last > target {
@@ -279,8 +514,11 @@ func (d *DurableService) Compact() error {
 	if target <= d.ckptLSN {
 		// Nothing new sealed since the last fold; still prune any
 		// already-covered segments a crash may have left behind.
-		_, err := d.log.Prune(d.ckptLSN)
-		return err
+		if _, err := lg.Prune(d.ckptLSN); err != nil {
+			return err
+		}
+		d.clearDegradeIfWritable()
+		return nil
 	}
 	if d.compactTestHook != nil {
 		d.compactTestHook()
@@ -290,19 +528,20 @@ func (d *DurableService) Compact() error {
 	// target, through the same apply path recovery uses. The bound
 	// keeps the fold off the active segment entirely — concurrent
 	// appends are never even read.
-	rp, after, err := newReplayer(d.opts, d.fs, d.ckptPath)
+	rp, after, err := newReplayer(d.opts, d.fs, d.ckptPath, d.dopts.MaxIdempotencyKeys)
 	if err != nil {
 		return err
 	}
-	if err := d.log.ReplayRange(after, target, rp.apply); err != nil {
+	if err := lg.ReplayRange(after, target, rp.apply); err != nil {
 		return err
 	}
 
 	path := checkpointPath(d.dir, target)
 	err = rp.inc.WriteCheckpointFile(d.fs, path, &core.CheckpointExtras{
-		Resolver:   rp.resolver,
-		NextEdgeID: rp.nextEdgeID,
-		WALSeq:     target,
+		Resolver:    rp.resolver,
+		NextEdgeID:  rp.nextEdgeID,
+		WALSeq:      target,
+		AppliedKeys: rp.keys.export(),
 	})
 	if err != nil {
 		return err
@@ -316,8 +555,67 @@ func (d *DurableService) Compact() error {
 	if prev != "" && prev != path {
 		d.fs.Remove(prev)
 	}
-	_, err = d.log.Prune(target)
-	return err
+	if _, err := lg.Prune(target); err != nil {
+		return err
+	}
+	d.clearDegradeIfWritable()
+	return nil
+}
+
+// Rearm restores write service after read-only degradation: it closes
+// the (possibly broken) log, re-opens it from disk — re-scanning what
+// is actually durable and truncating any torn tail — and replays onto
+// the live state any record the state never absorbed. That last step
+// resolves the broken-WAL ambiguity honestly: if the frame of an
+// errored append turned out to be durable after all, it is applied
+// now (with its idempotency key, so a client retry of that write
+// still lands exactly once); if it did not survive, it is gone and a
+// retry applies it fresh. A no-op when the service is healthy. On
+// failure the service stays read-only and Rearm can be retried.
+func (d *DurableService) Rearm() error {
+	d.compactMu.Lock()
+	defer d.compactMu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, degraded := d.Degraded(); !degraded {
+		return nil
+	}
+	// Best effort: a broken log's close may itself fail; the reopen
+	// below re-reads the on-disk truth regardless.
+	d.wal().Close()
+	lg, err := wal.Open(filepath.Join(d.dir, walSubdir), wal.Options{
+		SegmentBytes: d.dopts.SegmentBytes,
+		NoSync:       d.dopts.NoSync,
+		MinLSN:       d.ckptLSN + 1,
+		FS:           d.dopts.FS,
+	})
+	if err != nil {
+		return fmt.Errorf("pghive: durable: rearm: %w", err)
+	}
+	if err := lg.Replay(d.appliedLSN, d.applyRecordLocked); err != nil {
+		lg.Close()
+		return fmt.Errorf("pghive: durable: rearm: %w", err)
+	}
+	d.log.Store(lg)
+	d.appliedLSN = lg.NextLSN() - 1
+	d.degradedReason.Store(nil)
+	return nil
+}
+
+// applyRecordLocked folds one WAL record into the live service state
+// through the same rules recovery uses. Callers must hold mu.
+func (d *DurableService) applyRecordLocked(rec wal.Record) error {
+	g, key, retract, err := decodeWALRecord(rec)
+	if err != nil {
+		return err
+	}
+	if retract {
+		d.retractLocked(g)
+	} else {
+		d.ingestLocked(g)
+	}
+	d.noteAppliedLocked(key, rec.LSN)
+	return nil
 }
 
 // CheckpointLSN returns the WAL sequence number covered by the newest
@@ -346,12 +644,26 @@ type DurableStats struct {
 	// and the directory still recovers, but the last failed record's
 	// durability is indeterminate until then.
 	WALBroken bool `json:"walBroken"`
+	// ReadOnly / ReadOnlyReason declare degraded read-only mode (see
+	// the Degrade* constants and Rearm).
+	ReadOnly       bool   `json:"readOnly,omitempty"`
+	ReadOnlyReason string `json:"readOnlyReason,omitempty"`
+	// IdempotencyKeys counts the retained applied-key set.
+	IdempotencyKeys int `json:"idempotencyKeys"`
 }
 
 // DurableStats snapshots the durability counters.
 func (d *DurableService) DurableStats() DurableStats {
-	st := DurableStats{Dir: d.dir, CheckpointLSN: d.CheckpointLSN(), WALNextLSN: d.log.NextLSN(), WALBroken: d.log.Broken()}
-	for _, seg := range d.log.Sealed() {
+	lg := d.wal()
+	st := DurableStats{
+		Dir: d.dir, CheckpointLSN: d.CheckpointLSN(),
+		WALNextLSN: lg.NextLSN(), WALBroken: lg.Broken(),
+		IdempotencyKeys: d.keys.len(),
+	}
+	if reason, degraded := d.Degraded(); degraded {
+		st.ReadOnly, st.ReadOnlyReason = true, reason
+	}
+	for _, seg := range lg.Sealed() {
 		st.WALSealedSegments++
 		st.WALSealedBytes += seg.Bytes
 	}
@@ -371,7 +683,7 @@ func (d *DurableService) Close() error {
 		defer d.compactMu.Unlock()
 		d.mu.Lock()
 		defer d.mu.Unlock()
-		d.closeErr = d.log.Close()
+		d.closeErr = d.wal().Close()
 	})
 	return d.closeErr
 }
@@ -393,23 +705,86 @@ func (d *DurableService) compactLoop() {
 	}
 }
 
+// idemStore is the bounded applied idempotency-key set: key → the LSN
+// of the WAL record that applied it, evicted oldest-first past cap.
+// Internally locked so stats readers never contend with the write
+// path for the service lock.
+type idemStore struct {
+	mu   sync.Mutex
+	cap  int
+	m    map[string]uint64
+	fifo []core.AppliedKey // insertion (= LSN) order
+	head int               // fifo[:head] already evicted
+}
+
+func newIdemStore(cap int) *idemStore {
+	return &idemStore{cap: cap, m: make(map[string]uint64)}
+}
+
+func (st *idemStore) seen(key string) (uint64, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	lsn, ok := st.m[key]
+	return lsn, ok
+}
+
+func (st *idemStore) add(key string, lsn uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.m[key]; ok {
+		return // replay of an already-tracked record
+	}
+	st.m[key] = lsn
+	st.fifo = append(st.fifo, core.AppliedKey{Key: key, LSN: lsn})
+	for len(st.m) > st.cap {
+		delete(st.m, st.fifo[st.head].Key)
+		st.head++
+	}
+	if st.head > len(st.fifo)/2 && st.head > 64 {
+		st.fifo = append([]core.AppliedKey(nil), st.fifo[st.head:]...)
+		st.head = 0
+	}
+}
+
+func (st *idemStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.m)
+}
+
+// export returns the retained keys in LSN order — the deterministic
+// serialization the checkpoint image needs.
+func (st *idemStore) export() []core.AppliedKey {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.head == len(st.fifo) {
+		return nil
+	}
+	return append([]core.AppliedKey(nil), st.fifo[st.head:]...)
+}
+
 // walReplayer folds WAL records into an incremental pipeline plus the
-// serving-layer state that lives beside it (endpoint bookkeeping and
-// the edge-ID watermark). Recovery and the compactor's shadow fold
-// both run on it, and its apply rules are shared with the live write
-// path (trackGraph / ProcessBatch / RetractBatch in the same order),
-// which is what makes replay bit-identical to the logged run.
+// serving-layer state that lives beside it (endpoint bookkeeping, the
+// edge-ID watermark, and the applied idempotency-key set). Recovery
+// and the compactor's shadow fold both run on it, and its apply rules
+// are shared with the live write path (trackGraph / ProcessBatch /
+// RetractBatch in the same order), which is what makes replay
+// bit-identical to the logged run.
 type walReplayer struct {
 	inc        *Incremental
 	resolver   *Graph
 	nextEdgeID ID
+	keys       *idemStore
 }
 
 // newReplayer builds a replayer positioned at a checkpoint image (or
 // at the empty state when ckptPath is ""), returning the WAL LSN the
 // image covers.
-func newReplayer(opts Options, fsys vfs.FS, ckptPath string) (*walReplayer, uint64, error) {
-	rp := &walReplayer{}
+func newReplayer(opts Options, fsys vfs.FS, ckptPath string, keyCap int) (*walReplayer, uint64, error) {
+	if keyCap <= 0 {
+		keyCap = 65536
+	}
+	rp := &walReplayer{keys: newIdemStore(keyCap)}
 	var after uint64
 	if ckptPath == "" {
 		rp.inc = NewIncremental(opts)
@@ -422,6 +797,9 @@ func newReplayer(opts Options, fsys vfs.FS, ckptPath string) (*walReplayer, uint
 		rp.resolver = extras.Resolver
 		rp.nextEdgeID = extras.NextEdgeID
 		after = extras.WALSeq
+		for _, k := range extras.AppliedKeys {
+			rp.keys.add(k.Key, k.LSN)
+		}
 	}
 	if rp.resolver == nil {
 		rp.resolver = pg.NewGraph()
@@ -432,24 +810,51 @@ func newReplayer(opts Options, fsys vfs.FS, ckptPath string) (*walReplayer, uint
 
 // apply folds one WAL record.
 func (rp *walReplayer) apply(rec wal.Record) error {
-	g, err := ReadJSONL(bytes.NewReader(rec.Payload), true)
+	g, key, retract, err := decodeWALRecord(rec)
 	if err != nil {
-		return fmt.Errorf("pghive: durable: wal record %d: %w", rec.LSN, err)
+		return err
 	}
-	switch rec.Type {
-	case walRecIngest, walRecStream:
-		trackGraph(rp.resolver, g, &rp.nextEdgeID)
-		rp.inc.ProcessBatch(&Batch{Graph: g, Resolver: rp.resolver, Index: rp.inc.Batches() + 1})
-	case walRecRetract:
+	if retract {
 		rp.inc.RetractBatch(&Batch{Graph: g, Resolver: rp.resolver})
 		nodes := g.Nodes()
 		for i := range nodes {
 			rp.resolver.RemoveNode(nodes[i].ID)
 		}
-	default:
-		return fmt.Errorf("pghive: durable: wal record %d has unknown type %d", rec.LSN, rec.Type)
+	} else {
+		trackGraph(rp.resolver, g, &rp.nextEdgeID)
+		rp.inc.ProcessBatch(&Batch{Graph: g, Resolver: rp.resolver, Index: rp.inc.Batches() + 1})
+	}
+	if key != "" {
+		rp.keys.add(key, rec.LSN)
 	}
 	return nil
+}
+
+// decodeWALRecord parses one WAL record into its graph, idempotency
+// key (keyed record types only), and mutation direction.
+func decodeWALRecord(rec wal.Record) (g *Graph, key string, retract bool, err error) {
+	payload := rec.Payload
+	switch rec.Type {
+	case walRecIngestKeyed, walRecRetractKeyed:
+		if len(payload) < 1 || len(payload) < 1+int(payload[0]) {
+			return nil, "", false, fmt.Errorf("pghive: durable: wal record %d: truncated idempotency key", rec.LSN)
+		}
+		n := int(payload[0])
+		key = string(payload[1 : 1+n])
+		payload = payload[1+n:]
+	}
+	switch rec.Type {
+	case walRecIngest, walRecStream, walRecIngestKeyed:
+	case walRecRetract, walRecRetractKeyed:
+		retract = true
+	default:
+		return nil, "", false, fmt.Errorf("pghive: durable: wal record %d has unknown type %d", rec.LSN, rec.Type)
+	}
+	g, err = ReadJSONL(bytes.NewReader(payload), true)
+	if err != nil {
+		return nil, "", false, fmt.Errorf("pghive: durable: wal record %d: %w", rec.LSN, err)
+	}
+	return g, key, retract, nil
 }
 
 // checkpointPath names the image covering WAL LSNs up to lsn.

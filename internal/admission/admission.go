@@ -1,0 +1,315 @@
+// Package admission is the overload-protection layer in front of an
+// HTTP serving stack: it decides which requests may run at all, and
+// under what deadline, before any handler does real work.
+//
+// The gate composes five defenses, each cheap and independently
+// configurable:
+//
+//   - A global concurrent-request limit. Past it the server answers
+//     503 + Retry-After instead of queueing unboundedly; latency under
+//     overload stays bounded because work in excess of capacity is
+//     refused at the door, not buffered.
+//   - A smaller write-admission limit for mutating endpoints. Writes
+//     serialize on the service write lock anyway, so admitting more
+//     than a short queue of them only grows tail latency; excess
+//     writes get 429 + Retry-After, the signal a well-behaved client
+//     backs off on.
+//   - A per-request deadline, propagated via context.Context into the
+//     handler (and from there into the service write path), so a
+//     stalled disk or a queue stuck behind a huge drain cannot pin a
+//     goroutine forever.
+//   - A request-body size cap via http.MaxBytesReader, turning a
+//     hostile or buggy client's unbounded upload into a clean 413.
+//   - Panic recovery: a handler bug answers 500 on that one request
+//     instead of killing the whole process.
+//
+// Draining is first-class: once Drain is called the gate refuses new
+// work with 503 + Retry-After (readiness probes watching Ready flip
+// the instance out of load-balancer rotation) while in-flight
+// requests finish, which is what makes SIGTERM a graceful handoff
+// rather than a connection reset.
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes a Gate. Zero values select the documented defaults.
+type Config struct {
+	// MaxConcurrent caps requests running at once across all
+	// endpoints (default 64; <0 disables the cap).
+	MaxConcurrent int
+	// MaxWriteQueue caps mutating requests admitted at once — running
+	// plus waiting on the service write lock (default 8; <0 disables).
+	MaxWriteQueue int
+	// RequestTimeout is the per-request deadline installed on the
+	// request context (default 30s; <0 disables).
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps a request body (default 32 MiB; <0 disables).
+	MaxBodyBytes int64
+	// RetryAfter is the hint sent with 429/503 responses (default 1s).
+	RetryAfter time.Duration
+	// OnPanic observes recovered handler panics. Optional.
+	OnPanic func(val any)
+}
+
+const (
+	DefaultMaxConcurrent  = 64
+	DefaultMaxWriteQueue  = 8
+	DefaultRequestTimeout = 30 * time.Second
+	DefaultMaxBodyBytes   = 32 << 20
+	DefaultRetryAfter     = time.Second
+)
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = DefaultMaxConcurrent
+	}
+	if c.MaxWriteQueue == 0 {
+		c.MaxWriteQueue = DefaultMaxWriteQueue
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = DefaultRetryAfter
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of gate occupancy.
+type Stats struct {
+	// InFlight / MaxConcurrent describe the global limit (Max* are 0
+	// when the corresponding cap is disabled).
+	InFlight      int `json:"inFlight"`
+	MaxConcurrent int `json:"maxConcurrent,omitempty"`
+	// WritesInFlight / MaxWriteQueue describe the write gate.
+	WritesInFlight int `json:"writesInFlight"`
+	MaxWriteQueue  int `json:"maxWriteQueue,omitempty"`
+	// Rejected counts requests refused since start (429/503/413).
+	Rejected uint64 `json:"rejected"`
+	// Panics counts handler panics recovered since start.
+	Panics uint64 `json:"panics"`
+	// Draining reports a gate that refuses new work (see Drain).
+	Draining bool `json:"draining,omitempty"`
+}
+
+// Gate is the admission gate. All methods are safe for concurrent
+// use. The zero value is not usable; call New.
+type Gate struct {
+	cfg      Config
+	conc     chan struct{} // nil = unlimited
+	writes   chan struct{} // nil = unlimited
+	rejected atomic.Uint64
+	panics   atomic.Uint64
+	draining atomic.Bool
+
+	mu       sync.Mutex
+	inflight int
+	drained  chan struct{} // closed when inflight hits 0 while draining
+}
+
+// New builds a gate from cfg (zero fields get defaults).
+func New(cfg Config) *Gate {
+	cfg = cfg.withDefaults()
+	g := &Gate{cfg: cfg}
+	if cfg.MaxConcurrent > 0 {
+		g.conc = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	if cfg.MaxWriteQueue > 0 {
+		g.writes = make(chan struct{}, cfg.MaxWriteQueue)
+	}
+	return g
+}
+
+// Stats snapshots the gate.
+func (g *Gate) Stats() Stats {
+	g.mu.Lock()
+	inflight := g.inflight
+	g.mu.Unlock()
+	st := Stats{
+		InFlight: inflight,
+		Rejected: g.rejected.Load(),
+		Panics:   g.panics.Load(),
+		Draining: g.draining.Load(),
+	}
+	if g.conc != nil {
+		st.MaxConcurrent = g.cfg.MaxConcurrent
+	}
+	if g.writes != nil {
+		st.WritesInFlight = len(g.writes)
+		st.MaxWriteQueue = g.cfg.MaxWriteQueue
+	}
+	return st
+}
+
+// Draining reports whether the gate has stopped admitting new work.
+func (g *Gate) Draining() bool { return g.draining.Load() }
+
+// Drain stops admitting new requests and returns a channel that
+// closes when every in-flight request has finished. Safe to call more
+// than once; later calls observe the same channel.
+func (g *Gate) Drain() <-chan struct{} {
+	g.draining.Store(true)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.drained == nil {
+		g.drained = make(chan struct{})
+		if g.inflight == 0 {
+			close(g.drained)
+		}
+	}
+	return g.drained
+}
+
+func (g *Gate) enter() {
+	g.mu.Lock()
+	g.inflight++
+	g.mu.Unlock()
+}
+
+func (g *Gate) exit() {
+	g.mu.Lock()
+	g.inflight--
+	if g.inflight == 0 && g.draining.Load() && g.drained != nil {
+		select {
+		case <-g.drained:
+		default:
+			close(g.drained)
+		}
+	}
+	g.mu.Unlock()
+}
+
+// reject answers an over-capacity or draining request with status and
+// a Retry-After hint, counting it.
+func (g *Gate) reject(w http.ResponseWriter, status int, reason string) {
+	g.rejected.Add(1)
+	secs := int(g.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "{\"error\":%q}\n", reason)
+}
+
+// Wrap applies the full gate to an http.Handler: panic recovery,
+// drain refusal, the global concurrency limit, the per-request
+// deadline, and the body cap. Mutating handlers should be wrapped
+// with WrapWrite instead (it adds the write gate on top).
+func (g *Gate) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if g.draining.Load() {
+			g.reject(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		if g.conc != nil {
+			select {
+			case g.conc <- struct{}{}:
+				defer func() { <-g.conc }()
+			default:
+				g.reject(w, http.StatusServiceUnavailable, "server at concurrent-request capacity")
+				return
+			}
+		}
+		g.enter()
+		defer g.exit()
+		defer g.recover(w, r)
+		g.serveWithDeadline(next, w, r)
+	})
+}
+
+// WrapWrite is Wrap plus the bounded write-admission gate: past
+// MaxWriteQueue admitted writes the request is refused with 429 +
+// Retry-After — the backpressure signal clients back off on.
+func (g *Gate) WrapWrite(next http.Handler) http.Handler {
+	gated := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if g.writes != nil {
+			select {
+			case g.writes <- struct{}{}:
+				defer func() { <-g.writes }()
+			default:
+				g.reject(w, http.StatusTooManyRequests, "write queue full")
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+	return g.Wrap(gated)
+}
+
+func (g *Gate) serveWithDeadline(next http.Handler, w http.ResponseWriter, r *http.Request) {
+	if g.cfg.MaxBodyBytes > 0 && r.Body != nil {
+		lb := &limitedBody{ReadCloser: http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)}
+		r.Body = lb
+		r = r.WithContext(context.WithValue(r.Context(), bodyLimitKey{}, lb))
+	}
+	if g.cfg.RequestTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	next.ServeHTTP(w, r)
+}
+
+type bodyLimitKey struct{}
+
+// limitedBody remembers that the MaxBytesReader under it tripped.
+// Streaming parsers often report a syntax error on the truncated tail
+// instead of propagating *http.MaxBytesError, so handlers need a way
+// to ask after the fact — BodyLimitExceeded.
+type limitedBody struct {
+	io.ReadCloser
+	exceeded atomic.Bool
+}
+
+func (b *limitedBody) Read(p []byte) (int, error) {
+	n, err := b.ReadCloser.Read(p)
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		b.exceeded.Store(true)
+	}
+	return n, err
+}
+
+// BodyLimitExceeded reports whether r's body hit the gate's
+// MaxBodyBytes cap — the request deserves a 413 no matter what error
+// the body parser surfaced.
+func BodyLimitExceeded(r *http.Request) bool {
+	lb, _ := r.Context().Value(bodyLimitKey{}).(*limitedBody)
+	return lb != nil && lb.exceeded.Load()
+}
+
+// recover turns a handler panic into a 500 for that request alone.
+// The response may already be partly written; WriteHeader past that
+// point is a no-op and the client sees a truncated body — still
+// strictly better than losing the process.
+func (g *Gate) recover(w http.ResponseWriter, r *http.Request) {
+	val := recover()
+	if val == nil {
+		return
+	}
+	if val == http.ErrAbortHandler {
+		panic(val) // the server's own abort protocol; let it through
+	}
+	g.panics.Add(1)
+	if g.cfg.OnPanic != nil {
+		g.cfg.OnPanic(val)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusInternalServerError)
+	fmt.Fprintf(w, "{\"error\":\"internal server error\"}\n")
+}

@@ -1,0 +1,195 @@
+package admission
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, h http.Handler, method, path string, body io.Reader) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(method, path, body))
+	return rec
+}
+
+func TestConcurrencyLimitRejectsWith503(t *testing.T) {
+	g := New(Config{MaxConcurrent: 2, MaxWriteQueue: -1, RequestTimeout: -1})
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	h := g.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		<-release
+	}))
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			get(t, h, http.MethodGet, "/schema", nil)
+		}()
+	}
+	<-started
+	<-started
+
+	rec := get(t, h, http.MethodGet, "/schema", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity request: got %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	close(release)
+	wg.Wait()
+	if st := g.Stats(); st.Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", st.Rejected)
+	}
+}
+
+func TestWriteGateRejectsWith429(t *testing.T) {
+	g := New(Config{MaxConcurrent: -1, MaxWriteQueue: 1, RequestTimeout: -1})
+	release := make(chan struct{})
+	started := make(chan struct{}, 2)
+	h := g.WrapWrite(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		<-release
+	}))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		get(t, h, http.MethodPost, "/ingest", strings.NewReader("{}"))
+	}()
+	<-started
+
+	rec := get(t, h, http.MethodPost, "/ingest", strings.NewReader("{}"))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota write: got %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestRequestDeadlineInstalledOnContext(t *testing.T) {
+	g := New(Config{RequestTimeout: 50 * time.Millisecond, MaxConcurrent: -1, MaxWriteQueue: -1})
+	var deadline time.Time
+	var ok bool
+	h := g.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		deadline, ok = r.Context().Deadline()
+	}))
+	get(t, h, http.MethodGet, "/", nil)
+	if !ok {
+		t.Fatal("handler context has no deadline")
+	}
+	if until := time.Until(deadline); until > 50*time.Millisecond {
+		t.Fatalf("deadline %v away, want <= 50ms", until)
+	}
+}
+
+func TestBodyCapReturns413(t *testing.T) {
+	g := New(Config{MaxBodyBytes: 8, MaxConcurrent: -1, MaxWriteQueue: -1, RequestTimeout: -1})
+	var readErr error
+	h := g.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, readErr = io.ReadAll(r.Body)
+		if readErr != nil {
+			// The cap already wrote the 413 status via MaxBytesReader's
+			// ResponseWriter hook; handlers just stop.
+			http.Error(w, readErr.Error(), http.StatusRequestEntityTooLarge)
+		}
+	}))
+	rec := get(t, h, http.MethodPost, "/ingest", strings.NewReader(strings.Repeat("x", 100)))
+	if readErr == nil {
+		t.Fatal("oversized body read succeeded past the cap")
+	}
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("got %d, want 413", rec.Code)
+	}
+}
+
+func TestPanicRecoveryAnswers500(t *testing.T) {
+	var observed any
+	g := New(Config{OnPanic: func(v any) { observed = v }, MaxConcurrent: -1, MaxWriteQueue: -1, RequestTimeout: -1})
+	h := g.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}))
+	rec := get(t, h, http.MethodGet, "/", nil)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("got %d, want 500", rec.Code)
+	}
+	if observed != "boom" {
+		t.Fatalf("OnPanic observed %v, want boom", observed)
+	}
+	if st := g.Stats(); st.Panics != 1 {
+		t.Fatalf("Panics = %d, want 1", st.Panics)
+	}
+}
+
+func TestDrainRefusesNewWorkAndCompletes(t *testing.T) {
+	g := New(Config{MaxConcurrent: -1, MaxWriteQueue: -1, RequestTimeout: -1})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	h := g.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+	}))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		get(t, h, http.MethodGet, "/", nil)
+	}()
+	<-started
+
+	done := g.Drain()
+	rec := get(t, h, http.MethodGet, "/", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining gate admitted a request: %d", rec.Code)
+	}
+	select {
+	case <-done:
+		t.Fatal("drain completed with a request still in flight")
+	default:
+	}
+	close(release)
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("drain did not complete after the in-flight request finished")
+	}
+	if !g.Draining() {
+		t.Fatal("Draining() = false after Drain")
+	}
+}
+
+func TestDrainWithNoInFlightCompletesImmediately(t *testing.T) {
+	g := New(Config{})
+	select {
+	case <-g.Drain():
+	case <-time.After(time.Second):
+		t.Fatal("idle drain did not complete")
+	}
+}
+
+func TestDeadlinePropagatesCancellation(t *testing.T) {
+	g := New(Config{RequestTimeout: 20 * time.Millisecond, MaxConcurrent: -1, MaxWriteQueue: -1})
+	var err error
+	h := g.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+		err = r.Context().Err()
+	}))
+	get(t, h, http.MethodGet, "/", nil)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("context ended with %v, want DeadlineExceeded", err)
+	}
+}

@@ -74,6 +74,18 @@ type checkpointJSON struct {
 	// this image (durable serving's compactor sets it; zero for
 	// manual images). Recovery replays only WAL records above it.
 	WALSeq uint64 `json:"walSeq,omitempty"`
+	// AppliedKeys are the idempotency keys of writes folded into this
+	// image, in LSN order. Without them, compacting (which prunes the
+	// WAL records that carried the keys) would let a client's retry of
+	// an already-applied write slip through after a restart.
+	AppliedKeys []AppliedKey `json:"appliedKeys,omitempty"`
+}
+
+// AppliedKey records one applied idempotency key and the WAL LSN of
+// the record that carried it.
+type AppliedKey struct {
+	Key string `json:"key"`
+	LSN uint64 `json:"lsn"`
 }
 
 // CheckpointExtras carries the stream-reader state that lives outside
@@ -89,6 +101,9 @@ type CheckpointExtras struct {
 	// WALSeq is the last WAL sequence number the image covers; only
 	// the durable serving layer's compactor sets it.
 	WALSeq uint64
+	// AppliedKeys are the idempotency keys of writes the image covers,
+	// in LSN order; only the durable serving layer sets them.
+	AppliedKeys []AppliedKey
 }
 
 // WriteCheckpoint serializes the discovery's full cross-batch state.
@@ -129,6 +144,7 @@ func (inc *Incremental) WriteCheckpoint(w io.Writer, extras *CheckpointExtras) e
 	if extras != nil {
 		cj.NextEdgeID = extras.NextEdgeID
 		cj.WALSeq = extras.WALSeq
+		cj.AppliedKeys = extras.AppliedKeys
 		if extras.Resolver != nil {
 			nodes := extras.Resolver.Nodes()
 			cj.Resolver = make([]resolverNode, len(nodes))
@@ -216,7 +232,7 @@ func ResumeFromCheckpoint(opts Options, r io.Reader) (*Incremental, *CheckpointE
 		return nil, nil, fmt.Errorf("core: checkpoint: edge shapes: %w", err)
 	}
 
-	extras := &CheckpointExtras{NextEdgeID: cj.NextEdgeID, WALSeq: cj.WALSeq}
+	extras := &CheckpointExtras{NextEdgeID: cj.NextEdgeID, WALSeq: cj.WALSeq, AppliedKeys: cj.AppliedKeys}
 	if len(cj.Resolver) > 0 {
 		g := pg.NewGraph()
 		g.AllowDanglingEdges(true)

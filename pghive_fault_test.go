@@ -24,6 +24,16 @@ package pghive_test
 // silent divergence — a lost acknowledged batch, a half-applied
 // batch, a resurrected rolled-back record the log did not warn about
 // — fails the test.
+//
+// Degradation rides on the same property. Schedules include ENOSPC
+// faults, and every write may fail with either a DurabilityError (the
+// WAL was touched and reported failure) or a ReadOnlyError (the
+// service declared read-only mode and failed fast — the WAL was NOT
+// touched, so the record can never resurrect and is never a tolerated
+// tail variant). At the end of every schedule the service must be
+// either fully healthy or in *declared* read-only mode: a broken WAL
+// must be declared, a degraded service must still serve reads and
+// fail probe writes fast, and recovery must always come back healthy.
 
 import (
 	"bytes"
@@ -33,6 +43,7 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"syscall"
 	"testing"
 
 	pghive "github.com/pghive/pghive"
@@ -133,6 +144,9 @@ func (sc faultSchedule) String() string {
 	fmt.Fprintf(&b, "schedule(seed=%d cont=%v close=%v torn=%v", sc.seed, sc.cont, sc.closeLog, sc.torn)
 	for _, f := range sc.faults {
 		fmt.Fprintf(&b, " %v#%d/%s", f.Op, f.N, modeName(f.Mode))
+		if f.Err == syscall.ENOSPC {
+			b.WriteString("/enospc")
+		}
 	}
 	b.WriteString(")")
 	return b.String()
@@ -160,7 +174,13 @@ func genSchedule(seed int64, probe [8]int) faultSchedule {
 		} else {
 			mode = []vfs.Mode{vfs.FailEarly, vfs.FailLate}[rng.Intn(2)]
 		}
-		return vfs.Fault{Op: k, N: n, Mode: mode}
+		f := vfs.Fault{Op: k, N: n, Mode: mode}
+		// A third of the faults report a full disk, which the service
+		// must answer with declared read-only mode, not a crash.
+		if mode != vfs.ShortWrite && rng.Intn(3) == 0 {
+			f.Err = syscall.ENOSPC
+		}
+		return f
 	}
 	if rng.Intn(8) == 0 {
 		// The broken-log path: an append's sync fails (having possibly
@@ -204,12 +224,22 @@ func refImageFor(t *testing.T, opts pghive.Options, recs []refRec, cache map[str
 	return img
 }
 
-func requireDurabilityError(t *testing.T, sc faultSchedule, err error) {
+// requireDeclaredWriteError asserts a failed write used one of the two
+// declared failure channels. It reports whether the failure was a
+// read-only rejection — which by contract never touched the WAL, so
+// the record can never resurrect after a crash.
+func requireDeclaredWriteError(t *testing.T, sc faultSchedule, err error) (readOnly bool) {
 	t.Helper()
 	var de *pghive.DurabilityError
-	if !errors.As(err, &de) {
-		t.Fatalf("%v: mutation failed with non-durability error %T: %v", sc, err, err)
+	if errors.As(err, &de) {
+		return false
 	}
+	var re *pghive.ReadOnlyError
+	if errors.As(err, &re) {
+		return true
+	}
+	t.Fatalf("%v: mutation failed with undeclared error %T: %v", sc, err, err)
+	return false
 }
 
 // appendTornTail writes garbage to the end of the last durable WAL
@@ -262,16 +292,18 @@ func runFaultSchedule(t *testing.T, opts pghive.Options, script []faultOp, sc fa
 			opErr = d.Compact()
 		case fIngest:
 			if _, err := d.Ingest(op.g); err != nil {
-				requireDurabilityError(t, sc, err)
-				tail = append(tail, refRec{id: op.id, g: op.g})
+				if !requireDeclaredWriteError(t, sc, err) {
+					tail = append(tail, refRec{id: op.id, g: op.g})
+				}
 				opErr = err
 			} else {
 				ack(refRec{id: op.id, g: op.g})
 			}
 		case fRetract:
 			if _, err := d.Retract(op.g); err != nil {
-				requireDurabilityError(t, sc, err)
-				tail = append(tail, refRec{id: op.id, retract: true, g: op.g})
+				if !requireDeclaredWriteError(t, sc, err) {
+					tail = append(tail, refRec{id: op.id, retract: true, g: op.g})
+				}
 				opErr = err
 			} else {
 				ack(refRec{id: op.id, retract: true, g: op.g})
@@ -283,8 +315,7 @@ func runFaultSchedule(t *testing.T, opts pghive.Options, script []faultOp, sc fa
 				ack(refRec{id: fmt.Sprintf("%s.%d", op.id, j), g: op.batches[j]})
 			}
 			if err != nil {
-				requireDurabilityError(t, sc, err)
-				if n < len(op.batches) {
+				if !requireDeclaredWriteError(t, sc, err) && n < len(op.batches) {
 					tail = append(tail, refRec{id: fmt.Sprintf("%s.%d", op.id, n), g: op.batches[n]})
 				}
 				opErr = err
@@ -295,10 +326,31 @@ func runFaultSchedule(t *testing.T, opts pghive.Options, script []faultOp, sc fa
 		}
 	}
 
+	// End-state property: the service is either fully healthy or in
+	// DECLARED read-only mode. An undeclared broken WAL, a degraded
+	// service that stops serving reads, or a degraded service that
+	// admits a probe write all violate the robustness contract.
+	stats := d.DurableStats()
+	if stats.WALBroken && !stats.ReadOnly {
+		t.Errorf("%v: WAL broken but service not declared read-only", sc)
+	}
+	if stats.ReadOnly {
+		if stats.ReadOnlyReason == "" {
+			t.Errorf("%v: read-only declared without a machine-readable reason", sc)
+		}
+		var re *pghive.ReadOnlyError
+		if _, err := d.Ingest(script[0].g); !errors.As(err, &re) {
+			t.Errorf("%v: probe write in read-only mode returned %T (%v), want ReadOnlyError", sc, err, err)
+		}
+		if d.Snapshot() == nil {
+			t.Errorf("%v: read-only service stopped serving reads", sc)
+		}
+	}
+
 	// Unless the WAL declared itself broken — the one case where a
 	// failed record's durability is indeterminate — every errored
 	// record was rolled back durably and MUST NOT survive the crash.
-	if !d.DurableStats().WALBroken {
+	if !stats.WALBroken {
 		tail = nil
 	}
 
@@ -313,6 +365,9 @@ func runFaultSchedule(t *testing.T, opts pghive.Options, script []faultOp, sc fa
 	d2, err := pghive.OpenDurable(faultDataDir, opts, pghive.DurableOptions{FS: mem, DisableAutoCompact: true, SegmentBytes: 2048})
 	if err != nil {
 		t.Fatalf("%v: recovery after crash failed: %v", sc, err)
+	}
+	if st2 := d2.DurableStats(); st2.WALBroken || st2.ReadOnly {
+		t.Errorf("%v: recovery on a healthy disk must come back writable, got %+v", sc, st2)
 	}
 	got := serviceImage(t, d2)
 	d2.Close()

@@ -10,8 +10,8 @@ package pghive
 // a type with zero instances, or constraints that lag the statistics.
 
 import (
+	"context"
 	"io"
-	"sync"
 	"sync/atomic"
 
 	"github.com/pghive/pghive/internal/core"
@@ -56,7 +56,7 @@ type ServiceSnapshot struct {
 // across the service's lifetime — re-ingesting an ID double-counts
 // its statistics, exactly as re-feeding it to Incremental would.
 type Service struct {
-	mu       sync.Mutex
+	mu       writeLock
 	inc      *Incremental
 	resolver *Graph // label-only, cross-ingest endpoint bookkeeping
 	// nextEdgeID carries the sequential edge-ID counter across CSV
@@ -97,9 +97,37 @@ func newService(opts Options, inc *Incremental, resolver *Graph) *Service {
 		resolver = pg.NewGraph()
 		resolver.AllowDanglingEdges(true)
 	}
-	s := &Service{inc: inc, resolver: resolver, opts: opts}
+	s := &Service{mu: newWriteLock(), inc: inc, resolver: resolver, opts: opts}
 	s.publish()
 	return s
+}
+
+// writeLock is the service's write mutex, built on a one-slot channel
+// so a caller can bound how long it is willing to queue: an HTTP
+// request whose deadline expires while a long stream drain holds the
+// lock abandons the wait instead of parking a goroutine forever.
+// Lock/Unlock mirror sync.Mutex for the paths that cannot time out.
+type writeLock chan struct{}
+
+func newWriteLock() writeLock { return make(writeLock, 1) }
+
+func (l writeLock) Lock()   { l <- struct{}{} }
+func (l writeLock) Unlock() { <-l }
+
+// LockContext acquires the lock unless ctx ends first, in which case
+// the lock is NOT held and ctx.Err() is returned.
+func (l writeLock) LockContext(ctx context.Context) error {
+	select {
+	case l <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case l <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // publish clones the live schema, finalizes constraints on the clone,
@@ -150,6 +178,19 @@ func (s *Service) Ingest(g *Graph) BatchTiming {
 	return s.ingestLocked(g)
 }
 
+// IngestContext is Ingest with a deadline on write admission: if ctx
+// ends while the call is still queued behind other writers, nothing
+// is applied and ctx's error is returned. Once the batch starts
+// processing it runs to completion — a published snapshot is never
+// half a batch.
+func (s *Service) IngestContext(ctx context.Context, g *Graph) (BatchTiming, error) {
+	if err := s.mu.LockContext(ctx); err != nil {
+		return BatchTiming{}, err
+	}
+	defer s.mu.Unlock()
+	return s.ingestLocked(g), nil
+}
+
 // ingestLocked is the write path shared by Ingest, DrainStream, and
 // the durable layer (which appends to its WAL first). Callers must
 // hold mu.
@@ -172,6 +213,16 @@ func (s *Service) Retract(g *Graph) BatchTiming {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.retractLocked(g)
+}
+
+// RetractContext is Retract with a deadline on write admission (see
+// IngestContext for the contract).
+func (s *Service) RetractContext(ctx context.Context, g *Graph) (BatchTiming, error) {
+	if err := s.mu.LockContext(ctx); err != nil {
+		return BatchTiming{}, err
+	}
+	defer s.mu.Unlock()
+	return s.retractLocked(g), nil
 }
 
 // retractLocked is the retraction path shared by Retract and the
@@ -216,6 +267,19 @@ func (s *Service) DrainStream(r StreamReader, onBatch func(BatchTiming)) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.drainLocked(r, onBatch, nil)
+}
+
+// DrainStreamContext is DrainStream with a deadline: the ctx bounds
+// both write admission and the drain itself, checked before each
+// batch. Like every drain error, expiry mid-stream is not a rollback
+// — batches already processed stay published; the caller sees ctx's
+// error and can read Stats to learn how far the stream got.
+func (s *Service) DrainStreamContext(ctx context.Context, r StreamReader, onBatch func(BatchTiming)) error {
+	if err := s.mu.LockContext(ctx); err != nil {
+		return err
+	}
+	defer s.mu.Unlock()
+	return s.drainLocked(r, onBatch, func(*Graph) error { return ctx.Err() })
 }
 
 // drainLocked is the drain protocol shared by Service.DrainStream and
