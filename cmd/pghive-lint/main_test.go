@@ -1,0 +1,174 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLint compiles the pghive-lint binary once into a temp dir.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "pghive-lint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule materializes a module from path->source in a temp dir.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runLint(t *testing.T, bin, dir string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, "-dir", dir, "./...")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("run pghive-lint: %v\n%s", err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+// TestSmokeViolations seeds one violation per analyzer in a synthetic
+// module and asserts the driver exits 1 with each analyzer's
+// diagnostic attributed in the output.
+func TestSmokeViolations(t *testing.T) {
+	bin := buildLint(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/smoke\n\ngo 1.23\n",
+		// vfsio: direct os.Open inside internal/wal.
+		"internal/wal/wal.go": `package wal
+
+import "os"
+
+type handle struct{}
+
+func (handle) Close() error { return nil }
+
+func Read(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// walerr: statement-discarded Close on a durable path.
+func Drop(h handle) {
+	h.Close()
+}
+`,
+		// detord: map range appending with no sort.
+		"internal/serialize/serialize.go": `package serialize
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`,
+		// lockdisc + ctxwrite: a Locked helper called without the lock,
+		// and a context discarded for a fresh Background.
+		"pghive/service.go": `package pghive
+
+import "context"
+
+type Service struct{}
+
+func (s *Service) applyLocked() {}
+
+func (s *Service) Ingest(ctx context.Context) error {
+	s.applyLocked()
+	return work(context.Background())
+}
+
+func work(ctx context.Context) error { return ctx.Err() }
+`,
+	})
+
+	out, code := runLint(t, bin, dir)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out)
+	}
+	for _, want := range []string{
+		"[vfsio]", "direct os.Open on a durable path",
+		"[walerr]", "discarded error from Close",
+		"[detord]", "range over map reaches append",
+		"[lockdisc]", "use of applyLocked in Ingest",
+		"[ctxwrite]", "context.Background in Ingest",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestSmokeClean asserts a module using only blessed idioms exits 0
+// with no output.
+func TestSmokeClean(t *testing.T) {
+	bin := buildLint(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/clean\n\ngo 1.23\n",
+		"pghive/service.go": `package pghive
+
+import "context"
+
+type Service struct{}
+
+func (s *Service) IngestContext(ctx context.Context) error { return ctx.Err() }
+
+func (s *Service) Ingest() error {
+	return s.IngestContext(context.Background())
+}
+`,
+	})
+
+	out, code := runLint(t, bin, dir)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Fatalf("unexpected output on clean module:\n%s", out)
+	}
+}
+
+// TestSmokeLoadError asserts a broken module yields exit 2, the
+// distinct "could not analyze" status CI must not confuse with
+// findings.
+func TestSmokeLoadError(t *testing.T) {
+	bin := buildLint(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/broken\n\ngo 1.23\n",
+		"p/p.go": "package p\n\nfunc Broken() { return undefinedIdent }\n",
+	})
+
+	out, code := runLint(t, bin, dir)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\n%s", code, out)
+	}
+	if !strings.Contains(out, "pghive-lint:") {
+		t.Fatalf("missing error banner:\n%s", out)
+	}
+}

@@ -234,13 +234,13 @@ func OpenDurable(dir string, opts Options, dopts DurableOptions) (*DurableServic
 		return nil, err
 	}
 	if err := log.Replay(after, rp.apply); err != nil {
-		log.Close()
+		_ = log.Close()
 		return nil, err
 	}
 	// Segments fully folded into the restored checkpoint may survive
 	// a crash between checkpoint rename and pruning; finish the job.
 	if _, err := log.Prune(after); err != nil {
-		log.Close()
+		_ = log.Close()
 		return nil, err
 	}
 
@@ -335,13 +335,13 @@ func (d *DurableService) clearDegradeIfWritable() {
 	}
 }
 
-// append serializes g (behind the idempotency key, for keyed record
-// types) and logs it as one WAL record, returning the record's LSN.
-// Callers must hold the service write lock so the log order equals
-// the apply order — replay preserves exactly that order. Failures are
-// wrapped in DurabilityError; unrecoverable ones degrade the service
-// to read-only.
-func (d *DurableService) append(t byte, key string, g *Graph) (uint64, error) {
+// appendLocked serializes g (behind the idempotency key, for keyed
+// record types) and logs it as one WAL record, returning the record's
+// LSN. Callers must hold the service write lock so the log order
+// equals the apply order — replay preserves exactly that order.
+// Failures are wrapped in DurabilityError; unrecoverable ones degrade
+// the service to read-only.
+func (d *DurableService) appendLocked(t byte, key string, g *Graph) (uint64, error) {
 	var buf bytes.Buffer
 	if t == walRecIngestKeyed || t == walRecRetractKeyed {
 		if len(key) == 0 || len(key) > MaxIdempotencyKeyLen {
@@ -440,7 +440,7 @@ func (d *DurableService) writeIdempotent(ctx context.Context, key string, g *Gra
 			t = walRecRetractKeyed
 		}
 	}
-	lsn, err := d.append(t, key, g)
+	lsn, err := d.appendLocked(t, key, g)
 	if err != nil {
 		return BatchTiming{}, false, err
 	}
@@ -476,7 +476,7 @@ func (d *DurableService) DrainStreamContext(ctx context.Context, r StreamReader,
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		lsn, err := d.append(walRecStream, "", g)
+		lsn, err := d.appendLocked(walRecStream, "", g)
 		if err != nil {
 			return err
 		}
@@ -582,7 +582,7 @@ func (d *DurableService) Rearm() error {
 	}
 	// Best effort: a broken log's close may itself fail; the reopen
 	// below re-reads the on-disk truth regardless.
-	d.wal().Close()
+	_ = d.wal().Close()
 	lg, err := wal.Open(filepath.Join(d.dir, walSubdir), wal.Options{
 		SegmentBytes: d.dopts.SegmentBytes,
 		NoSync:       d.dopts.NoSync,
@@ -593,7 +593,7 @@ func (d *DurableService) Rearm() error {
 		return fmt.Errorf("pghive: durable: rearm: %w", err)
 	}
 	if err := lg.Replay(d.appliedLSN, d.applyRecordLocked); err != nil {
-		lg.Close()
+		_ = lg.Close()
 		return fmt.Errorf("pghive: durable: rearm: %w", err)
 	}
 	d.log.Store(lg)

@@ -1,0 +1,221 @@
+// Package analysis is a miniature, dependency-free mirror of the
+// golang.org/x/tools/go/analysis framework: an Analyzer inspects one
+// type-checked package and reports position-anchored diagnostics.
+//
+// The package exists because pghive's invariants — durable-path IO
+// must flow through internal/vfs, *Locked helpers run only under the
+// write lock, serialized output must not depend on map iteration
+// order, write paths must carry context.Context, and the WAL's
+// fsync-before-rename discipline — are enforceable mechanically, at
+// `go vet` time, instead of by review. The concrete analyzers live in
+// the subpackages (vfsio, lockdisc, detord, ctxwrite, walerr) and the
+// cmd/pghive-lint driver runs them over the module; the module itself
+// carries no third-party dependencies, so the framework is built on
+// go/ast + go/types alone, with type information loaded from the
+// compiler's export data (see Load).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker. Run inspects a single package
+// through the Pass and reports findings via Pass.Reportf; a non-nil
+// error means the analyzer itself failed (not that the code is bad).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. By
+	// convention it is a short lowercase word (e.g. "vfsio").
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// enforces; the first line is the summary.
+	Doc string
+	// Run performs the analysis.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// FileName returns the base name of the file f was parsed from.
+func (p *Pass) FileName(f *ast.File) string {
+	return filepath.Base(p.Fset.Position(f.Package).Filename)
+}
+
+// PathEndsWith reports whether pkgPath ends with the given
+// slash-separated suffix on a path-segment boundary, so
+// "example.com/m/internal/wal" matches "internal/wal" but
+// "example.com/m/notinternal/wal" does not.
+func PathEndsWith(pkgPath, suffix string) bool {
+	if pkgPath == suffix {
+		return true
+	}
+	return strings.HasSuffix(pkgPath, "/"+suffix)
+}
+
+// CalleePkgFunc resolves a call of the form pkg.Fn(...) where pkg is
+// an imported package, returning the package's import path and the
+// function name. It returns ("", "") for method calls, calls through
+// variables, builtins, and conversions.
+func (p *Pass) CalleePkgFunc(call *ast.CallExpr) (pkgPath, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := p.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+// MethodRecvType returns the receiver type of a method call (nil when
+// call is not a method call). The result follows pointers: a call on
+// *T reports T's pointer type as-is so callers can inspect either.
+func (p *Pass) MethodRecvType(call *ast.CallExpr) types.Type {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := p.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil
+	}
+	return s.Recv()
+}
+
+// IsNamedType reports whether t (possibly behind a pointer) is the
+// named type pkgPath.name.
+func IsNamedType(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// CalleeName returns the bare name a call expression invokes — the
+// identifier of a direct call, or the selector's field/method name —
+// and "" when the callee has neither (e.g. a call of a call).
+func CalleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// ContainsCall reports whether any call expression under root
+// satisfies pred.
+func ContainsCall(root ast.Node, pred func(*ast.CallExpr) bool) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && pred(call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// run executes one analyzer over one loaded package, returning its
+// diagnostics in source order.
+func run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		diags:     &diags,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+	}
+	return diags, nil
+}
+
+// PackageDiagnostic pairs a finding with the package it was found in
+// (whose Fset resolves the position).
+type PackageDiagnostic struct {
+	Analyzer   string
+	Pkg        *Package
+	Diagnostic Diagnostic
+}
+
+// RunAnalyzers applies every analyzer to every package, returning all
+// findings sorted by file position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]PackageDiagnostic, error) {
+	var out []PackageDiagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, err := run(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range diags {
+				out = append(out, PackageDiagnostic{Analyzer: a.Name, Pkg: pkg, Diagnostic: d})
+			}
+		}
+	}
+	SortDiagnostics(out)
+	return out, nil
+}
+
+// SortDiagnostics orders findings by file name, then offset, then
+// analyzer name — the stable order the driver prints and tests assert.
+func SortDiagnostics(ds []PackageDiagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		pi := ds[i].Pkg.Fset.Position(ds[i].Diagnostic.Pos)
+		pj := ds[j].Pkg.Fset.Position(ds[j].Diagnostic.Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Offset != pj.Offset {
+			return pi.Offset < pj.Offset
+		}
+		return ds[i].Analyzer < ds[j].Analyzer
+	})
+}

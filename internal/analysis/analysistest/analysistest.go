@@ -1,0 +1,147 @@
+// Package analysistest runs an analyzer over a fixture module and
+// compares its findings against `// want` comments in the fixture
+// sources — the same contract as golang.org/x/tools'
+// go/analysis/analysistest, rebuilt on the in-tree framework.
+//
+// A fixture is a self-contained Go module under the analyzer's
+// testdata directory (its own go.mod, stdlib imports only, so loading
+// works offline). A line expecting diagnostics carries a comment of
+// the form
+//
+//	os.Open(p) // want `direct os\.Open`
+//
+// with one or more backquoted (or double-quoted) regular expressions,
+// each of which must match a distinct diagnostic reported on that
+// line. Every reported diagnostic must be wanted and every want must
+// be reported — seeded violations prove the analyzer fires, and the
+// blessed idioms in the same fixture prove it stays quiet.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/pghive/pghive/internal/analysis"
+)
+
+// wantRe extracts the expectation list from a comment: everything
+// after the `want` keyword.
+var wantRe = regexp.MustCompile(`(?:^|\s)want\s+(.*)$`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the fixture module rooted at dir with the given patterns
+// (defaulting to ./...), applies the analyzer, and reports every
+// mismatch between its diagnostics and the fixture's want comments as
+// a test error.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					ws, err := parseWants(c.Text)
+					if err != nil {
+						pos := pkg.Fset.Position(c.Pos())
+						t.Fatalf("%s: %v", pos, err)
+					}
+					for _, re := range ws {
+						pos := pkg.Fset.Position(c.Pos())
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := d.Pkg.Fset.Position(d.Diagnostic.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Diagnostic.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Diagnostic.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants extracts the regexps of one comment's want clause (nil
+// when the comment has none).
+func parseWants(comment string) ([]*regexp.Regexp, error) {
+	text := strings.TrimPrefix(comment, "//")
+	m := wantRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(m[1])
+	var out []*regexp.Regexp
+	for rest != "" {
+		var lit string
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want pattern %q", rest)
+			}
+			lit = rest[1 : 1+end]
+			rest = strings.TrimSpace(rest[2+end:])
+		case '"':
+			// strconv handles escapes; find the closing quote by
+			// attempting successively longer prefixes.
+			i := 1
+			for ; i < len(rest); i++ {
+				if rest[i] == '"' && rest[i-1] != '\\' {
+					break
+				}
+			}
+			if i == len(rest) {
+				return nil, fmt.Errorf("unterminated want pattern %q", rest)
+			}
+			s, err := strconv.Unquote(rest[:i+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad want pattern %q: %v", rest[:i+1], err)
+			}
+			lit = s
+			rest = strings.TrimSpace(rest[i+1:])
+		default:
+			return nil, fmt.Errorf("want patterns must be backquoted or quoted, got %q", rest)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", lit, err)
+		}
+		out = append(out, re)
+	}
+	return out, nil
+}

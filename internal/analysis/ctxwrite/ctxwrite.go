@@ -1,0 +1,162 @@
+// Package ctxwrite enforces the context discipline PR 7 introduced on
+// the write paths: deadlines must propagate, not evaporate. Three
+// rules, all mechanical:
+//
+//  1. A function that receives a context.Context must not manufacture
+//     a fresh one with context.Background() or context.TODO() — doing
+//     so silently discards the caller's deadline or cancellation.
+//  2. An HTTP handler (any function with an *http.Request parameter)
+//     must likewise never call Background/TODO: the request context
+//     (r.Context()) is the one the admission gate installed the
+//     per-request deadline on.
+//  3. An exported method on Service or DurableService that takes a
+//     context.Context must take it as the first parameter, give it a
+//     real name, and actually use it — an accepted-but-ignored ctx is
+//     a deadline that looks honored and is not.
+//
+// The convenience shims without a ctx parameter (Ingest calling
+// IngestContext(context.Background(), …)) are the blessed idiom and
+// stay unflagged: they have no caller context to discard.
+package ctxwrite
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/pghive/pghive/internal/analysis"
+)
+
+// Analyzer enforces context propagation on write paths and handlers.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxwrite",
+	Doc: "write-path methods and HTTP handlers must forward the caller's context.Context, " +
+		"never replace it with context.Background()/TODO() or accept it unused",
+	Run: run,
+}
+
+// ctxReceivers are the serving types whose exported methods carry the
+// write-path context contract.
+var ctxReceivers = map[string]bool{"Service": true, "DurableService": true}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxParams := contextParams(pass, fd)
+			if len(ctxParams) > 0 || hasRequestParam(pass, fd) {
+				checkNoFreshContext(pass, fd)
+			}
+			checkServiceMethod(pass, fd, ctxParams)
+		}
+	}
+	return nil
+}
+
+// contextParams returns the identifiers of fd's context.Context
+// parameters (including ones named _, whose Defs entry is absent —
+// represented by the ident itself).
+func contextParams(pass *analysis.Pass, fd *ast.FuncDecl) []*ast.Ident {
+	var out []*ast.Ident
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !analysis.IsNamedType(tv.Type, "context", "Context") {
+			continue
+		}
+		out = append(out, field.Names...)
+		if len(field.Names) == 0 {
+			// Unnamed parameter: impossible to forward, flagged by the
+			// service-method rule via a nil entry.
+			out = append(out, nil)
+		}
+	}
+	return out
+}
+
+// hasRequestParam reports whether fd takes an *http.Request — the
+// handler signature.
+func hasRequestParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if ok && analysis.IsNamedType(tv.Type, "net/http", "Request") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkNoFreshContext flags context.Background()/TODO() calls inside
+// a function that already has a context to forward.
+func checkNoFreshContext(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg, name := pass.CalleePkgFunc(call); pkg == "context" && (name == "Background" || name == "TODO") {
+			pass.Reportf(call.Pos(), "context.%s in %s discards the caller's deadline/cancellation; forward the context the function already receives (handlers: r.Context())", name, fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// checkServiceMethod applies the exported write-path method contract:
+// ctx first, named, used.
+func checkServiceMethod(pass *analysis.Pass, fd *ast.FuncDecl, ctxParams []*ast.Ident) {
+	if fd.Recv == nil || !fd.Name.IsExported() || len(ctxParams) == 0 {
+		return
+	}
+	if !ctxReceivers[receiverTypeName(fd)] {
+		return
+	}
+	first := fd.Type.Params.List[0]
+	if tv, ok := pass.TypesInfo.Types[first.Type]; !ok || !analysis.IsNamedType(tv.Type, "context", "Context") {
+		pass.Reportf(fd.Name.Pos(), "%s takes a context.Context but not as its first parameter; keep ctx first so call sites read uniformly", fd.Name.Name)
+	}
+	for _, id := range ctxParams {
+		if id == nil || id.Name == "_" {
+			pass.Reportf(fd.Name.Pos(), "%s accepts a context.Context it cannot forward (unnamed/blank parameter); name it and propagate it", fd.Name.Name)
+			continue
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil || !identUsed(pass, fd.Body, obj) {
+			pass.Reportf(id.Pos(), "%s accepts ctx but never uses it: the caller's deadline is silently ignored on a write path", fd.Name.Name)
+		}
+	}
+}
+
+// receiverTypeName unwraps the receiver's named type.
+func receiverTypeName(fd *ast.FuncDecl) string {
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// identUsed reports whether obj is referenced anywhere under root.
+func identUsed(pass *analysis.Pass, root ast.Node, obj types.Object) bool {
+	used := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}

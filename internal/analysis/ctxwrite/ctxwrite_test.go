@@ -1,0 +1,12 @@
+package ctxwrite_test
+
+import (
+	"testing"
+
+	"github.com/pghive/pghive/internal/analysis/analysistest"
+	"github.com/pghive/pghive/internal/analysis/ctxwrite"
+)
+
+func TestCtxWrite(t *testing.T) {
+	analysistest.Run(t, "testdata/src/fix", ctxwrite.Analyzer)
+}

@@ -1,0 +1,19 @@
+package pghive
+
+import (
+	"context"
+	"net/http"
+)
+
+// GoodHandler threads the request context, which carries the
+// per-request deadline.
+func GoodHandler(w http.ResponseWriter, r *http.Request) {
+	_ = r.Context().Err()
+}
+
+// BadHandler builds a fresh context inside a handler instead of using
+// r.Context().
+func BadHandler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `context\.Background in BadHandler discards the caller's deadline`
+	_ = ctx.Err()
+}

@@ -1,0 +1,64 @@
+// Package pghive seeds context-discipline violations on Service and
+// DurableService beside the blessed shim and forwarding idioms.
+package pghive
+
+import "context"
+
+type Graph struct{}
+
+type Service struct{}
+
+type DurableService struct{}
+
+// IngestContext forwards ctx — the blessed write-path shape.
+func (s *Service) IngestContext(ctx context.Context, key string, g *Graph) error {
+	return ctx.Err()
+}
+
+// Ingest is the no-context convenience shim: it has no caller context
+// to discard, so manufacturing a background context here is blessed.
+func (s *Service) Ingest(key string, g *Graph) error {
+	return s.IngestContext(context.Background(), key, g)
+}
+
+// BadRefresh receives a context and then abandons it for a fresh one.
+func (s *Service) BadRefresh(ctx context.Context, key string) error {
+	_ = ctx.Err()
+	return s.IngestContext(context.Background(), key, nil) // want `context\.Background in BadRefresh discards the caller's deadline`
+}
+
+// BadTODO hides the same discard behind context.TODO.
+func (s *Service) BadTODO(ctx context.Context, key string) error {
+	_ = ctx.Err()
+	return s.IngestContext(context.TODO(), key, nil) // want `context\.TODO in BadTODO discards the caller's deadline`
+}
+
+// BadIgnored accepts ctx and never looks at it: the caller's deadline
+// is decoration.
+func (d *DurableService) BadIgnored(ctx context.Context, key string) error { // want `BadIgnored accepts ctx but never uses it`
+	return nil
+}
+
+// BadOrder buries ctx behind the key.
+func (d *DurableService) BadOrder(key string, ctx context.Context) error { // want `BadOrder takes a context\.Context but not as its first parameter`
+	return ctx.Err()
+}
+
+// BadBlank accepts a context it cannot possibly forward.
+func (d *DurableService) BadBlank(_ context.Context, key string) error { // want `BadBlank accepts a context\.Context it cannot forward`
+	return nil
+}
+
+// helper is unexported: the write-path method contract applies to the
+// exported API surface only.
+func (s *Service) helper(ctx context.Context, key string) error {
+	return nil
+}
+
+// Other is not a serving type; its methods carry no ctx contract.
+type Other struct{}
+
+// Process leaves ctx unused on a non-serving type — unflagged.
+func (o *Other) Process(ctx context.Context, key string) error {
+	return nil
+}

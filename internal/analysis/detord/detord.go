@@ -1,0 +1,126 @@
+// Package detord guards pghive's bit-identical serialization
+// guarantee against Go's randomized map iteration order. In the
+// serializer packages, ranging over a map while feeding an io.Writer,
+// a strings.Builder, or an accumulating append produces output whose
+// order changes run to run — exactly what the golden-file tests,
+// checkpoint byte-stability, and the determinism CI job forbid. The
+// blessed idiom collects keys, sorts them, and ranges the sorted
+// slice; so a function that calls sort.* (or slices.Sort*) anywhere
+// is trusted, and a map range whose body emits output inside a
+// sort-free function is flagged.
+//
+// Scope: internal/serialize, internal/schema, and the checkpoint
+// encoder (checkpoint.go in internal/core).
+package detord
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/pghive/pghive/internal/analysis"
+)
+
+// Analyzer flags map iteration feeding serialized output without a
+// sort in the same function.
+var Analyzer = &analysis.Analyzer{
+	Name: "detord",
+	Doc: "range over a map feeding serialized output (io.Writer, strings.Builder, append) " +
+		"needs a sort.* in the same function: map order is nondeterministic",
+	Run: run,
+}
+
+func inScope(pass *analysis.Pass, f *ast.File) bool {
+	switch {
+	case analysis.PathEndsWith(pass.Pkg.Path(), "internal/serialize"),
+		analysis.PathEndsWith(pass.Pkg.Path(), "internal/schema"):
+		return true
+	case analysis.PathEndsWith(pass.Pkg.Path(), "internal/core") && pass.FileName(f) == "checkpoint.go":
+		return true
+	}
+	return false
+}
+
+// writeMethods are the output-emitting method names (io.Writer,
+// strings.Builder, bytes.Buffer and friends).
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "WriteTo": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if !inScope(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if callsSort(pass, fd.Body) {
+				continue
+			}
+			checkMapRanges(pass, fd)
+		}
+	}
+	return nil
+}
+
+// callsSort reports whether body establishes a deterministic order
+// anywhere: a call into package sort, or slices.Sort*.
+func callsSort(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	return analysis.ContainsCall(body, func(call *ast.CallExpr) bool {
+		pkg, name := pass.CalleePkgFunc(call)
+		return pkg == "sort" || (pkg == "slices" && strings.HasPrefix(name, "Sort"))
+	})
+}
+
+// checkMapRanges flags every map-typed range statement whose body
+// emits output.
+func checkMapRanges(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if op := outputOp(pass, rng.Body); op != "" {
+			pass.Reportf(rng.Pos(), "range over map reaches %s with no sort.* in %s: map iteration order is nondeterministic, breaking bit-identical serialization", op, fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// outputOp returns a description of the first output-emitting call in
+// body ("" when the body emits nothing): an fmt.Fprint*, an io-style
+// Write* method, or the accumulating append builtin.
+func outputOp(pass *analysis.Pass, body *ast.BlockStmt) string {
+	op := ""
+	analysis.ContainsCall(body, func(call *ast.CallExpr) bool {
+		if pkg, name := pass.CalleePkgFunc(call); pkg == "fmt" && strings.HasPrefix(name, "Fprint") {
+			op = "fmt." + name
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && writeMethods[sel.Sel.Name] {
+			if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+				op = sel.Sel.Name
+				return true
+			}
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				op = "append"
+				return true
+			}
+		}
+		return false
+	})
+	return op
+}

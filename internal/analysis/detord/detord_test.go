@@ -1,0 +1,12 @@
+package detord_test
+
+import (
+	"testing"
+
+	"github.com/pghive/pghive/internal/analysis/analysistest"
+	"github.com/pghive/pghive/internal/analysis/detord"
+)
+
+func TestDetOrd(t *testing.T) {
+	analysistest.Run(t, "testdata/src/fix", detord.Analyzer)
+}

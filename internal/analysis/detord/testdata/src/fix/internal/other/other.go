@@ -1,0 +1,14 @@
+// Package other is outside detord's scope: unsorted map output is
+// not this package's invariant.
+package other
+
+import (
+	"fmt"
+	"io"
+)
+
+func Render(w io.Writer, props map[string]string) {
+	for k, v := range props {
+		fmt.Fprintf(w, "%s: %s\n", k, v)
+	}
+}

@@ -1,0 +1,64 @@
+// Package serialize seeds determinism violations beside the blessed
+// collect-sort-range idiom (in detord scope by path).
+package serialize
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// BadRender writes properties in map order — different bytes every
+// run.
+func BadRender(w io.Writer, props map[string]string) {
+	for k, v := range props { // want `range over map reaches fmt\.Fprintf with no sort`
+		fmt.Fprintf(w, "%s: %s\n", k, v)
+	}
+}
+
+// BadBuild appends keys straight out of map order into the rendered
+// list.
+func BadBuild(props map[string]int) string {
+	var b strings.Builder
+	for k := range props { // want `range over map reaches WriteString with no sort`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// BadCollect accumulates in map order with no sort anywhere in the
+// function.
+func BadCollect(props map[string]int) []string {
+	var keys []string
+	for k := range props { // want `range over map reaches append with no sort`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// GoodRender collects, sorts, then ranges the slice — the blessed
+// idiom; the map range only appends and the sort follows in the same
+// function.
+func GoodRender(w io.Writer, props map[string]string) {
+	keys := make([]string, 0, len(props))
+	for k := range props {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s: %s\n", k, v(props, k))
+	}
+}
+
+func v(m map[string]string, k string) string { return m[k] }
+
+// GoodCount ranges a map without emitting anything — order cannot
+// matter.
+func GoodCount(props map[string]int) int {
+	total := 0
+	for _, n := range props {
+		total += n
+	}
+	return total
+}

@@ -1,0 +1,12 @@
+package lockdisc_test
+
+import (
+	"testing"
+
+	"github.com/pghive/pghive/internal/analysis/analysistest"
+	"github.com/pghive/pghive/internal/analysis/lockdisc"
+)
+
+func TestLockDisc(t *testing.T) {
+	analysistest.Run(t, "testdata/src/fix", lockdisc.Analyzer)
+}

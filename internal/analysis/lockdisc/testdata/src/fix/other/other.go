@@ -1,0 +1,12 @@
+// Package other is outside lockdisc's scope: the same shapes stay
+// unflagged here.
+package other
+
+type thing struct{ snap *int }
+
+func helperLocked() {}
+
+func Use(t *thing, v int) {
+	helperLocked()
+	t.snap = &v
+}

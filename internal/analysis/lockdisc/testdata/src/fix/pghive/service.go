@@ -1,0 +1,102 @@
+// Package pghive seeds lock-discipline violations beside the blessed
+// idioms (in lockdisc scope by package name).
+package pghive
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Snapshot is an immutable published state.
+type Snapshot struct{ N int }
+
+// Service mirrors the real service's locking shape.
+type Service struct {
+	mu   sync.Mutex
+	once sync.Once
+	n    int
+	snap atomic.Pointer[Snapshot]
+}
+
+// lockCtx mirrors the channel-based writeLock.
+type lockCtx chan struct{}
+
+func (l lockCtx) LockContext(ctx context.Context) error {
+	select {
+	case l <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+func (l lockCtx) Unlock() { <-l }
+
+// ingestLocked requires the write lock, by name.
+func (s *Service) ingestLocked() { s.n++ }
+
+// publishLocked swaps the snapshot in — the blessed publication path.
+func (s *Service) publishLocked() {
+	s.snap.Store(&Snapshot{N: s.n})
+}
+
+// GoodIngest acquires the lock before calling the helper.
+func (s *Service) GoodIngest() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ingestLocked()
+	s.publishLocked()
+}
+
+// GoodIngestContext acquires via LockContext, the deadline-bounded
+// acquisition path.
+func (s *Service) GoodIngestContext(ctx context.Context, l lockCtx) error {
+	if err := l.LockContext(ctx); err != nil {
+		return err
+	}
+	defer l.Unlock()
+	s.ingestLocked()
+	return nil
+}
+
+// drainLocked is itself *Locked, so calling deeper helpers is fine.
+func (s *Service) drainLocked() {
+	s.ingestLocked()
+	s.publishLocked()
+}
+
+// GoodOnce locks inside a function literal — the sync.Once.Do close
+// idiom; the lexical body still contains the acquisition.
+func (s *Service) GoodOnce() {
+	s.once.Do(func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.ingestLocked()
+	})
+}
+
+// BadIngest calls a *Locked helper with no lock in sight.
+func (s *Service) BadIngest() {
+	s.ingestLocked() // want `use of ingestLocked in BadIngest`
+}
+
+// BadReference passes a *Locked method as a callback without holding
+// the lock — the replay-callback trap.
+func (s *Service) BadReference(replay func(func())) {
+	replay(s.drainLocked) // want `use of drainLocked in BadReference`
+}
+
+// UnsafeService publishes through a plain field — no atomic swap.
+type UnsafeService struct {
+	mu   sync.Mutex
+	n    int
+	snap *Snapshot
+}
+
+// BadPublish writes the snapshot field directly; even under the lock
+// this races lock-free readers.
+func (u *UnsafeService) BadPublish() {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.snap = &Snapshot{N: u.n} // want `direct write to snapshot field snap`
+}

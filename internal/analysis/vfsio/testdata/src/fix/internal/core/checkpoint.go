@@ -1,0 +1,13 @@
+// Package core's checkpoint.go is in vfsio scope by file name.
+package core
+
+import "os"
+
+// BadStageImage stages a checkpoint image with a direct temp file.
+func BadStageImage(dir string) error {
+	f, err := os.CreateTemp(dir, "*.tmp") // want `direct os\.CreateTemp on a durable path`
+	if err != nil {
+		return err
+	}
+	return f.Sync() // want `method call on \*os\.File on a durable path`
+}

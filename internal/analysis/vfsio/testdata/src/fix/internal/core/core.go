@@ -1,0 +1,9 @@
+package core
+
+import "os"
+
+// ReadInput is discovery-pipeline code, not checkpoint IO: core.go is
+// out of vfsio's scope, so direct os use is fine here.
+func ReadInput(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -1,0 +1,55 @@
+// Package wal seeds vfsio violations beside the blessed vfs idiom.
+package wal
+
+import (
+	"os"
+
+	"example.com/fix/vfs"
+)
+
+// Log carries the configured filesystem, like the real WAL.
+type Log struct {
+	fs vfs.FS
+}
+
+// BadOpen reads a segment with the os package directly.
+func BadOpen(path string) error {
+	f, err := os.Open(path) // want `direct os\.Open on a durable path`
+	if err != nil {
+		return err
+	}
+	return f.Close() // want `method call on \*os\.File on a durable path`
+}
+
+// BadRename renames a durable artifact without the vfs.
+func (l *Log) BadRename(oldp, newp string) error {
+	return os.Rename(oldp, newp) // want `direct os\.Rename on a durable path`
+}
+
+// BadStage writes a whole file with os helpers.
+func BadStage(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0o644); err != nil { // want `direct os\.WriteFile on a durable path`
+		return err
+	}
+	return os.Remove(path) // want `direct os\.Remove on a durable path`
+}
+
+// BadHandle declares a raw os.File field on log state.
+type BadHandle struct {
+	active *os.File // want `active declared as os\.File on a durable path`
+}
+
+// GoodOpen routes the same operation through the configured vfs.FS —
+// the blessed idiom: os appears only for the flag constants.
+func (l *Log) GoodOpen(path string) error {
+	f, err := l.fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// GoodRename goes through the vfs too.
+func (l *Log) GoodRename(oldp, newp string) error {
+	return l.fs.Rename(oldp, newp)
+}

@@ -1,0 +1,9 @@
+// Package pghive's durable.go is in vfsio scope by file name.
+package pghive
+
+import "os"
+
+// BadCheckpointRead opens a checkpoint image without the vfs.
+func BadCheckpointRead(path string) ([]byte, error) {
+	return os.ReadFile(path) // want `direct os\.ReadFile on a durable path`
+}

@@ -1,0 +1,16 @@
+package pghive
+
+import "os"
+
+// Hostname is not durable-path code (service.go is out of vfsio's
+// file scope), so direct os use stays unflagged here.
+func Hostname() string {
+	h, err := os.Hostname()
+	if err != nil {
+		return ""
+	}
+	if _, err := os.Stat(h); err == nil {
+		return h
+	}
+	return h
+}

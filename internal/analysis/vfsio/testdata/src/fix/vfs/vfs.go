@@ -1,0 +1,35 @@
+// Package vfs is a miniature stand-in for pghive's internal/vfs: the
+// one place direct os IO is blessed (it is out of vfsio's scope).
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File mirrors vfs.File.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// FS mirrors vfs.FS.
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// OS is the passthrough filesystem; its os calls are legitimate.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Rename(o, n string) error { return os.Rename(o, n) }
+func (osFS) Remove(name string) error { return os.Remove(name) }

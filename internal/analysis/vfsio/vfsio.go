@@ -1,0 +1,96 @@
+// Package vfsio flags direct os-package filesystem access on pghive's
+// durable paths. Everything the durability stack reads or writes —
+// WAL segments, checkpoint images, atomic whole-file staging — must
+// flow through an internal/vfs filesystem: the fault-injection suite
+// (vfs.MemFS, vfs.InjectFS) can only prove crash safety for IO it can
+// see, so a direct os.Open or os.Rename silently escapes every
+// durability property test the repo runs.
+//
+// Scope: the internal/wal package, durable.go in the root package,
+// and checkpoint.go in internal/core. Tests are out of scope (they
+// legitimately stage real temp dirs), as is internal/vfs itself — the
+// one place the os package is supposed to appear.
+package vfsio
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/pghive/pghive/internal/analysis"
+)
+
+// Analyzer flags direct os filesystem calls (and os.File use) on
+// durable paths that must go through vfs.FS.
+var Analyzer = &analysis.Analyzer{
+	Name: "vfsio",
+	Doc: "flag direct os filesystem IO on durable paths; route it through vfs.FS " +
+		"so fault injection (vfs.MemFS / vfs.InjectFS) covers it",
+	Run: run,
+}
+
+// osFSFuncs are the os package functions that touch the filesystem
+// namespace or file contents — the operations vfs.FS abstracts.
+var osFSFuncs = map[string]bool{
+	"Open": true, "Create": true, "OpenFile": true, "CreateTemp": true,
+	"Rename": true, "Remove": true, "RemoveAll": true,
+	"WriteFile": true, "ReadFile": true, "ReadDir": true,
+	"Mkdir": true, "MkdirAll": true, "Truncate": true, "Stat": true,
+}
+
+// inScope reports whether file f of pass's package is a durable path.
+func inScope(pass *analysis.Pass, f *ast.File) bool {
+	switch {
+	case analysis.PathEndsWith(pass.Pkg.Path(), "internal/wal"):
+		return true
+	case pass.FileName(f) == "durable.go":
+		return true
+	case analysis.PathEndsWith(pass.Pkg.Path(), "internal/core") && pass.FileName(f) == "checkpoint.go":
+		return true
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if !inScope(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if pkg, name := pass.CalleePkgFunc(n); pkg == "os" && osFSFuncs[name] {
+					pass.Reportf(n.Pos(), "direct os.%s on a durable path bypasses vfs.FS (fault injection cannot see it); use the configured filesystem", name)
+				}
+				if recv := pass.MethodRecvType(n); recv != nil && analysis.IsNamedType(recv, "os", "File") {
+					pass.Reportf(n.Pos(), "method call on *os.File on a durable path bypasses vfs.File; open the file through the configured vfs.FS")
+				}
+			case *ast.ValueSpec:
+				for _, id := range n.Names {
+					reportOSFileDef(pass, id)
+				}
+			case *ast.Field:
+				for _, id := range n.Names {
+					reportOSFileDef(pass, id)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reportOSFileDef flags a declared variable, parameter, or struct
+// field of type os.File / *os.File.
+func reportOSFileDef(pass *analysis.Pass, id *ast.Ident) {
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		return
+	}
+	t := obj.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if analysis.IsNamedType(t, "os", "File") {
+		pass.Reportf(id.Pos(), "%s declared as os.File on a durable path; use vfs.File so fault injection covers its IO", id.Name)
+	}
+}

@@ -1,0 +1,12 @@
+package vfsio_test
+
+import (
+	"testing"
+
+	"github.com/pghive/pghive/internal/analysis/analysistest"
+	"github.com/pghive/pghive/internal/analysis/vfsio"
+)
+
+func TestVFSIO(t *testing.T) {
+	analysistest.Run(t, "testdata/src/fix", vfsio.Analyzer)
+}

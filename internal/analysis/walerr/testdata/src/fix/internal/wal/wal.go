@@ -1,0 +1,81 @@
+// Package wal seeds durability error-handling violations beside the
+// blessed check/acknowledge/defer idioms (in walerr scope by path).
+package wal
+
+import "errors"
+
+type file struct{}
+
+func (f *file) Close() error { return nil }
+func (f *file) Sync() error  { return nil }
+func (f *file) Reset()       {}
+
+type fsys struct{}
+
+func (fsys) Rename(oldpath, newpath string) error { return nil }
+func (fsys) SyncDir(dir string) error             { return nil }
+
+// BadClose drops the error where buffered bytes can fail to land.
+func BadClose(f *file) {
+	f.Close() // want `discarded error from Close on a durable path`
+}
+
+// BadSyncStmt drops an fsync error on the floor.
+func BadSyncStmt(f *file) {
+	f.Sync() // want `discarded error from Sync on a durable path`
+}
+
+// BadSyncBlank acknowledges the discard, which is still not allowed
+// for Sync.
+func BadSyncBlank(f *file) {
+	_ = f.Sync() // want `Sync's error may not be discarded, even explicitly`
+}
+
+// BadDeferSync defers the sync, silently losing its error.
+func BadDeferSync(f *file) {
+	defer f.Sync() // want `deferred Sync discards its error`
+}
+
+// BadRename publishes a name for bytes that were never synced.
+func BadRename(fs fsys, tmp, final string) error {
+	return fs.Rename(tmp, final) // want `Rename of a durable artifact with no preceding Sync in BadRename`
+}
+
+// GoodClose checks the close error — the required form on the happy
+// path.
+func GoodClose(f *file) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// GoodErrorPath acknowledges a best-effort close while an earlier
+// error is already being returned.
+func GoodErrorPath(f *file) error {
+	_ = f.Close()
+	return errors.New("earlier failure")
+}
+
+// GoodDeferClose is the blessed cleanup form: the sync-before-close
+// contract already ran.
+func GoodDeferClose(f *file) error {
+	defer f.Close()
+	return f.Sync()
+}
+
+// GoodRename syncs before renaming, the temp+fsync+rename idiom.
+func GoodRename(fs fsys, f *file, tmp, final string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, final); err != nil {
+		return err
+	}
+	return fs.SyncDir(".")
+}
+
+// GoodVoid discards nothing: Reset has no error result.
+func GoodVoid(f *file) {
+	f.Reset()
+}

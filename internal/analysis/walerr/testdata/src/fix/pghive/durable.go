@@ -1,0 +1,15 @@
+// durable.go is in walerr scope by file name regardless of package
+// path.
+package pghive
+
+type log struct{}
+
+func (l *log) Close() error { return nil }
+func (l *log) Sync() error  { return nil }
+
+// BadSwap drops the error from closing the outgoing log during a
+// swap.
+func BadSwap(old, next *log) error {
+	old.Close() // want `discarded error from Close on a durable path`
+	return next.Sync()
+}

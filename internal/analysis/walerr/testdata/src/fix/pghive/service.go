@@ -1,0 +1,7 @@
+// service.go is outside walerr scope: only durable.go and
+// internal/wal carry the durability error contract.
+package pghive
+
+func UnflaggedClose(l *log) {
+	l.Close()
+}

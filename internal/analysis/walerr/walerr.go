@@ -1,0 +1,159 @@
+// Package walerr enforces the durability error discipline in the WAL
+// and the durable service layer: the errors that matter most on a
+// durable path are exactly the ones that arrive late, at Close and
+// Sync, or that are made irreversible by Rename.
+//
+// Rules, scoped to internal/wal packages and durable.go files:
+//
+//  1. A statement-level x.Close() or x.Sync() whose error result is
+//     discarded is flagged. `_ = x.Close()` is the blessed way to
+//     acknowledge a best-effort close on an error path, and
+//     `defer x.Close()` is accepted as cleanup after the
+//     sync-before-close contract has already run.
+//  2. Sync errors may never be discarded at all — `_ = x.Sync()` and
+//     `defer x.Sync()` are flagged too. A swallowed fsync error is a
+//     silent durability violation (the PR 6 torn-write injector exists
+//     precisely to catch these).
+//  3. A Rename call must be preceded, lexically in the same function,
+//     by a Sync or SyncDir call: renaming a file whose bytes are not
+//     yet on disk publishes a name for data that can still be lost.
+//     (vfs.WriteFileAtomic packages this sequence; code that inlines
+//     it must keep the order.)
+package walerr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/pghive/pghive/internal/analysis"
+)
+
+// Analyzer enforces Close/Sync error handling and sync-before-rename
+// ordering on durable paths.
+var Analyzer = &analysis.Analyzer{
+	Name: "walerr",
+	Doc: "in internal/wal and durable.go, Close/Sync errors may not be silently discarded " +
+		"and a Rename must follow a Sync in the same function",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if !inScope(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// inScope limits walerr to the layers that own durable file handles.
+func inScope(pass *analysis.Pass, f *ast.File) bool {
+	if analysis.PathEndsWith(pass.Pkg.Path(), "internal/wal") {
+		return true
+	}
+	return pass.FileName(f) == "durable.go"
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var syncs, renames []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := stmt.X.(*ast.CallExpr); ok {
+				switch closeOrSync(pass, call) {
+				case "Close":
+					pass.Reportf(call.Pos(), "discarded error from Close on a durable path: buffered WAL bytes can fail to land at Close; check it, or write `_ = x.Close()` on an error path")
+				case "Sync":
+					pass.Reportf(call.Pos(), "discarded error from Sync on a durable path: a swallowed fsync error is a silent durability violation")
+				}
+			}
+		case *ast.DeferStmt:
+			if closeOrSync(pass, stmt.Call) == "Sync" {
+				pass.Reportf(stmt.Call.Pos(), "deferred Sync discards its error on a durable path; sync explicitly and check the result")
+			}
+			// The defer's children are visited below; the deferred
+			// Close itself is the blessed cleanup form.
+			if closeOrSync(pass, stmt.Call) != "" {
+				return false
+			}
+		case *ast.AssignStmt:
+			checkBlankSync(pass, stmt)
+		case *ast.CallExpr:
+			switch analysis.CalleeName(stmt) {
+			case "Sync", "SyncDir":
+				syncs = append(syncs, stmt.Pos())
+			case "Rename":
+				renames = append(renames, stmt.Pos())
+			}
+		}
+		return true
+	})
+	for _, r := range renames {
+		if !hasEarlier(syncs, r) {
+			pass.Reportf(r, "Rename of a durable artifact with no preceding Sync in %s: the new name can become visible before its bytes are on disk", fd.Name.Name)
+		}
+	}
+}
+
+// checkBlankSync flags `_ = x.Sync()`: unlike Close, a sync error may
+// not even be explicitly discarded.
+func checkBlankSync(pass *analysis.Pass, stmt *ast.AssignStmt) {
+	if len(stmt.Lhs) != 1 || len(stmt.Rhs) != 1 {
+		return
+	}
+	if id, ok := stmt.Lhs[0].(*ast.Ident); !ok || id.Name != "_" {
+		return
+	}
+	if call, ok := stmt.Rhs[0].(*ast.CallExpr); ok && closeOrSync(pass, call) == "Sync" {
+		pass.Reportf(call.Pos(), "Sync's error may not be discarded, even explicitly: a failed fsync means the record is not durable")
+	}
+}
+
+// closeOrSync classifies call as an error-returning Close or Sync
+// method call, or "" otherwise.
+func closeOrSync(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	if name != "Close" && name != "Sync" {
+		return ""
+	}
+	if !returnsError(pass, call) {
+		return ""
+	}
+	return name
+}
+
+// returnsError reports whether call's callee has an error as its last
+// result — calls with nothing to discard are not discards.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// hasEarlier reports whether any position in ps precedes p.
+func hasEarlier(ps []token.Pos, p token.Pos) bool {
+	for _, q := range ps {
+		if q < p {
+			return true
+		}
+	}
+	return false
+}

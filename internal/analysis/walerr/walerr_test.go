@@ -1,0 +1,12 @@
+package walerr_test
+
+import (
+	"testing"
+
+	"github.com/pghive/pghive/internal/analysis/analysistest"
+	"github.com/pghive/pghive/internal/analysis/walerr"
+)
+
+func TestWALErr(t *testing.T) {
+	analysistest.Run(t, "testdata/src/fix", walerr.Analyzer)
+}

@@ -211,7 +211,7 @@ func Open(dir string, opts Options) (*Log, error) {
 				return nil, fmt.Errorf("wal: %w", err)
 			}
 			if _, err := f.Seek(tail.Bytes, io.SeekStart); err != nil {
-				f.Close()
+				_ = f.Close()
 				return nil, fmt.Errorf("wal: %w", err)
 			}
 			l.active = f
@@ -329,15 +329,15 @@ func (l *Log) openSegmentLocked() error {
 	if _, err := f.Write(segMagic); err != nil {
 		// Remove the magic-less file: leaving it would make every
 		// retry fail O_EXCL against a name the log still wants.
-		f.Close()
-		l.fs.Remove(path)
+		_ = f.Close()
+		_ = l.fs.Remove(path)
 		return fmt.Errorf("wal: %w", err)
 	}
 	if !l.opts.NoSync {
 		// The new file's directory entry must survive power loss too.
 		if err := l.fs.SyncDir(l.dir); err != nil {
-			f.Close()
-			l.fs.Remove(path)
+			_ = f.Close()
+			_ = l.fs.Remove(path)
 			return fmt.Errorf("wal: %w", err)
 		}
 	}
@@ -479,7 +479,9 @@ func (l *Log) ReplayRange(after, upTo uint64, fn func(Record) error) error {
 			}
 			return fn(rec)
 		})
-		f.Close()
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("wal: %w", cerr)
+		}
 		if err == ErrStopReplay {
 			return nil
 		}
@@ -520,7 +522,7 @@ func (l *Log) Close() error {
 		return nil
 	}
 	if err := l.active.Sync(); err != nil {
-		l.active.Close()
+		_ = l.active.Close()
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	if err := l.active.Close(); err != nil {
@@ -570,9 +572,10 @@ func ScanSegment(r io.Reader, fn func(Record) error) (int64, error) {
 
 // RecordEnds returns the byte offset just past each complete record
 // of a segment file — every boundary a kill -9 can leave the file
-// truncated at. Offsets are from the file start (magic included).
-func RecordEnds(path string) ([]int64, error) {
-	f, err := os.Open(path)
+// truncated at. Offsets are from the file start (magic included). A
+// nil fsys reads from the real filesystem.
+func RecordEnds(fsys vfs.FS, path string) ([]int64, error) {
+	f, err := vfs.Open(vfs.OrOS(fsys), path)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}

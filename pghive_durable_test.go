@@ -192,7 +192,7 @@ func crashPoints(t *testing.T, segs []string) []crashPoint {
 	points := []crashPoint{{segIdx: -1}}
 	records := 0
 	for si, seg := range segs {
-		ends, err := wal.RecordEnds(seg)
+		ends, err := wal.RecordEnds(nil, seg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -317,7 +317,7 @@ func TestDurableCompactionRoundTrip(t *testing.T) {
 		t.Fatalf("checkpoint file %s, want %s", cks[0], want)
 	}
 	for _, seg := range walSegments(t, dir) {
-		ends, err := wal.RecordEnds(seg)
+		ends, err := wal.RecordEnds(nil, seg)
 		if err != nil {
 			t.Fatal(err)
 		}
