@@ -70,6 +70,7 @@ func runServe(args []string) {
 		dataDir   = fs.String("data-dir", "", "durable mode: write-ahead log every mutation under this directory and recover from it on start")
 		segBytes  = fs.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = default 8 MiB; durable mode only)")
 		compact   = fs.Duration("compact-interval", 0, "background WAL compaction cadence (0 = default 1m; durable mode only)")
+		maxRuns   = fs.Int("max-runs", 0, "delta runs kept on top of the base image before compaction folds a fresh base (0 = default 6; durable mode only)")
 		noSync    = fs.Bool("no-sync", false, "skip the per-append WAL fsync: survives kill -9 but not power loss (durable mode only)")
 
 		maxBody    = fs.Int64("max-body-bytes", admission.DefaultMaxBodyBytes, "request-body cap in bytes, answered with 413 past it (-1 disables)")
@@ -105,6 +106,7 @@ func runServe(args []string) {
 		dur, err = pghive.OpenDurable(*dataDir, opts, pghive.DurableOptions{
 			SegmentBytes:    *segBytes,
 			CompactInterval: *compact,
+			MaxRuns:         *maxRuns,
 			NoSync:          *noSync,
 			OnCompactError: func(err error) {
 				fmt.Fprintln(os.Stderr, "pghive serve: compaction:", err)

@@ -4,20 +4,37 @@ package pghive
 // records every mutation — ingest batch, retract batch, drained
 // stream batch — in a segmented write-ahead log (internal/wal)
 // *before* applying it, so the state a crash destroys is always
-// reconstructible. Startup recovery restores the newest checkpoint
-// image and replays the WAL tail above it through exactly the code
-// path live writes use, which makes the recovered service
-// bit-identical to one that never died (kill -9 at any record
+// reconstructible. Startup recovery restores the newest consistent
+// checkpoint generation and replays the WAL tail above it through
+// exactly the code path live writes use, which makes the recovered
+// service bit-identical to one that never died (kill -9 at any record
 // boundary; a torn trailing record is truncated away).
 //
-// A background compactor periodically folds the log into a fresh
-// checkpoint: it seals the active segment, replays the sealed prefix
-// into a private shadow pipeline seeded from the previous checkpoint,
-// writes the image to a temporary file, renames it into place, and
-// deletes the superseded segments. The compactor shares no lock with
-// the write path — it reads only sealed segment files and its own
-// shadow state — so writers are never blocked behind a fold, no
-// matter how large the log has grown.
+// Checkpoints are LSM-structured (internal/runfile): a generation is
+// a base image plus an ordered chain of immutable, checksummed delta
+// runs, named by an atomically-swapped manifest. The background
+// compactor folds only the WAL records sealed since the previous fold
+// into a run — the state diff of that span (core.ImageDelta) — so
+// steady-state compaction IO is proportional to what changed, not to
+// total state. When the chain grows past DurableOptions.MaxRuns or
+// accumulated tombstones cross MaxTombstoneRatio of the base, the
+// round folds base+runs+delta into a fresh base image instead
+// (a leveled merge with one level: base). Recovery reads the newest
+// manifest that validates, loads the base, merges the runs in order,
+// and replays the WAL tail — and because each generation's WAL floor
+// is the PREVIOUS generation's covered LSN, a newest generation torn
+// by a crash on a lying disk falls back one generation and replays
+// the retained records to the identical state, loudly counting the
+// fallback in DurableStats. The compactor shares no lock with the
+// write path — it reads only sealed segment files and its own shadow
+// state — so writers are never blocked behind a fold, no matter how
+// large the log has grown.
+//
+// Files a generation no longer references — superseded base images,
+// folded-away runs, old manifests, interrupted temporaries — are
+// garbage-collected by a sweep at startup and after every compaction;
+// removal failures are surfaced in DurableStats (GCFailures /
+// LastGCError) and retried on the next sweep, never silently dropped.
 //
 // Two robustness layers ride on top of durability:
 //
@@ -43,9 +60,12 @@ package pghive
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"path/filepath"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -56,6 +76,7 @@ import (
 
 	"github.com/pghive/pghive/internal/core"
 	"github.com/pghive/pghive/internal/pg"
+	"github.com/pghive/pghive/internal/runfile"
 	"github.com/pghive/pghive/internal/vfs"
 	"github.com/pghive/pghive/internal/wal"
 )
@@ -106,7 +127,8 @@ type DurableOptions struct {
 	NoSync bool
 	// CompactInterval is the background compaction cadence (default
 	// 1 minute). Each round folds every sealed WAL segment into a
-	// checkpoint image and deletes the segments it supersedes.
+	// delta run (or a fresh base image, see MaxRuns) and prunes the
+	// segments below the manifest's WAL floor.
 	CompactInterval time.Duration
 	// DisableAutoCompact turns the background compactor off; call
 	// Compact explicitly instead.
@@ -119,6 +141,16 @@ type DurableOptions struct {
 	// than the whole retention window can then re-apply, so clients
 	// should retry promptly, not days later.
 	MaxIdempotencyKeys int
+	// MaxRuns bounds the delta-run chain length: a compaction that
+	// would push the chain past it folds base + runs + new delta into
+	// a fresh base image instead (default 6). Longer chains mean less
+	// fold IO but more files to merge at recovery.
+	MaxRuns int
+	// MaxTombstoneRatio forces a fold when the chain's accumulated
+	// deletions exceed this fraction of the base image's element
+	// count (default 0.5): past it, runs are mostly paying to
+	// remember what no longer exists.
+	MaxTombstoneRatio float64
 	// FS is the filesystem the data directory lives on; nil selects
 	// the real OS. Fault-injection tests substitute vfs.MemFS /
 	// vfs.InjectFS to prove recovery survives hostile disks.
@@ -135,6 +167,12 @@ func (o DurableOptions) withDefaults() DurableOptions {
 	if o.MaxIdempotencyKeys <= 0 {
 		o.MaxIdempotencyKeys = 65536
 	}
+	if o.MaxRuns <= 0 {
+		o.MaxRuns = 6
+	}
+	if o.MaxTombstoneRatio <= 0 {
+		o.MaxTombstoneRatio = 0.5
+	}
 	return o
 }
 
@@ -146,9 +184,11 @@ func (o DurableOptions) withDefaults() DurableOptions {
 // when the log cannot be made durable; on success the mutation is
 // applied and published exactly as on a plain Service.
 //
-// The data directory holds the WAL segments (wal/*.wal) and the
-// newest checkpoint image (checkpoint-<lsn>.ckpt, written atomically
-// via temp file + rename). OpenDurable recovers from both.
+// The data directory holds the WAL segments (wal/*.wal), base images
+// (checkpoint-<lsn>.ckpt), delta runs (run-<from>-<to>.run) and the
+// manifests naming consistent generations (manifest-<seq>.mft) — all
+// written atomically via temp file + rename. OpenDurable recovers
+// from the newest generation that validates.
 type DurableService struct {
 	*Service
 	dir   string
@@ -171,10 +211,27 @@ type DurableService struct {
 	degradedReason atomic.Pointer[string]
 
 	// compactMu serializes compaction rounds (and Rearm) and guards
-	// the checkpoint bookkeeping below. The write path never takes it.
+	// the checkpoint-generation bookkeeping below. The write path
+	// never takes it.
 	compactMu sync.Mutex
-	ckptLSN   uint64
-	ckptPath  string
+	// man is the current generation (never nil; a synthesized Seq-0
+	// manifest stands in for a legacy or empty directory). prevMan is
+	// the previous generation, whose files the sweep keeps because
+	// the WAL floor deliberately permits falling back to it.
+	man     *runfile.Manifest
+	prevMan *runfile.Manifest
+	// manSeq is the highest generation number observed on disk, valid
+	// or not — the floor for allocating the next one, so a corrupt
+	// lingering manifest can never outrank a fresh one.
+	manSeq uint64
+	// fallbacks counts the generations recovery had to skip (corrupt
+	// manifest, torn base or run) before one validated.
+	fallbacks int
+
+	// gcFailures / lastGCErr surface sweep removal failures; the next
+	// sweep retries the same files.
+	gcFailures atomic.Int64
+	lastGCErr  atomic.Pointer[string]
 
 	stop      chan struct{}
 	done      chan struct{}
@@ -194,75 +251,252 @@ type DurableService struct {
 func (d *DurableService) wal() *wal.Log { return d.log.Load() }
 
 // OpenDurable opens (or creates) a durable service rooted at dir:
-// restore the newest checkpoint, replay the WAL tail above it, and
-// resume serving bit-identical to the process that wrote the
-// directory. opts must match the options of the run that produced the
-// directory (like ResumeFromCheckpoint, the files do not store them).
+// restore the newest checkpoint generation (manifest → base image →
+// delta runs in order), replay the WAL tail above it, and resume
+// serving bit-identical to the process that wrote the directory.
+// When the newest generation does not validate — a manifest, base or
+// run torn by a crash the atomic-write protocol could not mask (a
+// lying disk) — recovery falls back to the previous generation, whose
+// WAL records were deliberately retained, and reports the skip in
+// DurableStats.RecoveryFallbacks. opts must match the options of the
+// run that produced the directory (like ResumeFromCheckpoint, the
+// files do not store them).
 func OpenDurable(dir string, opts Options, dopts DurableOptions) (*DurableService, error) {
 	dopts = dopts.withDefaults()
 	fsys := vfs.OrOS(dopts.FS)
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("pghive: durable: %w", err)
 	}
-	// Leftover temporaries from an interrupted atomic checkpoint
-	// write carry no state (the rename never happened).
-	if tmps, err := fsys.Glob(filepath.Join(dir, ckptTmpPattern)); err == nil {
-		for _, t := range tmps {
-			fsys.Remove(t)
-		}
-	}
 
-	ckptPath, ckptLSN, err := newestCheckpoint(fsys, dir)
+	rec, err := recoverDurable(dir, opts, dopts, fsys)
 	if err != nil {
 		return nil, err
 	}
-	rp, after, err := newReplayer(opts, fsys, ckptPath, dopts.MaxIdempotencyKeys)
-	if err != nil {
-		return nil, err
-	}
-	if ckptPath != "" && after != ckptLSN {
-		return nil, fmt.Errorf("pghive: durable: checkpoint %s covers WAL LSN %d, file name says %d", ckptPath, after, ckptLSN)
-	}
-
-	log, err := wal.Open(filepath.Join(dir, walSubdir), wal.Options{
-		SegmentBytes: dopts.SegmentBytes,
-		NoSync:       dopts.NoSync,
-		MinLSN:       after + 1,
-		FS:           dopts.FS,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if err := log.Replay(after, rp.apply); err != nil {
-		_ = log.Close()
-		return nil, err
-	}
-	// Segments fully folded into the restored checkpoint may survive
-	// a crash between checkpoint rename and pruning; finish the job.
-	if _, err := log.Prune(after); err != nil {
-		_ = log.Close()
-		return nil, err
-	}
-
-	svc := newService(opts, rp.inc, rp.resolver)
-	svc.nextEdgeID = rp.nextEdgeID
+	svc := newService(opts, rec.rp.inc, rec.rp.resolver)
+	svc.nextEdgeID = rec.rp.nextEdgeID
 	d := &DurableService{
 		Service:    svc,
 		dir:        dir,
 		fs:         fsys,
 		dopts:      dopts,
-		appliedLSN: log.NextLSN() - 1,
-		keys:       rp.keys,
-		ckptLSN:    after,
-		ckptPath:   ckptPath,
+		appliedLSN: rec.log.NextLSN() - 1,
+		keys:       rec.rp.keys,
+		man:        rec.man,
+		prevMan:    rec.prev,
+		manSeq:     rec.maxSeq,
+		fallbacks:  rec.fallbacks,
 		stop:       make(chan struct{}),
 	}
-	d.log.Store(log)
+	d.log.Store(rec.log)
+	// Segments below the generation's WAL floor may survive a crash
+	// between manifest swap and pruning; finish the job, then sweep
+	// the files no kept generation references (stale images, orphaned
+	// runs, superseded manifests, temp residue).
+	if _, err := rec.log.Prune(rec.man.WALFloor); err != nil {
+		_ = rec.log.Close()
+		return nil, err
+	}
+	d.mu.Lock()
+	d.sweepLocked()
+	d.mu.Unlock()
 	if !dopts.DisableAutoCompact {
 		d.done = make(chan struct{})
 		go d.compactLoop()
 	}
 	return d, nil
+}
+
+// recovered is the outcome of recoverDurable: a replayer holding the
+// recovered state, the opened log, and the generation bookkeeping.
+type recovered struct {
+	rp        *walReplayer
+	log       *wal.Log
+	man       *runfile.Manifest
+	prev      *runfile.Manifest
+	maxSeq    uint64
+	fallbacks int
+}
+
+// candidate is one recovery starting point, newest first: a manifest
+// generation, a legacy bare checkpoint image (pre-manifest layout),
+// or the empty state (fresh directory).
+type candidate struct {
+	man       *runfile.Manifest // manifest generation, or nil
+	legacy    string            // legacy image path, or ""
+	legacyLSN uint64
+}
+
+// synth builds the in-memory manifest standing in for a non-manifest
+// candidate; elems is the loaded base image's element count.
+func (c candidate) synth(elems int) *runfile.Manifest {
+	m := &runfile.Manifest{Version: runfile.ManifestVersion}
+	if c.legacy != "" {
+		m.Base = filepath.Base(c.legacy)
+		m.BaseLSN = c.legacyLSN
+		m.BaseElements = elems
+		m.WALFloor = c.legacyLSN
+	}
+	return m
+}
+
+// recoverDurable walks the candidate generations newest-first until
+// one fully validates AND its WAL tail replays with LSN continuity.
+// Every skipped candidate is remembered; if none survives, the joined
+// notes become the error — recovery fails loudly, it never serves a
+// silently diverged state.
+func recoverDurable(dir string, opts Options, dopts DurableOptions, fsys vfs.FS) (*recovered, error) {
+	manifests, maxSeq, err := runfile.ListManifests(fsys, dir)
+	if err != nil {
+		return nil, fmt.Errorf("pghive: durable: %w", err)
+	}
+	var cands []candidate
+	var notes []string
+	for _, p := range manifests {
+		m, merr := runfile.ReadManifest(fsys, p)
+		if merr != nil {
+			notes = append(notes, merr.Error())
+			continue
+		}
+		cands = append(cands, candidate{man: m})
+	}
+	legacy, err := legacyCheckpoints(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(cands) == 0 {
+		// Pre-manifest layout: bare images, newest first. A directory
+		// with no manifest and no image at all recovers from the empty
+		// state — but a directory whose every image is corrupt does
+		// NOT silently restart empty; it fails below with the notes.
+		for _, lc := range legacy {
+			cands = append(cands, candidate{legacy: lc.path, legacyLSN: lc.lsn})
+		}
+		if len(cands) == 0 && len(notes) == 0 {
+			cands = append(cands, candidate{})
+		}
+	}
+
+	for i, c := range cands {
+		rec, cerr := tryCandidate(dir, opts, dopts, fsys, c)
+		if cerr != nil {
+			var hard *recoveryHardError
+			if errors.As(cerr, &hard) {
+				return nil, hard.err
+			}
+			notes = append(notes, cerr.Error())
+			continue
+		}
+		rec.maxSeq = max(maxSeq, rec.man.Seq)
+		rec.fallbacks = len(notes)
+		// The next-older candidate (if any) is the generation the WAL
+		// floor was chosen to protect; keep its files for fallback.
+		for _, p := range cands[i+1:] {
+			if p.man != nil {
+				rec.prev = p.man
+				break
+			}
+			if p.legacy != "" {
+				rec.prev = p.synth(0)
+				break
+			}
+		}
+		return rec, nil
+	}
+	if len(notes) == 0 {
+		return nil, fmt.Errorf("pghive: durable: no recoverable state in %s", dir)
+	}
+	return nil, fmt.Errorf("pghive: durable: no generation recovers: %s", strings.Join(notes, "; "))
+}
+
+// recoveryHardError wraps a failure that no older generation can fix
+// (the WAL directory itself is unreadable); tryCandidate returns it
+// to stop the fallback walk.
+type recoveryHardError struct{ err error }
+
+func (e *recoveryHardError) Error() string { return e.err.Error() }
+
+// tryCandidate attempts a full recovery from one starting point:
+// merge the candidate's image chain, open the WAL above it, replay.
+func tryCandidate(dir string, opts Options, dopts DurableOptions, fsys vfs.FS, c candidate) (*recovered, error) {
+	var img *core.Image
+	var man *runfile.Manifest
+	var err error
+	switch {
+	case c.man != nil:
+		man = c.man
+		img, err = mergedImage(fsys, dir, opts, man)
+	case c.legacy != "":
+		img, err = core.LoadImage(fsys, c.legacy)
+		if err == nil && img.WALSeq != c.legacyLSN {
+			err = fmt.Errorf("pghive: durable: checkpoint %s covers WAL LSN %d, file name says %d", c.legacy, img.WALSeq, c.legacyLSN)
+		}
+		if err == nil {
+			man = c.synth(img.Elements())
+		}
+	default:
+		man = c.synth(0)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	rp, err := newReplayer(opts, img, dopts.MaxIdempotencyKeys)
+	if err != nil {
+		return nil, err
+	}
+	covered := man.Covered()
+	log, err := wal.Open(filepath.Join(dir, walSubdir), wal.Options{
+		SegmentBytes: dopts.SegmentBytes,
+		NoSync:       dopts.NoSync,
+		MinLSN:       covered + 1,
+		FS:           dopts.FS,
+	})
+	if err != nil {
+		return nil, &recoveryHardError{err: err}
+	}
+	if err := log.Replay(covered, rp.apply); err != nil {
+		_ = log.Close()
+		return nil, err
+	}
+	return &recovered{rp: rp, log: log, man: man}, nil
+}
+
+// mergedImage materializes the state a generation covers: its base
+// image (the options-derived empty state when Base is "") with the
+// delta runs folded on in order. Chain contiguity is enforced by
+// ImageDelta.Apply; payload integrity by the run frames and the
+// manifest's recorded CRCs.
+func mergedImage(fsys vfs.FS, dir string, opts Options, man *runfile.Manifest) (*core.Image, error) {
+	var img *core.Image
+	var err error
+	if man.Base == "" {
+		img, err = core.EmptyImage(opts)
+	} else {
+		img, err = core.LoadImage(fsys, filepath.Join(dir, man.Base))
+		if err == nil && img.WALSeq != man.BaseLSN {
+			err = fmt.Errorf("pghive: durable: base %s covers WAL LSN %d, manifest seq %d says %d", man.Base, img.WALSeq, man.Seq, man.BaseLSN)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, ri := range man.Runs {
+		payload, rerr := runfile.ReadRun(fsys, dir, ri)
+		if rerr != nil {
+			return nil, rerr
+		}
+		var delta core.ImageDelta
+		if err := json.Unmarshal(payload, &delta); err != nil {
+			return nil, fmt.Errorf("pghive: durable: run %s: %w", ri.Name, err)
+		}
+		if delta.FromLSN != ri.From || delta.ToLSN != ri.To {
+			return nil, fmt.Errorf("pghive: durable: run %s covers (%d, %d], manifest says (%d, %d]", ri.Name, delta.FromLSN, delta.ToLSN, ri.From, ri.To)
+		}
+		if err := delta.Apply(img); err != nil {
+			return nil, fmt.Errorf("pghive: durable: run %s: %w", ri.Name, err)
+		}
+	}
+	return img, nil
 }
 
 // Dir returns the service's data directory.
@@ -485,13 +719,24 @@ func (d *DurableService) DrainStreamContext(ctx context.Context, r StreamReader,
 	})
 }
 
-// Compact folds every sealed WAL segment into a fresh checkpoint
-// image and deletes the superseded segments. It first seals the
-// active segment, so a compaction captures everything appended before
-// the call. The fold runs entirely against a private shadow pipeline
-// restored from the previous checkpoint — no service lock is taken,
-// so concurrent writers (and readers) proceed at full speed. Safe to
-// call concurrently with writes; rounds serialize among themselves.
+// Compact folds every sealed WAL segment into the checkpoint
+// generation and prunes the segments below the resulting WAL floor.
+// It first seals the active segment, so a compaction captures
+// everything appended before the call. The fold runs entirely against
+// a private shadow pipeline seeded from the current generation's
+// merged image — no service lock is taken, so concurrent writers (and
+// readers) proceed at full speed. Safe to call concurrently with
+// writes; rounds serialize among themselves.
+//
+// A steady-state round writes only the DELTA of the folded span as a
+// new run file and swaps in a manifest referencing it — IO is
+// proportional to what changed. When the chain would exceed
+// MaxRuns, or accumulated tombstones cross MaxTombstoneRatio of the
+// base, the round writes a fresh base image instead and the chain
+// collapses. Either way the new manifest's WAL floor is the PREVIOUS
+// generation's covered LSN, so if this round's files turn out torn
+// on a lying disk, recovery falls back one generation and replays
+// the retained records.
 //
 // A successful round also re-arms a disk-full degraded service: the
 // pruned segments are exactly the space the write path was starving
@@ -511,12 +756,15 @@ func (d *DurableService) Compact() error {
 			target = seg.Last
 		}
 	}
-	if target <= d.ckptLSN {
+	covered := d.man.Covered()
+	if target <= covered {
 		// Nothing new sealed since the last fold; still prune any
-		// already-covered segments a crash may have left behind.
-		if _, err := lg.Prune(d.ckptLSN); err != nil {
+		// already-covered segments a crash may have left behind, and
+		// retry any sweep removals that failed last time.
+		if _, err := lg.Prune(d.man.WALFloor); err != nil {
 			return err
 		}
+		d.sweepLocked()
 		d.clearDegradeIfWritable()
 		return nil
 	}
@@ -524,42 +772,136 @@ func (d *DurableService) Compact() error {
 		d.compactTestHook()
 	}
 
-	// Shadow replay: previous checkpoint + sealed records up to the
-	// target, through the same apply path recovery uses. The bound
-	// keeps the fold off the active segment entirely — concurrent
-	// appends are never even read.
-	rp, after, err := newReplayer(d.opts, d.fs, d.ckptPath, d.dopts.MaxIdempotencyKeys)
+	// Shadow replay: the current generation's merged image + sealed
+	// records up to the target, through the same apply path recovery
+	// uses. The bound keeps the fold off the active segment entirely —
+	// concurrent appends are never even read.
+	preImg, err := mergedImage(d.fs, d.dir, d.opts, d.man)
 	if err != nil {
 		return err
 	}
-	if err := lg.ReplayRange(after, target, rp.apply); err != nil {
+	rp, err := newReplayer(d.opts, preImg, d.dopts.MaxIdempotencyKeys)
+	if err != nil {
 		return err
 	}
-
-	path := checkpointPath(d.dir, target)
-	err = rp.inc.WriteCheckpointFile(d.fs, path, &core.CheckpointExtras{
-		Resolver:    rp.resolver,
-		NextEdgeID:  rp.nextEdgeID,
-		WALSeq:      target,
-		AppliedKeys: rp.keys.export(),
-	})
+	if err := lg.ReplayRange(covered, target, rp.apply); err != nil {
+		return err
+	}
+	nextImg, err := rp.image(target)
+	if err != nil {
+		return err
+	}
+	delta, err := core.DiffImage(preImg, nextImg)
 	if err != nil {
 		return err
 	}
 
-	// The new image supersedes older images and every sealed segment
-	// it folded; failures past this point leave extra files a later
-	// round (or OpenDurable) removes, never an unrecoverable state.
-	prev := d.ckptPath
-	d.ckptLSN, d.ckptPath = target, path
-	if prev != "" && prev != path {
-		d.fs.Remove(prev)
+	newMan := &runfile.Manifest{
+		Version: runfile.ManifestVersion,
+		Seq:     d.manSeq + 1,
+		// One generation of WAL retention: floor at the PREVIOUS
+		// coverage so recovery can fall back past this round's files.
+		WALFloor: covered,
 	}
-	if _, err := lg.Prune(target); err != nil {
+	baseElems := max(d.man.BaseElements, 1)
+	fold := len(d.man.Runs)+1 > d.dopts.MaxRuns ||
+		float64(d.man.Tombstones()+delta.Tombstones()) > d.dopts.MaxTombstoneRatio*float64(baseElems)
+	if fold {
+		// Leveled merge: collapse base + runs + new delta into a fresh
+		// base image; the chain restarts empty.
+		path := checkpointPath(d.dir, target)
+		err := vfs.WriteFileAtomic(d.fs, path, func(w io.Writer) error {
+			return core.EncodeImage(w, nextImg)
+		})
+		if err != nil {
+			return err
+		}
+		newMan.Base = filepath.Base(path)
+		newMan.BaseLSN = target
+		newMan.BaseElements = nextImg.Elements()
+	} else {
+		payload, err := json.Marshal(delta)
+		if err != nil {
+			return fmt.Errorf("pghive: durable: encode run: %w", err)
+		}
+		info, err := runfile.WriteRun(d.fs, d.dir, covered, target, delta.Tombstones(), payload)
+		if err != nil {
+			return err
+		}
+		newMan.Base = d.man.Base
+		newMan.BaseLSN = d.man.BaseLSN
+		newMan.BaseElements = d.man.BaseElements
+		newMan.Runs = append(slices.Clone(d.man.Runs), info)
+	}
+	if err := runfile.WriteManifest(d.fs, d.dir, newMan); err != nil {
+		return err
+	}
+
+	// The manifest swap is the commit point: the new generation
+	// supersedes files the sweep below removes; failures past this
+	// point leave extra files a later round (or OpenDurable) removes,
+	// never an unrecoverable state.
+	d.prevMan = d.man
+	d.man = newMan
+	d.manSeq = newMan.Seq
+	d.sweepLocked()
+	if _, err := lg.Prune(newMan.WALFloor); err != nil {
 		return err
 	}
 	d.clearDegradeIfWritable()
 	return nil
+}
+
+// sweepLocked garbage-collects every checkpoint-layout file in the
+// data directory that neither the current nor the previous generation
+// references: superseded base images, folded-away or orphaned runs
+// (written but never committed by a manifest), stale manifests —
+// including corrupt ones recovery skipped — and temp residue from
+// interrupted atomic writes. Removal failures are counted in
+// DurableStats (GCFailures / LastGCError) and retried on the next
+// sweep; the sweep itself never fails the caller, because leftover
+// files cost space, not correctness. Callers must hold compactMu (or
+// own d exclusively, as during OpenDurable).
+func (d *DurableService) sweepLocked() {
+	keep := d.man.Files()
+	if d.man.Seq > 0 {
+		keep[runfile.ManifestName(d.man.Seq)] = true
+	}
+	if d.prevMan != nil {
+		for f := range d.prevMan.Files() {
+			keep[f] = true
+		}
+		if d.prevMan.Seq > 0 {
+			keep[runfile.ManifestName(d.prevMan.Seq)] = true
+		}
+	}
+	patterns := []string{
+		ckptPrefix + "*" + ckptSuffix,
+		runfile.RunGlobPattern,
+		runfile.ManifestGlobPattern,
+		ckptTmpPattern,
+	}
+	for _, pat := range patterns {
+		names, err := d.fs.Glob(filepath.Join(d.dir, pat))
+		if err != nil {
+			d.noteGCFailure(err)
+			continue
+		}
+		for _, p := range names {
+			if keep[filepath.Base(p)] {
+				continue
+			}
+			if err := d.fs.Remove(p); err != nil {
+				d.noteGCFailure(fmt.Errorf("remove %s: %w", p, err))
+			}
+		}
+	}
+}
+
+func (d *DurableService) noteGCFailure(err error) {
+	d.gcFailures.Add(1)
+	msg := err.Error()
+	d.lastGCErr.Store(&msg)
 }
 
 // Rearm restores write service after read-only degradation: it closes
@@ -586,7 +928,7 @@ func (d *DurableService) Rearm() error {
 	lg, err := wal.Open(filepath.Join(d.dir, walSubdir), wal.Options{
 		SegmentBytes: d.dopts.SegmentBytes,
 		NoSync:       d.dopts.NoSync,
-		MinLSN:       d.ckptLSN + 1,
+		MinLSN:       d.man.Covered() + 1,
 		FS:           d.dopts.FS,
 	})
 	if err != nil {
@@ -618,20 +960,42 @@ func (d *DurableService) applyRecordLocked(rec wal.Record) error {
 	return nil
 }
 
-// CheckpointLSN returns the WAL sequence number covered by the newest
-// checkpoint image (zero before the first compaction).
+// CheckpointLSN returns the WAL sequence number the current
+// checkpoint generation covers — base image plus delta runs (zero
+// before the first compaction).
 func (d *DurableService) CheckpointLSN() uint64 {
 	d.compactMu.Lock()
 	defer d.compactMu.Unlock()
-	return d.ckptLSN
+	return d.man.Covered()
 }
 
 // DurableStats describes the durability state of the data directory.
 type DurableStats struct {
 	// Dir is the data directory.
 	Dir string `json:"dir"`
-	// CheckpointLSN is the WAL LSN covered by the newest checkpoint.
+	// CheckpointLSN is the WAL LSN the current checkpoint generation
+	// covers (base image + delta runs).
 	CheckpointLSN uint64 `json:"checkpointLSN"`
+	// BaseLSN is the WAL LSN of the generation's base image alone;
+	// CheckpointLSN-BaseLSN records live in the run chain.
+	BaseLSN uint64 `json:"baseLSN"`
+	// ManifestSeq is the current generation number (zero before the
+	// first manifest is written).
+	ManifestSeq uint64 `json:"manifestSeq"`
+	// Runs / RunBytes / RunTombstones describe the delta-run chain on
+	// top of the base image; a fold resets all three.
+	Runs          int   `json:"runs"`
+	RunBytes      int64 `json:"runBytes"`
+	RunTombstones int   `json:"runTombstones"`
+	// RecoveryFallbacks counts the checkpoint generations recovery had
+	// to skip (corrupt manifest, torn base or run) before one
+	// validated. Zero in healthy operation.
+	RecoveryFallbacks int `json:"recoveryFallbacks,omitempty"`
+	// GCFailures counts file removals the garbage-collection sweep
+	// could not complete (retried every sweep); LastGCError is the
+	// most recent failure.
+	GCFailures  int64  `json:"gcFailures,omitempty"`
+	LastGCError string `json:"lastGCError,omitempty"`
 	// WALNextLSN is the sequence number the next mutation will carry;
 	// NextLSN-1-CheckpointLSN records replay on recovery today.
 	WALNextLSN uint64 `json:"walNextLSN"`
@@ -656,9 +1020,24 @@ type DurableStats struct {
 func (d *DurableService) DurableStats() DurableStats {
 	lg := d.wal()
 	st := DurableStats{
-		Dir: d.dir, CheckpointLSN: d.CheckpointLSN(),
+		Dir:        d.dir,
 		WALNextLSN: lg.NextLSN(), WALBroken: lg.Broken(),
 		IdempotencyKeys: d.keys.len(),
+		GCFailures:      d.gcFailures.Load(),
+	}
+	d.compactMu.Lock()
+	st.CheckpointLSN = d.man.Covered()
+	st.BaseLSN = d.man.BaseLSN
+	st.ManifestSeq = d.man.Seq
+	st.Runs = len(d.man.Runs)
+	for _, r := range d.man.Runs {
+		st.RunBytes += r.Bytes
+	}
+	st.RunTombstones = d.man.Tombstones()
+	st.RecoveryFallbacks = d.fallbacks
+	d.compactMu.Unlock()
+	if msg := d.lastGCErr.Load(); msg != nil {
+		st.LastGCError = *msg
 	}
 	if reason, degraded := d.Degraded(); degraded {
 		st.ReadOnly, st.ReadOnlyReason = true, reason
@@ -777,26 +1156,23 @@ type walReplayer struct {
 	keys       *idemStore
 }
 
-// newReplayer builds a replayer positioned at a checkpoint image (or
-// at the empty state when ckptPath is ""), returning the WAL LSN the
-// image covers.
-func newReplayer(opts Options, fsys vfs.FS, ckptPath string, keyCap int) (*walReplayer, uint64, error) {
+// newReplayer builds a replayer positioned at a materialized
+// checkpoint image (or at the empty state when img is nil).
+func newReplayer(opts Options, img *core.Image, keyCap int) (*walReplayer, error) {
 	if keyCap <= 0 {
 		keyCap = 65536
 	}
 	rp := &walReplayer{keys: newIdemStore(keyCap)}
-	var after uint64
-	if ckptPath == "" {
+	if img == nil {
 		rp.inc = NewIncremental(opts)
 	} else {
-		inc, extras, err := core.LoadCheckpoint(fsys, opts, ckptPath)
+		inc, extras, err := core.RestoreImage(opts, img)
 		if err != nil {
-			return nil, 0, fmt.Errorf("pghive: durable: restore %s: %w", ckptPath, err)
+			return nil, fmt.Errorf("pghive: durable: restore image: %w", err)
 		}
 		rp.inc = inc
 		rp.resolver = extras.Resolver
 		rp.nextEdgeID = extras.NextEdgeID
-		after = extras.WALSeq
 		for _, k := range extras.AppliedKeys {
 			rp.keys.add(k.Key, k.LSN)
 		}
@@ -805,7 +1181,18 @@ func newReplayer(opts Options, fsys vfs.FS, ckptPath string, keyCap int) (*walRe
 		rp.resolver = pg.NewGraph()
 		rp.resolver.AllowDanglingEdges(true)
 	}
-	return rp, after, nil
+	return rp, nil
+}
+
+// image captures the replayer's state as a checkpoint image covering
+// WAL LSNs up to target.
+func (rp *walReplayer) image(target uint64) (*core.Image, error) {
+	return rp.inc.CaptureImage(&core.CheckpointExtras{
+		Resolver:    rp.resolver,
+		NextEdgeID:  rp.nextEdgeID,
+		WALSeq:      target,
+		AppliedKeys: rp.keys.export(),
+	})
 }
 
 // apply folds one WAL record.
@@ -862,14 +1249,24 @@ func checkpointPath(dir string, lsn uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("%s%020d%s", ckptPrefix, lsn, ckptSuffix))
 }
 
-// newestCheckpoint locates the image with the highest covered LSN
-// ("" when the directory has none).
-func newestCheckpoint(fsys vfs.FS, dir string) (path string, lsn uint64, err error) {
+// legacyCheckpoint is one pre-manifest bare image in the data
+// directory.
+type legacyCheckpoint struct {
+	path string
+	lsn  uint64
+}
+
+// legacyCheckpoints lists the pre-manifest bare images, newest (by
+// filename LSN) first. The filename LSN is a claim, not a fact:
+// recovery verifies it against the image's own WALSeq and falls back
+// to the next candidate when they disagree.
+func legacyCheckpoints(fsys vfs.FS, dir string) ([]legacyCheckpoint, error) {
 	names, err := fsys.Glob(filepath.Join(dir, ckptPrefix+"*"+ckptSuffix))
 	if err != nil {
-		return "", 0, fmt.Errorf("pghive: durable: %w", err)
+		return nil, fmt.Errorf("pghive: durable: %w", err)
 	}
 	sort.Strings(names)
+	var out []legacyCheckpoint
 	for i := len(names) - 1; i >= 0; i-- {
 		base := filepath.Base(names[i])
 		num := strings.TrimSuffix(strings.TrimPrefix(base, ckptPrefix), ckptSuffix)
@@ -877,7 +1274,7 @@ func newestCheckpoint(fsys vfs.FS, dir string) (path string, lsn uint64, err err
 		if perr != nil {
 			continue // not one of ours
 		}
-		return names[i], n, nil
+		out = append(out, legacyCheckpoint{path: names[i], lsn: n})
 	}
-	return "", 0, nil
+	return out, nil
 }

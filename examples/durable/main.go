@@ -3,10 +3,11 @@
 // directory, the process "dies" (kill -9 style — the instance is
 // simply abandoned, no shutdown, no final checkpoint), and a fresh
 // OpenDurable over the same directory recovers a state bit-identical
-// to the moment of death. A compaction then folds the log into a
-// checkpoint image and prunes the superseded segments, and a second
-// kill-and-recover proves the checkpoint + WAL-tail path too. Run
-// with:
+// to the moment of death. Compactions then fold the log incrementally
+// — each round writes a small delta run on top of the base image,
+// until the chain crosses -max-runs and collapses into a fresh base —
+// and a second kill-and-recover proves the manifest-driven path
+// (base + runs + WAL tail) too. Run with:
 //
 //	go run ./examples/durable
 package main
@@ -57,9 +58,10 @@ func main() {
 	data := datagen.Generate(datagen.LDBC(), scale, seed)
 	parts := pghive.SplitBatches(data.Graph, batches, rand.New(rand.NewSource(7)))
 	opts := pghive.Options{Seed: seed}
-	// Tiny segments so the walkthrough rotates and compacts visibly;
-	// production uses the defaults (8 MiB segments, 1 min cadence).
-	dopts := pghive.DurableOptions{SegmentBytes: 64 << 10, DisableAutoCompact: true}
+	// Tiny segments so the walkthrough rotates visibly, and a 2-run
+	// chain cap so a fold happens within a few compactions; production
+	// uses the defaults (8 MiB segments, 1 min cadence, 6 runs).
+	dopts := pghive.DurableOptions{SegmentBytes: 64 << 10, DisableAutoCompact: true, MaxRuns: 2}
 
 	fmt.Printf("data dir: %s\n", dir)
 	fmt.Printf("dataset: %d nodes + %d edges in %d batches\n\n", data.Graph.NumNodes(), data.Graph.NumEdges(), batches)
@@ -92,23 +94,31 @@ func main() {
 	fmt.Printf("phase 2: recovered %d batches from WAL replay\n", d2.Stats().Batches)
 	fmt.Printf("         recovered state bit-identical to pre-crash state: %v\n\n", bytes.Equal(preCrash, recovered))
 
-	// Phase 3: keep writing, then fold the log into a checkpoint.
+	// Phase 3: compact after each remaining batch. Each round writes a
+	// delta run — bytes proportional to the batch, not the database —
+	// until the chain crosses MaxRuns and folds into a fresh base.
+	fmt.Printf("phase 3: one compaction per batch (runs accumulate, then fold at %d)\n", dopts.MaxRuns)
 	for _, b := range parts[batches/2 : batches-1] {
 		_, err := d2.Ingest(b.Graph)
 		check(err)
+		segsBefore := walFiles(dir)
+		check(d2.Compact())
+		ds := d2.DurableStats()
+		kind := fmt.Sprintf("run   (chain %d, %5d run bytes)", ds.Runs, ds.RunBytes)
+		if ds.Runs == 0 {
+			kind = fmt.Sprintf("FOLD  (fresh base at LSN %d)", ds.BaseLSN)
+		}
+		fmt.Printf("         gen %d: %s  covers LSN %d, WAL segments %d -> %d\n",
+			ds.ManifestSeq, kind, ds.CheckpointLSN, segsBefore, walFiles(dir))
 	}
-	segsBefore := walFiles(dir)
-	check(d2.Compact())
-	ds := d2.DurableStats()
-	fmt.Printf("phase 3: ingested up to batch %d, then compacted\n", d2.Stats().Batches)
-	fmt.Printf("         checkpoint covers LSN %d; WAL segments %d -> %d\n\n", ds.CheckpointLSN, segsBefore, walFiles(dir))
+	fmt.Println()
 
-	// Phase 4: one more batch after the checkpoint, crash again, and
-	// recover through checkpoint + WAL tail.
+	// Phase 4: one more batch after the last round, crash again, and
+	// recover through manifest -> base image -> delta runs -> WAL tail.
 	_, err = d2.Ingest(parts[batches-1].Graph)
 	check(err)
 	preCrash2 := stateImage(d2)
-	fmt.Printf("phase 4: ingested final batch on top of the checkpoint\n")
+	fmt.Printf("phase 4: ingested final batch on top of the run chain\n")
 	fmt.Printf("         --- kill -9 again ---\n\n")
 	// d2 abandoned too.
 
@@ -117,7 +127,9 @@ func main() {
 	defer d3.Close()
 	final := stateImage(d3)
 	st = d3.Stats()
-	fmt.Printf("phase 5: recovered checkpoint + %d-record WAL tail\n", d3.DurableStats().WALNextLSN-1-d3.CheckpointLSN())
+	ds := d3.DurableStats()
+	fmt.Printf("phase 5: recovered gen %d (base LSN %d + %d run(s)) + %d-record WAL tail\n",
+		ds.ManifestSeq, ds.BaseLSN, ds.Runs, ds.WALNextLSN-1-d3.CheckpointLSN())
 	fmt.Printf("         final: %d batches, %d nodes, %d edges, %d node types + %d edge types\n",
 		st.Batches, st.Nodes, st.Edges, st.NodeTypes, st.EdgeTypes)
 	fmt.Printf("         recovered state bit-identical to pre-crash state: %v\n", bytes.Equal(preCrash2, final))

@@ -1,0 +1,33 @@
+// Package runfile is in vfsio scope as a whole: every run and
+// manifest byte must be writable through an injected filesystem.
+package runfile
+
+import (
+	"os"
+
+	"example.com/fix/vfs"
+)
+
+// BadWriteRun stages a delta run with the os package directly.
+func BadWriteRun(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `direct os\.WriteFile on a durable path`
+}
+
+// BadListManifests globs the data directory without the vfs.
+func BadListManifests(dir string) error {
+	_, err := os.ReadDir(dir) // want `direct os\.ReadDir on a durable path`
+	return err
+}
+
+// GoodWriteRun routes the same IO through the configured vfs.FS.
+func GoodWriteRun(fsys vfs.FS, path string, data []byte) error {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

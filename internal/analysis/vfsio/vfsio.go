@@ -6,8 +6,9 @@
 // see, so a direct os.Open or os.Rename silently escapes every
 // durability property test the repo runs.
 //
-// Scope: the internal/wal package, durable.go in the root package,
-// and checkpoint.go in internal/core. Tests are out of scope (they
+// Scope: the internal/wal and internal/runfile packages, durable.go
+// in the root package, and checkpoint.go in internal/core. Tests are
+// out of scope (they
 // legitimately stage real temp dirs), as is internal/vfs itself — the
 // one place the os package is supposed to appear.
 package vfsio
@@ -41,6 +42,8 @@ var osFSFuncs = map[string]bool{
 func inScope(pass *analysis.Pass, f *ast.File) bool {
 	switch {
 	case analysis.PathEndsWith(pass.Pkg.Path(), "internal/wal"):
+		return true
+	case analysis.PathEndsWith(pass.Pkg.Path(), "internal/runfile"):
 		return true
 	case pass.FileName(f) == "durable.go":
 		return true

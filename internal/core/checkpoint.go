@@ -10,6 +10,12 @@ package core
 // WriteSchemaJSON alone cannot promise that (a schema-only resume
 // loses assignments, so previously seen unlabeled endpoints stop
 // resolving to their discovered types).
+//
+// The materialized state is exposed as an Image: a plain value the
+// durable layer can capture, serialize, load, diff (delta.go) and
+// merge without holding a live pipeline. WriteCheckpoint is
+// CaptureImage + EncodeImage; ResumeFromCheckpoint is DecodeImage +
+// RestoreImage. The byte format is unchanged from version 1.
 
 import (
 	"bytes"
@@ -27,18 +33,22 @@ import (
 // CheckpointVersion is the format version WriteCheckpoint emits.
 const CheckpointVersion = 1
 
-// resolverNode is one persisted entry of the stream's endpoint
+// ResolverNode is one persisted entry of the stream's endpoint
 // bookkeeping: a node ID and its labels (never properties or edges).
-type resolverNode struct {
+// Labels are in sorted order (pg.Graph canonicalizes them on insert).
+type ResolverNode struct {
 	ID     pg.ID    `json:"id"`
 	Labels []string `json:"labels,omitempty"`
 }
 
-// checkpointJSON is the on-disk layout. Maps marshal with sorted keys
-// and shape entries are exported in fingerprint order, so identical
-// states serialize to identical bytes — which is what lets tests (and
-// operators) diff checkpoints directly.
-type checkpointJSON struct {
+// Image is the materialized checkpoint state — the on-disk layout of a
+// checkpoint file and the value delta runs are diffed against. Maps
+// marshal with sorted keys and shape entries are exported in
+// fingerprint order, so identical states serialize to identical bytes
+// — which is what lets tests (and operators) diff checkpoints
+// directly, and what makes the recovered-state bit-identity property
+// checkable by comparing encoded images.
+type Image struct {
 	Version int `json:"version"`
 	// Schema is the evolving schema in WriteSchemaJSON form.
 	Schema json.RawMessage `json:"schema"`
@@ -55,12 +65,13 @@ type checkpointJSON struct {
 	// NodeChoice / EdgeChoice are the last adaptive parameter choices.
 	NodeChoice lsh.AdaptiveChoice `json:"nodeChoice"`
 	EdgeChoice lsh.AdaptiveChoice `json:"edgeChoice"`
-	// NodeShapeCache / EdgeShapeCache are the interned shape caches.
+	// NodeShapeCache / EdgeShapeCache are the interned shape caches,
+	// in byte-wise fingerprint order.
 	NodeShapeCache []pg.ShapeEntry `json:"nodeShapeCache,omitempty"`
 	EdgeShapeCache []pg.ShapeEntry `json:"edgeShapeCache,omitempty"`
 	// Resolver is the stream's label-only endpoint bookkeeping, in ID
 	// order.
-	Resolver []resolverNode `json:"resolver,omitempty"`
+	Resolver []ResolverNode `json:"resolver,omitempty"`
 	// NextEdgeID preserves the CSV stream's sequential edge-ID counter
 	// (0 for JSONL streams, whose IDs are explicit in the input).
 	NextEdgeID pg.ID `json:"nextEdgeID,omitempty"`
@@ -79,6 +90,12 @@ type checkpointJSON struct {
 	// WAL records that carried the keys) would let a client's retry of
 	// an already-applied write slip through after a restart.
 	AppliedKeys []AppliedKey `json:"appliedKeys,omitempty"`
+}
+
+// Elements counts the assigned elements (nodes + edges) the image
+// holds — the denominator of the durable layer's tombstone ratio.
+func (img *Image) Elements() int {
+	return len(img.NodeAssign) + len(img.EdgeAssign)
 }
 
 // AppliedKey records one applied idempotency key and the WAL LSN of
@@ -106,16 +123,16 @@ type CheckpointExtras struct {
 	AppliedKeys []AppliedKey
 }
 
-// WriteCheckpoint serializes the discovery's full cross-batch state.
-// extras may be nil when the discovery is fed by explicit batches
-// rather than a stream. The caller must serialize the call with
-// writes (ProcessBatch / RetractBatch), like every other read.
-func (inc *Incremental) WriteCheckpoint(w io.Writer, extras *CheckpointExtras) error {
+// CaptureImage materializes the discovery's full cross-batch state as
+// an Image. extras may be nil when the discovery is fed by explicit
+// batches rather than a stream. The caller must serialize the call
+// with writes (ProcessBatch / RetractBatch), like every other read.
+func (inc *Incremental) CaptureImage(extras *CheckpointExtras) (*Image, error) {
 	var sb bytes.Buffer
 	if err := schema.WriteJSON(&sb, inc.sch); err != nil {
-		return fmt.Errorf("core: checkpoint schema: %w", err)
+		return nil, fmt.Errorf("core: checkpoint schema: %w", err)
 	}
-	cj := checkpointJSON{
+	img := &Image{
 		Version:        CheckpointVersion,
 		Schema:         json.RawMessage(sb.Bytes()),
 		Batches:        inc.batches,
@@ -130,71 +147,100 @@ func (inc *Incremental) WriteCheckpoint(w io.Writer, extras *CheckpointExtras) e
 		EdgeShapeCache: inc.edgeShapes.Export(),
 	}
 	if len(inc.result.NodeAssign) > 0 {
-		cj.NodeAssign = make(map[pg.ID]int, len(inc.result.NodeAssign))
+		img.NodeAssign = make(map[pg.ID]int, len(inc.result.NodeAssign))
 		for id, t := range inc.result.NodeAssign {
-			cj.NodeAssign[id] = t.ID
+			img.NodeAssign[id] = t.ID
 		}
 	}
 	if len(inc.result.EdgeAssign) > 0 {
-		cj.EdgeAssign = make(map[pg.ID]int, len(inc.result.EdgeAssign))
+		img.EdgeAssign = make(map[pg.ID]int, len(inc.result.EdgeAssign))
 		for id, t := range inc.result.EdgeAssign {
-			cj.EdgeAssign[id] = t.ID
+			img.EdgeAssign[id] = t.ID
 		}
 	}
 	if extras != nil {
-		cj.NextEdgeID = extras.NextEdgeID
-		cj.WALSeq = extras.WALSeq
-		cj.AppliedKeys = extras.AppliedKeys
+		img.NextEdgeID = extras.NextEdgeID
+		img.WALSeq = extras.WALSeq
+		img.AppliedKeys = extras.AppliedKeys
 		if extras.Resolver != nil {
 			nodes := extras.Resolver.Nodes()
-			cj.Resolver = make([]resolverNode, len(nodes))
+			img.Resolver = make([]ResolverNode, len(nodes))
 			for i := range nodes {
-				cj.Resolver[i] = resolverNode{ID: nodes[i].ID, Labels: nodes[i].Labels}
+				img.Resolver[i] = ResolverNode{ID: nodes[i].ID, Labels: nodes[i].Labels}
 			}
 			// Canonical ID order, not insertion order: two logically
 			// identical states whose nodes arrived in different orders
 			// still serialize to identical bytes.
-			sort.Slice(cj.Resolver, func(i, j int) bool { return cj.Resolver[i].ID < cj.Resolver[j].ID })
+			sort.Slice(img.Resolver, func(i, j int) bool { return img.Resolver[i].ID < img.Resolver[j].ID })
 		}
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(&cj)
+	return img, nil
 }
 
-// ResumeFromCheckpoint restores a discovery from a checkpoint written
-// by WriteCheckpoint. It returns the Incremental, positioned exactly
-// where the interrupted run stood, plus the persisted stream extras:
-// seed a new StreamReader over the remaining input with the returned
-// resolver nodes (SeedResolver) — and, for CSV, SetNextEdgeID — and
-// the finished run is bit-identical to one that never stopped.
-// opts must match the interrupted run's options; the checkpoint does
-// not store them (they may contain live configuration like
-// parallelism that the operator wants to change across restarts, and
-// changing discovery-relevant ones simply forfeits bit-identity).
-func ResumeFromCheckpoint(opts Options, r io.Reader) (*Incremental, *CheckpointExtras, error) {
-	var cj checkpointJSON
+// EncodeImage writes the image in the canonical checkpoint byte
+// format (indented JSON, sorted map keys, trailing newline).
+func EncodeImage(w io.Writer, img *Image) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(img)
+}
+
+// DecodeImage reads one checkpoint image and validates its version.
+func DecodeImage(r io.Reader) (*Image, error) {
+	var img Image
 	dec := json.NewDecoder(r)
-	if err := dec.Decode(&cj); err != nil {
-		return nil, nil, fmt.Errorf("core: checkpoint: %w", err)
+	if err := dec.Decode(&img); err != nil {
+		return nil, fmt.Errorf("core: checkpoint: %w", err)
 	}
-	if cj.Version != CheckpointVersion {
-		return nil, nil, fmt.Errorf("core: unsupported checkpoint version %d", cj.Version)
+	if img.Version != CheckpointVersion {
+		return nil, fmt.Errorf("core: unsupported checkpoint version %d", img.Version)
 	}
-	s, err := schema.ReadJSON(bytes.NewReader(cj.Schema))
+	return &img, nil
+}
+
+// EmptyImage is the image of a freshly created discovery — the base
+// every delta run chain starts from when no checkpoint exists yet.
+// It depends only on opts, so two processes with matching options
+// agree on it without any file existing.
+func EmptyImage(opts Options) (*Image, error) {
+	return NewIncremental(opts).CaptureImage(nil)
+}
+
+// WriteCheckpoint serializes the discovery's full cross-batch state.
+// extras may be nil when the discovery is fed by explicit batches
+// rather than a stream. The caller must serialize the call with
+// writes (ProcessBatch / RetractBatch), like every other read.
+func (inc *Incremental) WriteCheckpoint(w io.Writer, extras *CheckpointExtras) error {
+	img, err := inc.CaptureImage(extras)
+	if err != nil {
+		return err
+	}
+	return EncodeImage(w, img)
+}
+
+// RestoreImage rebuilds a live discovery from a materialized image.
+// opts must match the run that produced the image; the image does not
+// store them (they may contain live configuration like parallelism
+// that the operator wants to change across restarts, and changing
+// discovery-relevant ones simply forfeits bit-identity).
+func RestoreImage(opts Options, img *Image) (*Incremental, *CheckpointExtras, error) {
+	if img.Version != CheckpointVersion {
+		return nil, nil, fmt.Errorf("core: unsupported checkpoint version %d", img.Version)
+	}
+	s, err := schema.ReadJSON(bytes.NewReader(img.Schema))
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: checkpoint: %w", err)
 	}
 
 	inc := ResumeIncremental(opts, s)
-	s.SetNextTypeID(cj.NextTypeID)
-	inc.batches = cj.Batches
-	inc.result.NodeClusters = cj.NodeClusters
-	inc.result.EdgeClusters = cj.EdgeClusters
-	inc.result.NodeShapes = cj.NodeShapes
-	inc.result.EdgeShapes = cj.EdgeShapes
-	inc.result.NodeChoice = cj.NodeChoice
-	inc.result.EdgeChoice = cj.EdgeChoice
+	s.SetNextTypeID(img.NextTypeID)
+	inc.batches = img.Batches
+	inc.result.NodeClusters = img.NodeClusters
+	inc.result.EdgeClusters = img.EdgeClusters
+	inc.result.NodeShapes = img.NodeShapes
+	inc.result.EdgeShapes = img.EdgeShapes
+	inc.result.NodeChoice = img.NodeChoice
+	inc.result.EdgeChoice = img.EdgeChoice
 
 	nodeByID := make(map[int]*schema.NodeType, len(s.NodeTypes))
 	for _, nt := range s.NodeTypes {
@@ -204,9 +250,9 @@ func ResumeFromCheckpoint(opts Options, r io.Reader) (*Incremental, *CheckpointE
 	for _, et := range s.EdgeTypes {
 		edgeByID[et.ID] = et
 	}
-	if len(cj.NodeAssign) > 0 {
-		inc.result.NodeAssign = make(map[pg.ID]*schema.NodeType, len(cj.NodeAssign))
-		for id, tid := range cj.NodeAssign {
+	if len(img.NodeAssign) > 0 {
+		inc.result.NodeAssign = make(map[pg.ID]*schema.NodeType, len(img.NodeAssign))
+		for id, tid := range img.NodeAssign {
 			t := nodeByID[tid]
 			if t == nil {
 				return nil, nil, fmt.Errorf("core: checkpoint: node %d assigned to unknown type %d", id, tid)
@@ -214,9 +260,9 @@ func ResumeFromCheckpoint(opts Options, r io.Reader) (*Incremental, *CheckpointE
 			inc.result.NodeAssign[id] = t
 		}
 	}
-	if len(cj.EdgeAssign) > 0 {
-		inc.result.EdgeAssign = make(map[pg.ID]*schema.EdgeType, len(cj.EdgeAssign))
-		for id, tid := range cj.EdgeAssign {
+	if len(img.EdgeAssign) > 0 {
+		inc.result.EdgeAssign = make(map[pg.ID]*schema.EdgeType, len(img.EdgeAssign))
+		for id, tid := range img.EdgeAssign {
 			t := edgeByID[tid]
 			if t == nil {
 				return nil, nil, fmt.Errorf("core: checkpoint: edge %d assigned to unknown type %d", id, tid)
@@ -225,18 +271,18 @@ func ResumeFromCheckpoint(opts Options, r io.Reader) (*Incremental, *CheckpointE
 		}
 	}
 
-	if inc.nodeShapes, err = pg.RestoreShapeCache(cj.NodeShapeCache); err != nil {
+	if inc.nodeShapes, err = pg.RestoreShapeCache(img.NodeShapeCache); err != nil {
 		return nil, nil, fmt.Errorf("core: checkpoint: node shapes: %w", err)
 	}
-	if inc.edgeShapes, err = pg.RestoreShapeCache(cj.EdgeShapeCache); err != nil {
+	if inc.edgeShapes, err = pg.RestoreShapeCache(img.EdgeShapeCache); err != nil {
 		return nil, nil, fmt.Errorf("core: checkpoint: edge shapes: %w", err)
 	}
 
-	extras := &CheckpointExtras{NextEdgeID: cj.NextEdgeID, WALSeq: cj.WALSeq, AppliedKeys: cj.AppliedKeys}
-	if len(cj.Resolver) > 0 {
+	extras := &CheckpointExtras{NextEdgeID: img.NextEdgeID, WALSeq: img.WALSeq, AppliedKeys: img.AppliedKeys}
+	if len(img.Resolver) > 0 {
 		g := pg.NewGraph()
 		g.AllowDanglingEdges(true)
-		for _, rn := range cj.Resolver {
+		for _, rn := range img.Resolver {
 			if err := g.PutNode(rn.ID, rn.Labels, nil); err != nil {
 				return nil, nil, fmt.Errorf("core: checkpoint: resolver: %w", err)
 			}
@@ -246,15 +292,41 @@ func ResumeFromCheckpoint(opts Options, r io.Reader) (*Incremental, *CheckpointE
 	return inc, extras, nil
 }
 
+// ResumeFromCheckpoint restores a discovery from a checkpoint written
+// by WriteCheckpoint. It returns the Incremental, positioned exactly
+// where the interrupted run stood, plus the persisted stream extras:
+// seed a new StreamReader over the remaining input with the returned
+// resolver nodes (SeedResolver) — and, for CSV, SetNextEdgeID — and
+// the finished run is bit-identical to one that never stopped.
+// opts must match the interrupted run's options (see RestoreImage).
+func ResumeFromCheckpoint(opts Options, r io.Reader) (*Incremental, *CheckpointExtras, error) {
+	img, err := DecodeImage(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return RestoreImage(opts, img)
+}
+
+// LoadImage reads a checkpoint image from path on fsys (nil selects
+// the real OS) without restoring a live pipeline from it — the
+// durable layer's recovery and delta-diffing paths start here.
+func LoadImage(fsys vfs.FS, path string) (*Image, error) {
+	f, err := vfs.Open(vfs.OrOS(fsys), path)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint: %w", err)
+	}
+	defer f.Close()
+	return DecodeImage(f)
+}
+
 // LoadCheckpoint opens a checkpoint image on fsys (nil selects the
 // real OS) and restores it via ResumeFromCheckpoint.
 func LoadCheckpoint(fsys vfs.FS, opts Options, path string) (*Incremental, *CheckpointExtras, error) {
-	f, err := vfs.Open(vfs.OrOS(fsys), path)
+	img, err := LoadImage(fsys, path)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: checkpoint: %w", err)
+		return nil, nil, err
 	}
-	defer f.Close()
-	return ResumeFromCheckpoint(opts, f)
+	return RestoreImage(opts, img)
 }
 
 // WriteCheckpointFile writes the checkpoint image crash-safely to

@@ -1,0 +1,340 @@
+package core
+
+// delta.go turns two checkpoint Images into an ImageDelta — the
+// payload of one durable-layer run file — and folds a delta back onto
+// an image. The pair is exact by construction: for any base and next,
+// Apply(base, Diff(base, next)) rebuilds next's state (the scalar
+// fields byte-for-byte; the keyed collections as sets, which is all
+// image serialization observes since it emits them in canonical
+// order). That equivalence is what lets compaction write only what
+// changed since the previous fold while recovery still reaches the
+// bit-identical full image.
+//
+// Large collections are encoded as explicit put/delete lists — the
+// deletes are the tombstones of the run layout — while the scalars
+// (counters, adaptive choices) are carried whole: they are O(types),
+// not O(elements), and replacing them beats diffing them. The one
+// exception is the schema blob, whose per-node degree statistics grow
+// with the database: it travels as a structural patch (see
+// schema.DiffJSON) so delta runs stay proportional to what changed.
+
+import (
+	"bytes"
+	"cmp"
+	"fmt"
+	"slices"
+
+	"encoding/json"
+
+	"github.com/pghive/pghive/internal/lsh"
+	"github.com/pghive/pghive/internal/pg"
+	"github.com/pghive/pghive/internal/schema"
+)
+
+// schemaEqual compares two serialized schemas modulo whitespace: a
+// freshly captured image carries WriteJSON's indented form while a
+// decoded one carries the compact form, and the two must not produce
+// a patch for an unchanged schema.
+func schemaEqual(a, b json.RawMessage) bool {
+	if bytes.Equal(a, b) {
+		return true
+	}
+	var ca, cb bytes.Buffer
+	if json.Compact(&ca, a) != nil || json.Compact(&cb, b) != nil {
+		return false
+	}
+	return bytes.Equal(ca.Bytes(), cb.Bytes())
+}
+
+// DeltaVersion is the ImageDelta format version.
+const DeltaVersion = 1
+
+// Assign records one element's (re)assignment to a schema type.
+type Assign struct {
+	ID   pg.ID `json:"id"`
+	Type int   `json:"type"`
+}
+
+// ImageDelta is the difference between two checkpoint images: the
+// state change a span of WAL records (FromLSN, ToLSN] produced.
+// Collections list puts and deletes in canonical order (IDs and
+// fingerprints ascending), so identical deltas marshal to identical
+// bytes — run files are golden-diffable like checkpoints.
+type ImageDelta struct {
+	Version int `json:"version"`
+	// FromLSN / ToLSN bound the WAL span the delta covers: it applies
+	// only to an image whose WALSeq equals FromLSN, and produces an
+	// image covering ToLSN.
+	FromLSN uint64 `json:"fromLSN"`
+	ToLSN   uint64 `json:"toLSN"`
+
+	// SchemaPatch is the structural schema diff (schema.DiffJSON);
+	// absent when the schema did not change across the span.
+	SchemaPatch json.RawMessage `json:"schemaPatch,omitempty"`
+
+	// Whole-value replacements: O(schema), not O(elements).
+	Batches      int                `json:"batches"`
+	NodeClusters int                `json:"nodeClusters"`
+	EdgeClusters int                `json:"edgeClusters"`
+	NodeShapes   int                `json:"nodeShapes"`
+	EdgeShapes   int                `json:"edgeShapes"`
+	NodeChoice   lsh.AdaptiveChoice `json:"nodeChoice"`
+	EdgeChoice   lsh.AdaptiveChoice `json:"edgeChoice"`
+	NextTypeID   int                `json:"nextTypeID"`
+	NextEdgeID   pg.ID              `json:"nextEdgeID,omitempty"`
+
+	// Assignment puts and tombstones, ID-ascending.
+	NodeAssign   []Assign `json:"nodeAssign,omitempty"`
+	NodeUnassign []pg.ID  `json:"nodeUnassign,omitempty"`
+	EdgeAssign   []Assign `json:"edgeAssign,omitempty"`
+	EdgeUnassign []pg.ID  `json:"edgeUnassign,omitempty"`
+
+	// Shape-cache puts and tombstones, fingerprint-ascending (deleted
+	// fingerprints marshal as base64 like ShapeEntry keys).
+	NodeShapePut []pg.ShapeEntry `json:"nodeShapePut,omitempty"`
+	NodeShapeDel [][]byte        `json:"nodeShapeDel,omitempty"`
+	EdgeShapePut []pg.ShapeEntry `json:"edgeShapePut,omitempty"`
+	EdgeShapeDel [][]byte        `json:"edgeShapeDel,omitempty"`
+
+	// Resolver puts and tombstones, ID-ascending.
+	ResolverPut []ResolverNode `json:"resolverPut,omitempty"`
+	ResolverDel []pg.ID        `json:"resolverDel,omitempty"`
+
+	// AppliedKeys are the idempotency keys applied in (FromLSN, ToLSN],
+	// in LSN order. Keys the base image already carried are not
+	// repeated; merging concatenates, and the bounded applied-key
+	// store re-applies its retention cap on restore.
+	AppliedKeys []AppliedKey `json:"appliedKeys,omitempty"`
+}
+
+// Tombstones counts the delta's deletions — the numerator of the
+// durable layer's fold-triggering tombstone ratio.
+func (d *ImageDelta) Tombstones() int {
+	return len(d.NodeUnassign) + len(d.EdgeUnassign) +
+		len(d.NodeShapeDel) + len(d.EdgeShapeDel) + len(d.ResolverDel)
+}
+
+// DiffImage computes the delta that transforms base into next. Both
+// images must be canonical (as produced by CaptureImage / DecodeImage)
+// and next.WALSeq must not precede base.WALSeq.
+func DiffImage(base, next *Image) (*ImageDelta, error) {
+	if base.Version != CheckpointVersion || next.Version != CheckpointVersion {
+		return nil, fmt.Errorf("core: delta: unsupported image versions %d -> %d", base.Version, next.Version)
+	}
+	if next.WALSeq < base.WALSeq {
+		return nil, fmt.Errorf("core: delta: next image covers LSN %d, before base LSN %d", next.WALSeq, base.WALSeq)
+	}
+	d := &ImageDelta{
+		Version: DeltaVersion,
+		FromLSN: base.WALSeq,
+		ToLSN:   next.WALSeq,
+
+		Batches:      next.Batches,
+		NodeClusters: next.NodeClusters,
+		EdgeClusters: next.EdgeClusters,
+		NodeShapes:   next.NodeShapes,
+		EdgeShapes:   next.EdgeShapes,
+		NodeChoice:   next.NodeChoice,
+		EdgeChoice:   next.EdgeChoice,
+		NextTypeID:   next.NextTypeID,
+		NextEdgeID:   next.NextEdgeID,
+	}
+	if !schemaEqual(base.Schema, next.Schema) {
+		patch, err := schema.DiffJSON(base.Schema, next.Schema)
+		if err != nil {
+			return nil, fmt.Errorf("core: delta: schema diff: %w", err)
+		}
+		d.SchemaPatch = patch
+	}
+	d.NodeAssign, d.NodeUnassign = diffAssign(base.NodeAssign, next.NodeAssign)
+	d.EdgeAssign, d.EdgeUnassign = diffAssign(base.EdgeAssign, next.EdgeAssign)
+	d.NodeShapePut, d.NodeShapeDel = diffShapes(base.NodeShapeCache, next.NodeShapeCache)
+	d.EdgeShapePut, d.EdgeShapeDel = diffShapes(base.EdgeShapeCache, next.EdgeShapeCache)
+	d.ResolverPut, d.ResolverDel = diffResolver(base.Resolver, next.Resolver)
+	for _, k := range next.AppliedKeys {
+		if k.LSN > base.WALSeq {
+			d.AppliedKeys = append(d.AppliedKeys, k)
+		}
+	}
+	return d, nil
+}
+
+// Apply folds the delta onto img in place, advancing it from FromLSN
+// to ToLSN. The delta chain's contiguity is enforced here: applying a
+// run whose FromLSN is not exactly the image's covered LSN fails.
+func (d *ImageDelta) Apply(img *Image) error {
+	if d.Version != DeltaVersion {
+		return fmt.Errorf("core: delta: unsupported delta version %d", d.Version)
+	}
+	if img.Version != CheckpointVersion {
+		return fmt.Errorf("core: delta: unsupported image version %d", img.Version)
+	}
+	if d.FromLSN != img.WALSeq {
+		return fmt.Errorf("core: delta: run starts at LSN %d but image covers LSN %d", d.FromLSN, img.WALSeq)
+	}
+
+	if d.SchemaPatch != nil {
+		patched, err := schema.ApplyPatchJSON(img.Schema, d.SchemaPatch)
+		if err != nil {
+			return fmt.Errorf("core: delta: schema patch: %w", err)
+		}
+		img.Schema = patched
+	}
+	img.Batches = d.Batches
+	img.NodeClusters = d.NodeClusters
+	img.EdgeClusters = d.EdgeClusters
+	img.NodeShapes = d.NodeShapes
+	img.EdgeShapes = d.EdgeShapes
+	img.NodeChoice = d.NodeChoice
+	img.EdgeChoice = d.EdgeChoice
+	img.NextTypeID = d.NextTypeID
+	img.NextEdgeID = d.NextEdgeID
+
+	img.NodeAssign = applyAssign(img.NodeAssign, d.NodeAssign, d.NodeUnassign)
+	img.EdgeAssign = applyAssign(img.EdgeAssign, d.EdgeAssign, d.EdgeUnassign)
+	img.NodeShapeCache = applyShapes(img.NodeShapeCache, d.NodeShapePut, d.NodeShapeDel)
+	img.EdgeShapeCache = applyShapes(img.EdgeShapeCache, d.EdgeShapePut, d.EdgeShapeDel)
+	img.Resolver = applyResolver(img.Resolver, d.ResolverPut, d.ResolverDel)
+	img.AppliedKeys = append(img.AppliedKeys, d.AppliedKeys...)
+	img.WALSeq = d.ToLSN
+	return nil
+}
+
+func diffAssign(base, next map[pg.ID]int) (puts []Assign, dels []pg.ID) {
+	for id, t := range next {
+		if bt, ok := base[id]; !ok || bt != t {
+			puts = append(puts, Assign{ID: id, Type: t})
+		}
+	}
+	for id := range base {
+		if _, ok := next[id]; !ok {
+			dels = append(dels, id)
+		}
+	}
+	slices.SortFunc(puts, func(a, b Assign) int { return cmp.Compare(a.ID, b.ID) })
+	slices.Sort(dels)
+	return puts, dels
+}
+
+func applyAssign(m map[pg.ID]int, puts []Assign, dels []pg.ID) map[pg.ID]int {
+	if len(puts) > 0 && m == nil {
+		m = make(map[pg.ID]int, len(puts))
+	}
+	for _, p := range puts {
+		m[p.ID] = p.Type
+	}
+	for _, id := range dels {
+		delete(m, id)
+	}
+	if len(m) == 0 {
+		return nil // canonical: empty marshals as absent, like CaptureImage
+	}
+	return m
+}
+
+// diffShapes merge-walks two fingerprint-sorted exports.
+func diffShapes(base, next []pg.ShapeEntry) (puts []pg.ShapeEntry, dels [][]byte) {
+	i, j := 0, 0
+	for i < len(base) || j < len(next) {
+		switch {
+		case i == len(base):
+			puts = append(puts, next[j])
+			j++
+		case j == len(next):
+			dels = append(dels, base[i].Key)
+			i++
+		default:
+			switch c := bytes.Compare(base[i].Key, next[j].Key); {
+			case c < 0:
+				dels = append(dels, base[i].Key)
+				i++
+			case c > 0:
+				puts = append(puts, next[j])
+				j++
+			default:
+				if base[i].Token != next[j].Token || !slices.Equal(base[i].Items, next[j].Items) {
+					puts = append(puts, next[j])
+				}
+				i, j = i+1, j+1
+			}
+		}
+	}
+	return puts, dels
+}
+
+func applyShapes(entries []pg.ShapeEntry, puts []pg.ShapeEntry, dels [][]byte) []pg.ShapeEntry {
+	if len(puts) == 0 && len(dels) == 0 {
+		return entries
+	}
+	m := make(map[string]pg.ShapeEntry, len(entries)+len(puts))
+	for _, e := range entries {
+		m[string(e.Key)] = e
+	}
+	for _, e := range puts {
+		m[string(e.Key)] = e
+	}
+	for _, k := range dels {
+		delete(m, string(k))
+	}
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]pg.ShapeEntry, 0, len(m))
+	for _, e := range m {
+		out = append(out, e)
+	}
+	slices.SortFunc(out, func(a, b pg.ShapeEntry) int { return bytes.Compare(a.Key, b.Key) })
+	return out
+}
+
+// diffResolver merge-walks two ID-sorted resolver exports.
+func diffResolver(base, next []ResolverNode) (puts []ResolverNode, dels []pg.ID) {
+	i, j := 0, 0
+	for i < len(base) || j < len(next) {
+		switch {
+		case i == len(base):
+			puts = append(puts, next[j])
+			j++
+		case j == len(next):
+			dels = append(dels, base[i].ID)
+			i++
+		case base[i].ID < next[j].ID:
+			dels = append(dels, base[i].ID)
+			i++
+		case base[i].ID > next[j].ID:
+			puts = append(puts, next[j])
+			j++
+		default:
+			if !slices.Equal(base[i].Labels, next[j].Labels) {
+				puts = append(puts, next[j])
+			}
+			i, j = i+1, j+1
+		}
+	}
+	return puts, dels
+}
+
+func applyResolver(nodes []ResolverNode, puts []ResolverNode, dels []pg.ID) []ResolverNode {
+	if len(puts) == 0 && len(dels) == 0 {
+		return nodes
+	}
+	m := make(map[pg.ID]ResolverNode, len(nodes)+len(puts))
+	for _, n := range nodes {
+		m[n.ID] = n
+	}
+	for _, n := range puts {
+		m[n.ID] = n
+	}
+	for _, id := range dels {
+		delete(m, id)
+	}
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]ResolverNode, 0, len(m))
+	for _, n := range m {
+		out = append(out, n)
+	}
+	slices.SortFunc(out, func(a, b ResolverNode) int { return cmp.Compare(a.ID, b.ID) })
+	return out
+}

@@ -1,0 +1,276 @@
+package runfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/pghive/pghive/internal/vfs"
+)
+
+const dir = "data"
+
+func newFS(t *testing.T) *vfs.MemFS {
+	t.Helper()
+	mem := vfs.NewMemFS()
+	if err := mem.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return mem
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	mem := newFS(t)
+	payload := []byte(`{"version":1,"fromLSN":3,"toLSN":7}`)
+	info, err := WriteRun(mem, dir, 3, 7, 2, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != RunName(3, 7) || info.From != 3 || info.To != 7 || info.Tombstones != 2 {
+		t.Fatalf("run info %+v", info)
+	}
+	st, err := mem.Stat(filepath.Join(dir, info.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != info.Bytes {
+		t.Fatalf("file is %d bytes, info says %d", st.Size(), info.Bytes)
+	}
+	got, err := ReadRun(mem, dir, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload round-trip: %q", got)
+	}
+}
+
+// TestRunRejectsDamage: every way a run file can be wrong — bit flip,
+// truncation, a header too short to parse, the wrong file kind under
+// the right name, or a stale file whose frame is internally valid but
+// does not match the manifest's recorded CRC — fails the read loudly.
+func TestRunRejectsDamage(t *testing.T) {
+	payload := []byte(`{"version":1,"fromLSN":3,"toLSN":7}`)
+	path := filepath.Join(dir, RunName(3, 7))
+	cases := []struct {
+		name   string
+		damage func(t *testing.T, mem *vfs.MemFS, info *RunInfo)
+		want   string
+	}{
+		{"bit flip", func(t *testing.T, mem *vfs.MemFS, info *RunInfo) {
+			corruptByte(t, mem, path, -1)
+		}, "CRC"},
+		{"truncated", func(t *testing.T, mem *vfs.MemFS, info *RunInfo) {
+			if err := mem.Truncate(path, info.Bytes-5); err != nil {
+				t.Fatal(err)
+			}
+		}, "frame says"},
+		{"no header", func(t *testing.T, mem *vfs.MemFS, info *RunInfo) {
+			if err := mem.Truncate(path, 3); err != nil {
+				t.Fatal(err)
+			}
+		}, "missing frame header"},
+		{"wrong magic", func(t *testing.T, mem *vfs.MemFS, info *RunInfo) {
+			if err := writeFramed(mem, path, manifestMagic, payload); err != nil {
+				t.Fatal(err)
+			}
+		}, "magic"},
+		{"stale file under the right name", func(t *testing.T, mem *vfs.MemFS, info *RunInfo) {
+			if err := writeFramed(mem, path, runMagic, []byte(`{"other":true}`)); err != nil {
+				t.Fatal(err)
+			}
+		}, "manifest says"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mem := newFS(t)
+			info, err := WriteRun(mem, dir, 3, 7, 0, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.damage(t, mem, &info)
+			_, err = ReadRun(mem, dir, info)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("damaged run read: err=%v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func corruptByte(t *testing.T, mem *vfs.MemFS, path string, at int64) {
+	t.Helper()
+	f, err := mem.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if at < 0 {
+		end, err := f.Seek(at, io.SeekEnd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = end
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], at); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.Seek(at, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(b[:]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testManifest() *Manifest {
+	return &Manifest{
+		Version:      ManifestVersion,
+		Seq:          4,
+		Base:         "checkpoint-00000000000000000002.ckpt",
+		BaseLSN:      2,
+		BaseElements: 120,
+		Runs: []RunInfo{
+			{Name: RunName(2, 5), From: 2, To: 5, Bytes: 100, CRC: 0xdeadbeef, Tombstones: 1},
+			{Name: RunName(5, 9), From: 5, To: 9, Bytes: 80, CRC: 0x1234, Tombstones: 2},
+		},
+		WALFloor: 5,
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	mem := newFS(t)
+	m := testManifest()
+	if err := WriteManifest(mem, dir, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(mem, filepath.Join(dir, ManifestName(m.Seq)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("manifest round-trip:\n got %+v\nwant %+v", got, m)
+	}
+	if got.Covered() != 9 {
+		t.Fatalf("Covered() = %d, want 9", got.Covered())
+	}
+	if got.Tombstones() != 3 {
+		t.Fatalf("Tombstones() = %d, want 3", got.Tombstones())
+	}
+	files := got.Files()
+	for _, f := range []string{m.Base, RunName(2, 5), RunName(5, 9)} {
+		if !files[f] {
+			t.Fatalf("Files() is missing %s: %v", f, files)
+		}
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Manifest)
+		want   string
+	}{
+		{"valid", func(m *Manifest) {}, ""},
+		{"bad version", func(m *Manifest) { m.Version = 99 }, "version"},
+		{"chain gap", func(m *Manifest) { m.Runs[1].From = 6 }, "chain stands at"},
+		{"empty span", func(m *Manifest) { m.Runs[1].From, m.Runs[1].To = 5, 5 }, "empty span"},
+		{"misnamed run", func(m *Manifest) { m.Runs[0].Name = "run-x.run" }, "named"},
+		{"floor above coverage", func(m *Manifest) { m.WALFloor = 10 }, "WAL floor"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := testManifest()
+			tc.mutate(m)
+			err := m.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate: err=%v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestManifestSeqBinding: a manifest file renamed or copied under a
+// different generation number is rejected — the embedded sequence is
+// authoritative and must match the name it was committed under.
+func TestManifestSeqBinding(t *testing.T) {
+	mem := newFS(t)
+	m := testManifest()
+	if err := WriteManifest(mem, dir, m); err != nil {
+		t.Fatal(err)
+	}
+	impostor := filepath.Join(dir, ManifestName(m.Seq+3))
+	if err := mem.Rename(filepath.Join(dir, ManifestName(m.Seq)), impostor); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(mem, impostor); err == nil {
+		t.Fatal("ReadManifest accepted a manifest under the wrong generation name")
+	}
+}
+
+func TestListManifests(t *testing.T) {
+	mem := newFS(t)
+	for _, seq := range []uint64{1, 3} {
+		m := &Manifest{Version: ManifestVersion, Seq: seq, BaseLSN: 0, WALFloor: 0}
+		if err := WriteManifest(mem, dir, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A garbage file under a parseable manifest name still counts for
+	// sequence allocation (readers skip it when its frame fails), and
+	// an unparseable name is ignored entirely.
+	for name, data := range map[string]string{
+		ManifestName(7):    "garbage",
+		"manifest-abc.mft": "noise",
+	} {
+		f, err := mem.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprint(f, data)
+		f.Close()
+	}
+	paths, maxSeq, err := ListManifests(mem, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxSeq != 7 {
+		t.Fatalf("maxSeq = %d, want 7", maxSeq)
+	}
+	want := []string{
+		filepath.Join(dir, ManifestName(7)),
+		filepath.Join(dir, ManifestName(3)),
+		filepath.Join(dir, ManifestName(1)),
+	}
+	if !reflect.DeepEqual(paths, want) {
+		t.Fatalf("paths = %v, want %v (newest generation first)", paths, want)
+	}
+}
+
+func TestNameHelpers(t *testing.T) {
+	if got := RunName(3, 12); got != "run-00000000000000000003-00000000000000000012.run" {
+		t.Fatalf("RunName: %s", got)
+	}
+	if !IsRun(RunName(3, 12)) || IsRun(ManifestName(3)) || IsRun("checkpoint-3.ckpt") {
+		t.Fatal("IsRun misclassifies")
+	}
+	if seq, ok := ParseManifestSeq(filepath.Join("a", "b", ManifestName(42))); !ok || seq != 42 {
+		t.Fatalf("ParseManifestSeq: %d %v", seq, ok)
+	}
+	for _, bad := range []string{"manifest-x.mft", "manifest-1.txt", "run-1-2.run"} {
+		if _, ok := ParseManifestSeq(bad); ok {
+			t.Fatalf("ParseManifestSeq accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package schema
+
+// patch_test.go exercises DiffJSON/ApplyPatchJSON on hand-built
+// persist-format fixtures: the patch pair operates on WriteJSON
+// bytes, so the tests construct jsonSchema values directly and
+// serialize them the same way WriteJSON does.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// encodeFixture serializes js the way WriteJSON serializes a Schema
+// (indented Encoder output), so fixtures are format-faithful.
+func encodeFixture(t *testing.T, js *jsonSchema) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(js); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fixtureSchema builds a schema with two node types and one edge type
+// whose degree maps hold n entries each — the O(elements) state the
+// patch must not re-emit.
+func fixtureSchema(t *testing.T, n int) []byte {
+	t.Helper()
+	deg := func(off int) map[string]int {
+		m := make(map[string]int, n)
+		for i := 0; i < n; i++ {
+			m[fmt.Sprint(off+i)] = 1 + i%3
+		}
+		return m
+	}
+	return encodeFixture(t, &jsonSchema{
+		Version: persistVersion,
+		NodeTypes: []jsonType{
+			{ID: 0, Labels: map[string]int{"Person": n}, Token: "Person", Instances: n,
+				Props: map[string]jsonProp{"age": {Count: n, Kinds: []int{0, n, 0, 0, 0, 0, 0}, MinInt: 20, MaxInt: 69, HasIntRange: true}}},
+			{ID: 1, Labels: map[string]int{"City": 1}, Token: "City", Instances: 1},
+		},
+		EdgeTypes: []jsonType{
+			{ID: 2, Labels: map[string]int{"KNOWS": n}, Token: "KNOWS", Instances: n,
+				SrcTokens: []string{"Person"}, DstTokens: []string{"Person"},
+				SrcDeg: deg(0), DstDeg: deg(1), Cardinality: 1},
+		},
+	})
+}
+
+func compactJSON(t *testing.T, data []byte) string {
+	t.Helper()
+	var c bytes.Buffer
+	if err := json.Compact(&c, data); err != nil {
+		t.Fatal(err)
+	}
+	return c.String()
+}
+
+func decodeFixture(t *testing.T, data []byte) *jsonSchema {
+	t.Helper()
+	js, ok := decodePatchable(data)
+	if !ok {
+		t.Fatal("fixture is not patchable")
+	}
+	return js
+}
+
+// TestSchemaPatchDegreeOnly: growing the edge type by a handful of
+// endpoints yields a patch proportional to the touched nodes, not to
+// the degree maps, and applies back exactly.
+func TestSchemaPatchDegreeOnly(t *testing.T) {
+	const n = 1000
+	old := fixtureSchema(t, n)
+	js := decodeFixture(t, old)
+	et := &js.EdgeTypes[0]
+	et.Instances += 5
+	et.Labels["KNOWS"] += 5
+	for i := 0; i < 5; i++ {
+		et.SrcDeg[fmt.Sprint(n+i)] = 1
+		et.DstDeg[fmt.Sprint(i)] += 1
+	}
+	new_ := encodeFixture(t, js)
+
+	patch, err := DiffJSON(old, new_)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p jsonSchemaPatch
+	if err := json.Unmarshal(patch, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Replace != nil {
+		t.Fatal("structural diff fell back to replace")
+	}
+	got, err := ApplyPatchJSON(old, patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != compactJSON(t, new_) {
+		t.Fatalf("patched schema differs from target:\n got %s", got)
+	}
+	if len(patch)*10 > len(new_) {
+		t.Fatalf("touching 5 endpoints produced a %d-byte patch for a %d-byte schema", len(patch), len(new_))
+	}
+	// Whitespace must not matter: the base image may carry the schema
+	// in compact (decoded) form.
+	got2, err := ApplyPatchJSON([]byte(compactJSON(t, old)), patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got2) != string(got) {
+		t.Fatal("patch result depends on base formatting")
+	}
+}
+
+// TestSchemaPatchTypeLifecycle: types appear, change head fields, and
+// vanish (merges remove types); membership and order come from the
+// patch's ID lists.
+func TestSchemaPatchTypeLifecycle(t *testing.T) {
+	old := fixtureSchema(t, 10)
+	js := decodeFixture(t, old)
+	js.NodeTypes = []jsonType{
+		js.NodeTypes[0], // Person survives
+		{ID: 3, Labels: map[string]int{"Country": 2}, Token: "Country", Instances: 2}, // City replaced
+	}
+	js.NodeTypes[0].Instances = 12 // head change
+	js.EdgeTypes = nil             // edge type merged away
+	new_ := encodeFixture(t, js)
+
+	patch, err := DiffJSON(old, new_)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p jsonSchemaPatch
+	if err := json.Unmarshal(patch, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Replace != nil {
+		t.Fatal("lifecycle diff fell back to replace")
+	}
+	got, err := ApplyPatchJSON(old, patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != compactJSON(t, new_) {
+		t.Fatalf("lifecycle patch:\n got %s\nwant %s", got, compactJSON(t, new_))
+	}
+}
+
+// TestSchemaPatchFallback: inputs the structural differ cannot model
+// degrade to a replace patch that still applies exactly.
+func TestSchemaPatchFallback(t *testing.T) {
+	good := fixtureSchema(t, 10)
+	cases := []struct {
+		name string
+		old  []byte
+	}{
+		{"old not json", []byte("not json")},
+		{"old empty", nil},
+		{"old null", []byte("null")},
+		{"old unknown version", []byte(`{"version":99,"nodeTypes":[],"edgeTypes":[]}`)},
+		{"old duplicate ids", []byte(`{"version":1,"nodeTypes":[{"id":0,"instances":1},{"id":0,"instances":2}],"edgeTypes":null}`)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			patch, err := DiffJSON(tc.old, good)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var p jsonSchemaPatch
+			if err := json.Unmarshal(patch, &p); err != nil {
+				t.Fatal(err)
+			}
+			if p.Replace == nil {
+				t.Fatal("unpatchable base did not fall back to replace")
+			}
+			got, err := ApplyPatchJSON(tc.old, patch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != compactJSON(t, good) {
+				t.Fatal("replace patch does not carry the new schema")
+			}
+		})
+	}
+	// A future-format NEW schema (unknown fields the round trip would
+	// drop) must be carried whole, never rebuilt from the lossy model.
+	future := []byte(`{"version":1,"nodeTypes":[],"edgeTypes":[],"futureField":42}`)
+	patch, err := DiffJSON(good, future)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ApplyPatchJSON(good, patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != compactJSON(t, future) {
+		t.Fatalf("future-format schema mangled: %s", got)
+	}
+}
+
+func TestSchemaPatchApplyRejects(t *testing.T) {
+	good := fixtureSchema(t, 5)
+	if _, err := ApplyPatchJSON(good, []byte(`{"version":99}`)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("unknown patch version: %v", err)
+	}
+	if _, err := ApplyPatchJSON(good, []byte(`not json`)); err == nil {
+		t.Fatal("garbage patch accepted")
+	}
+	// A structural patch against a base it does not describe: new
+	// type ID with no head to build it from.
+	if _, err := ApplyPatchJSON(good, []byte(`{"version":1,"nodeIDs":[42]}`)); err == nil || !strings.Contains(err.Error(), "no head") {
+		t.Fatalf("headless new type: %v", err)
+	}
+	// A patch cannot apply to a base that is itself unpatchable.
+	if _, err := ApplyPatchJSON([]byte("junk"), []byte(`{"version":1,"nodeIDs":[0]}`)); err == nil || !strings.Contains(err.Error(), "not patchable") {
+		t.Fatalf("junk base: %v", err)
+	}
+}

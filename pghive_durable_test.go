@@ -25,6 +25,7 @@ import (
 
 	pghive "github.com/pghive/pghive"
 	"github.com/pghive/pghive/internal/datagen"
+	"github.com/pghive/pghive/internal/vfs"
 	"github.com/pghive/pghive/internal/wal"
 )
 
@@ -211,18 +212,53 @@ func crashPoints(t *testing.T, segs []string) []crashPoint {
 func buildCrashDir(t *testing.T, srcDir string, segs []string, p crashPoint, torn []byte) string {
 	t.Helper()
 	dst := t.TempDir()
-	walDst := filepath.Join(dst, "wal")
-	if err := os.MkdirAll(walDst, 0o755); err != nil {
-		t.Fatal(err)
-	}
-	// Checkpoint images predate every crash point in these tests
-	// (compaction variants copy the whole tree instead).
+	// Checkpoint layouts predate every crash point in these tests
+	// (compaction variants use buildRunLayoutCrashDir instead).
 	cks, err := filepath.Glob(filepath.Join(srcDir, "checkpoint-*.ckpt"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(cks) != 0 {
 		t.Fatalf("crash-point test expects no checkpoints, found %v", cks)
+	}
+	writeCrashWAL(t, dst, segs, p, torn)
+	return dst
+}
+
+// buildRunLayoutCrashDir is buildCrashDir for a directory carrying an
+// incremental-checkpoint layout: the manifests, base image, and delta
+// runs are copied intact (they are atomically written and immutable
+// once a manifest references them) while the WAL is truncated at the
+// crash point.
+func buildRunLayoutCrashDir(t *testing.T, srcDir string, segs []string, p crashPoint, torn []byte) string {
+	t.Helper()
+	dst := t.TempDir()
+	for _, pat := range []string{"checkpoint-*.ckpt", "run-*.run", "manifest-*.mft"} {
+		names, err := filepath.Glob(filepath.Join(srcDir, pat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range names {
+			data, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dst, filepath.Base(name)), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	writeCrashWAL(t, dst, segs, p, torn)
+	return dst
+}
+
+// writeCrashWAL copies the WAL into dst truncated at crash point p,
+// with optional torn garbage after the boundary.
+func writeCrashWAL(t *testing.T, dst string, segs []string, p crashPoint, torn []byte) {
+	t.Helper()
+	walDst := filepath.Join(dst, "wal")
+	if err := os.MkdirAll(walDst, 0o755); err != nil {
+		t.Fatal(err)
 	}
 	for si, seg := range segs {
 		if si > p.segIdx {
@@ -240,7 +276,6 @@ func buildCrashDir(t *testing.T, srcDir string, segs []string, p crashPoint, tor
 			t.Fatal(err)
 		}
 	}
-	return dst
 }
 
 // TestDurableCrashRecoveryProperty is the acceptance contract: over
@@ -291,69 +326,185 @@ func TestDurableCrashRecoveryProperty(t *testing.T) {
 	}
 }
 
-// TestDurableCompactionRoundTrip covers the checkpoint+tail recovery
-// path: compaction mid-script folds the log into an image and prunes
-// the superseded segments, crash images taken around it still recover
-// bit-identically, and the service keeps accepting writes afterwards.
+// TestDurableCompactionRoundTrip covers the incremental (LSM-style)
+// checkpoint lifecycle end to end: compactions append delta runs to
+// the manifest until the chain crosses MaxRuns and folds into a fresh
+// base image; every intermediate generation recovers bit-identically;
+// retention keeps exactly the current and previous generations; the
+// WAL is pruned to the manifest's floor (one generation of slack);
+// and record-boundary crashes on top of the run layout recover like
+// they do on a bare WAL.
 func TestDurableCompactionRoundTrip(t *testing.T) {
 	opts := pghive.Options{Seed: 7}
 	fx := newDurableFixture(t, opts)
 	ref := fx.referenceImages(t)
 
 	dir := t.TempDir()
-	dopts := pghive.DurableOptions{NoSync: true, DisableAutoCompact: true, SegmentBytes: 16 << 10}
-	// Compact right after the retraction (mutation index 4 = 5 records
-	// in the log).
-	fx.runDurable(t, dir, dopts, 4)
+	// MaxRuns 3 makes the fourth compaction fold; the tombstone ratio
+	// is effectively disabled so chain length alone decides folds and
+	// the generation sequence below is deterministic.
+	dopts := pghive.DurableOptions{
+		NoSync: true, DisableAutoCompact: true, SegmentBytes: 16 << 10,
+		MaxRuns: 3, MaxTombstoneRatio: 1e9,
+	}
+	d, err := pghive.OpenDurable(dir, fx.opts, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
 
-	// The image file exists, named for the LSN it covers, and every
-	// sealed segment at or below it is gone.
-	cks, err := filepath.Glob(filepath.Join(dir, "checkpoint-*.ckpt"))
-	if err != nil || len(cks) != 1 {
-		t.Fatalf("checkpoints after compaction: %v (err %v), want exactly 1", cks, err)
+	// snaps freezes the directory right after each compaction — the
+	// file state a crash at that moment leaves behind.
+	type genSnap struct {
+		dir     string
+		records int
 	}
-	want := filepath.Join(dir, fmt.Sprintf("checkpoint-%020d.ckpt", 5))
-	if cks[0] != want {
-		t.Fatalf("checkpoint file %s, want %s", cks[0], want)
+	var snaps []genSnap
+	compact := func(records int, wantSeq uint64, wantRuns int, wantBaseLSN uint64) {
+		t.Helper()
+		if err := d.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		st := d.DurableStats()
+		if st.ManifestSeq != wantSeq || st.Runs != wantRuns || st.BaseLSN != wantBaseLSN || st.CheckpointLSN != uint64(records) {
+			t.Fatalf("after compaction at %d records: seq=%d runs=%d baseLSN=%d covered=%d, want seq=%d runs=%d baseLSN=%d covered=%d",
+				records, st.ManifestSeq, st.Runs, st.BaseLSN, st.CheckpointLSN, wantSeq, wantRuns, wantBaseLSN, records)
+		}
+		if st.RecoveryFallbacks != 0 || st.GCFailures != 0 {
+			t.Fatalf("healthy run reports fallbacks=%d gcFailures=%d", st.RecoveryFallbacks, st.GCFailures)
+		}
+		snap := t.TempDir()
+		copyTree(t, dir, snap)
+		snaps = append(snaps, genSnap{dir: snap, records: records})
 	}
-	for _, seg := range walSegments(t, dir) {
-		ends, err := wal.RecordEnds(nil, seg)
+
+	for i, g := range fx.ingests {
+		if _, err := d.Ingest(g); err != nil {
+			t.Fatal(err)
+		}
+		if i < 3 {
+			// The chain grows: one delta run per compaction on the
+			// (empty) base.
+			compact(i+1, uint64(i+1), i+1, 0)
+		} else {
+			// A fourth run would exceed MaxRuns=3: leveled fold into a
+			// fresh base image; the chain resets.
+			compact(4, 4, 0, 4)
+		}
+	}
+	if _, err := d.Retract(fx.retract); err != nil {
+		t.Fatal(err)
+	}
+	compact(5, 5, 1, 4)
+	if st := d.DurableStats(); st.RunTombstones == 0 {
+		t.Fatal("retraction delta run carries no tombstones")
+	}
+	if err := d.DrainStream(pghive.NewJSONLStream(bytes.NewReader(fx.streamData), fx.streamBS), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly the current and previous generations survive on disk:
+	// the fold's base image, the retraction run, manifests 4 and 5.
+	// Everything superseded — runs 1..3, manifests 1..3 — was swept.
+	wantFiles := []string{
+		fmt.Sprintf("checkpoint-%020d.ckpt", 4),
+		fmt.Sprintf("manifest-%020d.mft", 4),
+		fmt.Sprintf("manifest-%020d.mft", 5),
+		fmt.Sprintf("run-%020d-%020d.run", 4, 5),
+	}
+	var gotFiles []string
+	for _, pat := range []string{"checkpoint-*.ckpt", "run-*.run", "manifest-*.mft", "*.tmp"} {
+		names, err := filepath.Glob(filepath.Join(dir, pat))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(ends) == 0 {
-			continue
+		for _, n := range names {
+			gotFiles = append(gotFiles, filepath.Base(n))
 		}
-		var lsns []uint64
+	}
+	sort.Strings(gotFiles)
+	if fmt.Sprint(gotFiles) != fmt.Sprint(wantFiles) {
+		t.Fatalf("layout files after final compaction:\n  got  %v\n  want %v", gotFiles, wantFiles)
+	}
+
+	// WAL retention: generation 5's floor is generation 4's coverage
+	// (LSN 4), so records 1-4 are pruned and record 5 — needed to
+	// replay on top of generation 4 if generation 5 turns out torn —
+	// survives.
+	segs := walSegments(t, dir)
+	minLSN := uint64(1<<63 - 1)
+	for _, seg := range segs {
 		f, err := os.Open(seg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		wal.ScanSegment(f, func(r wal.Record) error { lsns = append(lsns, r.LSN); return nil })
+		wal.ScanSegment(f, func(r wal.Record) error {
+			if r.LSN < minLSN {
+				minLSN = r.LSN
+			}
+			return nil
+		})
 		f.Close()
-		for _, l := range lsns {
-			if l <= 5 {
-				t.Fatalf("segment %s still holds folded record %d", seg, l)
+	}
+	if minLSN != 5 {
+		t.Fatalf("oldest surviving WAL record is %d, want 5 (floor = previous generation's coverage)", minLSN)
+	}
+
+	// Every mid-script generation snapshot recovers bit-identically —
+	// run-on-empty-base, multi-run chains, post-fold, run-on-base.
+	for _, s := range snaps {
+		rec, err := pghive.OpenDurable(s.dir, opts, dopts)
+		if err != nil {
+			t.Fatalf("recover generation snapshot at %d records: %v", s.records, err)
+		}
+		img := serviceImage(t, rec)
+		st := rec.DurableStats()
+		rec.Close()
+		if !bytes.Equal(img, ref[s.records]) {
+			t.Fatalf("recovery from generation snapshot at %d records diverges", s.records)
+		}
+		if st.RecoveryFallbacks != 0 {
+			t.Fatalf("snapshot at %d records needed %d fallbacks on a healthy disk", s.records, st.RecoveryFallbacks)
+		}
+	}
+
+	// Record-boundary crashes over the run layout: manifest + base +
+	// run intact, WAL truncated at every boundary, clean and torn.
+	// Retained records start at LSN 5 and records ≤ 5 are folded into
+	// the generation, so recovery never regresses below ref[5].
+	torn := []byte{0x13, 0x00, 0x00, 0x00, 0xaa, 0xbb, 0xcc, 0xdd, 0x01, 0x02}
+	for _, p := range crashPoints(t, segs) {
+		for variant, tail := range map[string][]byte{"clean": nil, "torn": torn} {
+			crashDir := buildRunLayoutCrashDir(t, dir, segs, p, tail)
+			rec, err := pghive.OpenDurable(crashDir, opts, dopts)
+			if err != nil {
+				t.Fatalf("recover at %d retained records (%s): %v", p.records, variant, err)
+			}
+			img := serviceImage(t, rec)
+			rec.Close()
+			want := max(4+p.records, 5)
+			if !bytes.Equal(img, ref[want]) {
+				t.Fatalf("recovery at %d retained records (%s) diverges from uninterrupted run", p.records, variant)
 			}
 		}
 	}
 
-	// Recovery from checkpoint + replayed tail equals the
-	// uninterrupted run...
+	// The reopened service equals the uninterrupted run and keeps
+	// accepting writes: the retracted batch's IDs are free again, so
+	// re-ingesting it is a legal new mutation mirrored on the
+	// reference.
 	rec, err := pghive.OpenDurable(dir, opts, dopts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := serviceImage(t, rec); !bytes.Equal(got, ref[len(ref)-1]) {
-		t.Fatal("state after compaction + reopen diverges from uninterrupted run")
+		t.Fatal("state after reopen diverges from uninterrupted run")
 	}
 	if got := rec.CheckpointLSN(); got != 5 {
 		t.Fatalf("CheckpointLSN after reopen = %d, want 5", got)
 	}
-
-	// ...and the reopened service keeps serving writes durably: the
-	// retracted batch's IDs are free again, so re-ingesting it is a
-	// legal new mutation mirrored on the reference.
 	refSvc := pghive.NewService(opts)
 	replayReference(t, refSvc, fx)
 	if _, err := rec.Ingest(fx.retract); err != nil {
@@ -364,20 +515,28 @@ func TestDurableCompactionRoundTrip(t *testing.T) {
 	if !bytes.Equal(liveImg, serviceImage(t, refSvc)) {
 		t.Fatal("post-recovery write diverges from reference")
 	}
+
+	// Another compaction folds the drained tail + new ingest into a
+	// second run without changing the served state, and the directory
+	// still recovers.
+	if err := rec.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := serviceImage(t, rec); !bytes.Equal(got, liveImg) {
+		t.Fatal("compaction changed the served state")
+	}
+	if st := rec.DurableStats(); st.ManifestSeq != 6 || st.Runs != 2 || st.BaseLSN != 4 {
+		t.Fatalf("after post-recovery compaction: seq=%d runs=%d baseLSN=%d, want seq=6 runs=2 baseLSN=4", st.ManifestSeq, st.Runs, st.BaseLSN)
+	}
 	if err := rec.Close(); err != nil {
 		t.Fatal(err)
 	}
-
-	// A second compaction cycle after reopen also recovers.
 	rec2, err := pghive.OpenDurable(dir, opts, dopts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rec2.Compact(); err != nil {
-		t.Fatal(err)
-	}
 	if got := serviceImage(t, rec2); !bytes.Equal(got, liveImg) {
-		t.Fatal("compaction changed the served state")
+		t.Fatal("recovery after second compaction cycle diverges")
 	}
 	rec2.Close()
 }
@@ -508,6 +667,452 @@ func TestOpenDurableRejectsCorruptCheckpoint(t *testing.T) {
 	}
 	if _, err := pghive.OpenDurable(dir, pghive.Options{Seed: 1}, pghive.DurableOptions{NoSync: true, DisableAutoCompact: true}); err == nil {
 		t.Fatal("OpenDurable accepted a corrupt checkpoint")
+	}
+}
+
+// writeMemFile creates a file with the given contents on a MemFS
+// (durably: the test junk must survive nothing, but must exist).
+func writeMemFile(t *testing.T, mem *vfs.MemFS, path string, data []byte) {
+	t.Helper()
+	f, err := mem.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// memExists reports whether path exists on mem.
+func memExists(t *testing.T, mem *vfs.MemFS, path string) bool {
+	t.Helper()
+	_, err := mem.Stat(path)
+	return err == nil
+}
+
+// TestDurableGCSweep is the regression for the first
+// checkpoint-lifecycle bug: the pre-fix code deleted only the
+// immediately previous checkpoint and silently discarded the removal
+// error, so a crash between rename and remove — or one failed
+// remove — orphaned files forever. The sweep now garbage-collects
+// every unreferenced checkpoint, run, manifest, and temp file at
+// startup and after each compaction, surfaces removal failures in
+// DurableStats, and retries them on the next sweep.
+func TestDurableGCSweep(t *testing.T) {
+	opts := pghive.Options{Seed: 5, Parallelism: 1}
+	const dataDir = "data"
+	g1, g2, g3 := stressGraph(t, 0, 6), stressGraph(t, 1000, 6), stressGraph(t, 2000, 6)
+	dopts := func(fsys vfs.FS) pghive.DurableOptions {
+		return pghive.DurableOptions{FS: fsys, NoSync: true, DisableAutoCompact: true}
+	}
+
+	// build produces a directory with one committed generation (a
+	// delta run on the empty base) plus a WAL tail record, cleanly
+	// closed.
+	build := func(t *testing.T) *vfs.MemFS {
+		t.Helper()
+		mem := vfs.NewMemFS()
+		d, err := pghive.OpenDurable(dataDir, opts, dopts(mem))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Ingest(g1); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Ingest(g2); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return mem
+	}
+	// Stale residue no generation references: an ancient orphaned
+	// image (the exact file class the pre-fix code leaked), an
+	// uncommitted run, and an interrupted atomic-write temp file.
+	junk := []string{
+		filepath.Join(dataDir, fmt.Sprintf("checkpoint-%020d.ckpt", 7)),
+		filepath.Join(dataDir, fmt.Sprintf("run-%020d-%020d.run", 7, 8)),
+		filepath.Join(dataDir, "checkpoint-stale-1234.tmp"),
+	}
+
+	t.Run("startup sweep", func(t *testing.T) {
+		mem := build(t)
+		for _, p := range junk {
+			writeMemFile(t, mem, p, []byte("stale junk\n"))
+		}
+		// A corrupt manifest with a HIGHER sequence than the live one:
+		// recovery must skip it loudly, sweep it, and still never
+		// allocate a generation number at or below it.
+		corruptMan := filepath.Join(dataDir, fmt.Sprintf("manifest-%020d.mft", 9))
+		writeMemFile(t, mem, corruptMan, []byte("not a manifest\n"))
+
+		d, err := pghive.OpenDurable(dataDir, opts, dopts(mem))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		st := d.DurableStats()
+		if st.RecoveryFallbacks != 1 {
+			t.Errorf("RecoveryFallbacks = %d, want 1 (the corrupt manifest)", st.RecoveryFallbacks)
+		}
+		if st.GCFailures != 0 || st.LastGCError != "" {
+			t.Errorf("healthy sweep reports failures: %d %q", st.GCFailures, st.LastGCError)
+		}
+		for _, p := range append(junk, corruptMan) {
+			if memExists(t, mem, p) {
+				t.Errorf("startup sweep left %s behind", p)
+			}
+		}
+		// The live generation's files survive the sweep.
+		if !memExists(t, mem, filepath.Join(dataDir, fmt.Sprintf("manifest-%020d.mft", 1))) ||
+			!memExists(t, mem, filepath.Join(dataDir, fmt.Sprintf("run-%020d-%020d.run", 0, 1))) {
+			t.Error("sweep removed the live generation's files")
+		}
+		if _, err := d.Ingest(g3); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		if got := d.DurableStats().ManifestSeq; got != 10 {
+			t.Errorf("generation after sweeping a corrupt seq-9 manifest = %d, want 10 (corrupt files floor the allocator)", got)
+		}
+	})
+
+	t.Run("remove failures surfaced and retried", func(t *testing.T) {
+		mem := build(t)
+		for _, p := range junk {
+			writeMemFile(t, mem, p, []byte("stale junk\n"))
+		}
+		// Every removal the startup sweep attempts fails — the disk
+		// refuses deletes. Pre-fix this was silent; now it must be
+		// counted, reported, and retried.
+		plan := vfs.NewPlan(
+			vfs.Fault{Op: vfs.OpRemove, N: 1, Mode: vfs.FailEarly},
+			vfs.Fault{Op: vfs.OpRemove, N: 2, Mode: vfs.FailEarly},
+			vfs.Fault{Op: vfs.OpRemove, N: 3, Mode: vfs.FailEarly},
+		)
+		d, err := pghive.OpenDurable(dataDir, opts, dopts(vfs.NewInjectFS(mem, plan)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		st := d.DurableStats()
+		if st.GCFailures != int64(len(junk)) {
+			t.Errorf("GCFailures = %d, want %d", st.GCFailures, len(junk))
+		}
+		if st.LastGCError == "" {
+			t.Error("removal failures left LastGCError empty")
+		}
+		for _, p := range junk {
+			if !memExists(t, mem, p) {
+				t.Errorf("%s vanished although its removal failed", p)
+			}
+		}
+		// The next sweep — here via an explicit compaction round —
+		// retries the same files and succeeds once the faults are
+		// spent.
+		if err := d.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range junk {
+			if memExists(t, mem, p) {
+				t.Errorf("retry sweep left %s behind", p)
+			}
+		}
+		if got := d.DurableStats().GCFailures; got != int64(len(junk)) {
+			t.Errorf("GCFailures after successful retry = %d, want %d (cumulative counter)", got, len(junk))
+		}
+	})
+}
+
+// TestDurableRecoveryGenerationFallback is the regression for the
+// second checkpoint-lifecycle bug: recovery must not trust the newest
+// generation's files just because they exist under the right names. A
+// zero-byte, truncated, or bit-flipped newest manifest, run, or base
+// image — what a crash on a lying disk leaves despite WriteFileAtomic
+// — falls back LOUDLY to the previous consistent generation, whose
+// WAL records were deliberately retained, and recovers the identical
+// state, counting the skip in DurableStats.RecoveryFallbacks. Only
+// when no generation survives at all does recovery fail, and it fails
+// with an error, never a silent empty restart.
+func TestDurableRecoveryGenerationFallback(t *testing.T) {
+	opts := pghive.Options{Seed: 5, Parallelism: 1}
+	graphs := []*pghive.Graph{
+		stressGraph(t, 0, 6), stressGraph(t, 1000, 6),
+		stressGraph(t, 2000, 6), stressGraph(t, 3000, 6),
+	}
+	// MaxRuns 1: compaction 1 writes a run on the empty base (gen 1),
+	// compaction 2 folds into a base image (gen 2), compaction 3 puts
+	// a run on that base (gen 3); the fourth ingest stays in the WAL.
+	dopts := pghive.DurableOptions{
+		NoSync: true, DisableAutoCompact: true, SegmentBytes: 2048,
+		MaxRuns: 1, MaxTombstoneRatio: 1e9,
+	}
+	refSvc := pghive.NewService(opts)
+	var refs [][]byte
+	for _, g := range graphs {
+		refSvc.Ingest(g)
+		refs = append(refs, serviceImage(t, refSvc))
+	}
+
+	dir := t.TempDir()
+	d, err := pghive.OpenDurable(dir, opts, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var foldSnap string // directory state right after the fold (gen 2)
+	for i, g := range graphs {
+		if _, err := d.Ingest(g); err != nil {
+			t.Fatal(err)
+		}
+		if i < 3 {
+			if err := d.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i == 1 {
+			foldSnap = t.TempDir()
+			copyTree(t, dir, foldSnap)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	manifest := func(seq uint64) string { return fmt.Sprintf("manifest-%020d.mft", seq) }
+	base2 := fmt.Sprintf("checkpoint-%020d.ckpt", 2)
+	run23 := fmt.Sprintf("run-%020d-%020d.run", 2, 3)
+
+	// corruptAndRecover copies src, applies mutate, and opens it;
+	// recovery must succeed, match want, report at least minFallbacks
+	// skipped generations, and come back writable.
+	corruptAndRecover := func(t *testing.T, src string, mutate func(t *testing.T, dir string), want []byte, minFallbacks int) *pghive.DurableService {
+		t.Helper()
+		cp := t.TempDir()
+		copyTree(t, src, cp)
+		mutate(t, cp)
+		rec, err := pghive.OpenDurable(cp, opts, dopts)
+		if err != nil {
+			t.Fatalf("fallback recovery failed: %v", err)
+		}
+		t.Cleanup(func() { rec.Close() })
+		if got := serviceImage(t, rec); !bytes.Equal(got, want) {
+			t.Fatal("fallback recovery diverges from the acked state")
+		}
+		st := rec.DurableStats()
+		if st.RecoveryFallbacks < minFallbacks {
+			t.Fatalf("RecoveryFallbacks = %d, want >= %d", st.RecoveryFallbacks, minFallbacks)
+		}
+		if st.ReadOnly {
+			t.Fatal("fallback recovery came back read-only")
+		}
+		return rec
+	}
+	truncateTo := func(path string, n int64) func(*testing.T, string) {
+		return func(t *testing.T, dir string) {
+			t.Helper()
+			if err := os.Truncate(filepath.Join(dir, path), n); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	flipLastByte := func(path string) func(*testing.T, string) {
+		return func(t *testing.T, dir string) {
+			t.Helper()
+			p := filepath.Join(dir, path)
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)-1] ^= 0xFF
+			if err := os.WriteFile(p, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	t.Run("zero-byte newest manifest", func(t *testing.T) {
+		corruptAndRecover(t, dir, truncateTo(manifest(3), 0), refs[3], 1)
+	})
+	t.Run("truncated newest manifest", func(t *testing.T) {
+		corruptAndRecover(t, dir, truncateTo(manifest(3), 40), refs[3], 1)
+	})
+	t.Run("bit-flipped newest run", func(t *testing.T) {
+		corruptAndRecover(t, dir, flipLastByte(run23), refs[3], 1)
+	})
+	t.Run("missing newest run", func(t *testing.T) {
+		corruptAndRecover(t, dir, func(t *testing.T, dir string) {
+			if err := os.Remove(filepath.Join(dir, run23)); err != nil {
+				t.Fatal(err)
+			}
+		}, refs[3], 1)
+	})
+	t.Run("zero-byte fold base falls back to pre-fold generation", func(t *testing.T) {
+		// On the fold snapshot, generation 2's freshly written base
+		// image is torn; generation 1 (empty base + first run) plus
+		// the retained WAL recovers records 1-2.
+		corruptAndRecover(t, foldSnap, truncateTo(base2, 0), refs[1], 1)
+	})
+	t.Run("all manifests corrupt falls back to the bare image", func(t *testing.T) {
+		// Both manifest generations torn: the base image itself is
+		// still a valid (legacy-layout) starting point, and the WAL
+		// floor retained everything above it.
+		rec := corruptAndRecover(t, dir, func(t *testing.T, dir string) {
+			truncateTo(manifest(2), 0)(t, dir)
+			truncateTo(manifest(3), 0)(t, dir)
+		}, refs[3], 2)
+		// The next compaction must allocate a generation above every
+		// corrupt manifest it skipped.
+		if err := rec.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		if got := rec.DurableStats().ManifestSeq; got != 4 {
+			t.Fatalf("generation after fallback compaction = %d, want 4", got)
+		}
+	})
+	t.Run("no generation recovers fails loudly", func(t *testing.T) {
+		cp := t.TempDir()
+		copyTree(t, dir, cp)
+		for _, p := range []string{manifest(2), manifest(3)} {
+			if err := os.Truncate(filepath.Join(cp, p), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.Remove(filepath.Join(cp, base2)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pghive.OpenDurable(cp, opts, dopts); err == nil {
+			t.Fatal("recovery from a directory with no consistent generation silently succeeded")
+		}
+	})
+}
+
+// TestDurableCompactionFaultCrashPoints drives an injected fault into
+// every write-path operation of one compaction round — the run or
+// base-image write, the manifest swap, the GC sweep, the WAL prune,
+// and all their syncs and renames — in every failure mode (short
+// write, fail-before, lying fail-after), then crashes the filesystem
+// and recovers fault-free. A compaction changes no logical state, so
+// the property is absolute: recovery lands on exactly the acked
+// state, healthy, no matter where inside the round the disk lied.
+func TestDurableCompactionFaultCrashPoints(t *testing.T) {
+	opts := pghive.Options{Seed: 11, Parallelism: 1}
+	const dataDir = "data"
+	graphs := []*pghive.Graph{
+		stressGraph(t, 0, 5), stressGraph(t, 1000, 5),
+		stressGraph(t, 2000, 5), stressGraph(t, 3000, 5),
+	}
+	refSvc := pghive.NewService(opts)
+	for _, g := range graphs {
+		refSvc.Ingest(g)
+	}
+	refImg := serviceImage(t, refSvc)
+
+	// Two flavors of faulted round: with MaxRuns 1 the prior chain
+	// (one run) forces a FOLD — base-image write + manifest swap; with
+	// MaxRuns high the round writes a delta RUN + manifest swap.
+	for _, tc := range []struct {
+		name    string
+		maxRuns int
+	}{{"fold", 1}, {"run", 100}} {
+		t.Run(tc.name, func(t *testing.T) {
+			dopts := func(fsys vfs.FS) pghive.DurableOptions {
+				return pghive.DurableOptions{
+					FS: fsys, DisableAutoCompact: true, SegmentBytes: 2048,
+					MaxRuns: tc.maxRuns, MaxTombstoneRatio: 1e9,
+				}
+			}
+			// buildPrefix acks all four graphs with one mid-script
+			// compaction (so a prior generation exists) and closes
+			// cleanly — everything acked is synced and crash-durable.
+			buildPrefix := func(t *testing.T) *vfs.MemFS {
+				t.Helper()
+				mem := vfs.NewMemFS()
+				d, err := pghive.OpenDurable(dataDir, opts, dopts(mem))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, g := range graphs {
+					if _, err := d.Ingest(g); err != nil {
+						t.Fatal(err)
+					}
+					if i == 1 {
+						if err := d.Compact(); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				if err := d.Close(); err != nil {
+					t.Fatal(err)
+				}
+				return mem
+			}
+
+			// Probe run: count the operations of reopen alone, then of
+			// reopen + one compaction — faults target the difference,
+			// i.e. positions inside the compaction round.
+			probeOpen := vfs.NewPlan()
+			mem := buildPrefix(t)
+			d, err := pghive.OpenDurable(dataDir, opts, dopts(vfs.NewInjectFS(mem, probeOpen)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			opsOpen := probeOpen.Ops()
+			if err := d.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			opsTotal := probeOpen.Ops()
+			d.Close()
+
+			for _, op := range []vfs.Op{vfs.OpOpen, vfs.OpWrite, vfs.OpSync, vfs.OpSyncDir, vfs.OpRename, vfs.OpRemove} {
+				if opsTotal[op] == opsOpen[op] {
+					continue // the round performs no operation of this kind
+				}
+				modes := []vfs.Mode{vfs.FailEarly, vfs.FailLate}
+				if op == vfs.OpWrite {
+					modes = append(modes, vfs.ShortWrite)
+				}
+				for n := opsOpen[op] + 1; n <= opsTotal[op]; n++ {
+					for _, mode := range modes {
+						fault := vfs.Fault{Op: op, N: n, Mode: mode}
+						mem := buildPrefix(t)
+						plan := vfs.NewPlan(fault)
+						d, err := pghive.OpenDurable(dataDir, opts, dopts(vfs.NewInjectFS(mem, plan)))
+						if err != nil {
+							t.Fatalf("%v: reopen before the faulted round failed: %v", fault, err)
+						}
+						// The faulted round: may fail, may "succeed" on
+						// a lying disk — either way no logical change.
+						_ = d.Compact()
+						if len(plan.Fired()) == 0 {
+							t.Fatalf("%v: fault never fired — probe counts drifted", fault)
+						}
+						mem.Crash()
+						rec, err := pghive.OpenDurable(dataDir, opts, dopts(mem))
+						if err != nil {
+							t.Fatalf("%v: recovery after faulted compaction + crash failed: %v", fault, err)
+						}
+						img := serviceImage(t, rec)
+						st := rec.DurableStats()
+						rec.Close()
+						if !bytes.Equal(img, refImg) {
+							t.Fatalf("%v: recovery diverges from the acked state", fault)
+						}
+						if st.ReadOnly || st.WALBroken {
+							t.Fatalf("%v: recovery on a healthy disk came back degraded: %+v", fault, st)
+						}
+					}
+				}
+			}
+		})
 	}
 }
 

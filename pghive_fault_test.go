@@ -113,6 +113,7 @@ func buildFaultScript(t testing.TB) []faultOp {
 		{id: "cmp1", kind: fCompact},
 		{id: "ret1", kind: fRetract, g: g1},
 		{id: "ing3", kind: fIngest, g: g3},
+		{id: "cmp2", kind: fCompact},
 		{id: "ing4", kind: fIngest, g: g4},
 	}
 }
@@ -273,6 +274,12 @@ func runFaultSchedule(t *testing.T, opts pghive.Options, script []faultOp, sc fa
 		FS:                 vfs.NewInjectFS(mem, plan),
 		DisableAutoCompact: true,
 		SegmentBytes:       2048, // rotate every few records so pruning happens
+		// A tight chain bound so the three compaction ops of the script
+		// exercise run writes AND leveled folds: cmp0 writes a run on
+		// the empty base, cmp1 folds (the retraction's tombstones cross
+		// the ratio), cmp2 writes a run on the folded base. Faults land
+		// between run write, manifest swap, and WAL prune.
+		MaxRuns: 2,
 	}
 	d, err := pghive.OpenDurable(faultDataDir, opts, dopts)
 	if err != nil {
@@ -362,7 +369,7 @@ func runFaultSchedule(t *testing.T, opts pghive.Options, script []faultOp, sc fa
 		appendTornTail(t, mem, sc.seed)
 	}
 
-	d2, err := pghive.OpenDurable(faultDataDir, opts, pghive.DurableOptions{FS: mem, DisableAutoCompact: true, SegmentBytes: 2048})
+	d2, err := pghive.OpenDurable(faultDataDir, opts, pghive.DurableOptions{FS: mem, DisableAutoCompact: true, SegmentBytes: 2048, MaxRuns: 2})
 	if err != nil {
 		t.Fatalf("%v: recovery after crash failed: %v", sc, err)
 	}
