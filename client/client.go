@@ -63,6 +63,9 @@ type Options struct {
 	DisableIdempotencyKeys bool
 }
 
+// Defaults applied by New when the corresponding Options field is
+// zero: the per-call deadline, the attempt budget one logical call
+// may spend, and the exponential-backoff bounds between attempts.
 const (
 	DefaultRequestTimeout = 30 * time.Second
 	DefaultMaxAttempts    = 5
@@ -211,6 +214,21 @@ func (c *Client) Schema(ctx context.Context, format string) ([]byte, error) {
 	}
 	data, _, err := c.do(ctx, http.MethodGet, path, nil, "")
 	return data, err
+}
+
+// Lag fetches a follower's replication position from GET /lag. Only
+// read-only replicas (pghive serve -follow) expose the endpoint; a
+// leader answers 404, surfaced as a *StatusError.
+func (c *Client) Lag(ctx context.Context) (*pghive.FollowerLag, error) {
+	data, _, err := c.do(ctx, http.MethodGet, "/lag", nil, "")
+	if err != nil {
+		return nil, err
+	}
+	var lag pghive.FollowerLag
+	if err := json.Unmarshal(data, &lag); err != nil {
+		return nil, fmt.Errorf("pghive/client: decode /lag response: %w", err)
+	}
+	return &lag, nil
 }
 
 // Healthy reports the server's /healthz verdict; a degraded-but-

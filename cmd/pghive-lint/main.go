@@ -24,6 +24,7 @@ import (
 	"github.com/pghive/pghive/internal/analysis"
 	"github.com/pghive/pghive/internal/analysis/ctxwrite"
 	"github.com/pghive/pghive/internal/analysis/detord"
+	"github.com/pghive/pghive/internal/analysis/exportdoc"
 	"github.com/pghive/pghive/internal/analysis/lockdisc"
 	"github.com/pghive/pghive/internal/analysis/vfsio"
 	"github.com/pghive/pghive/internal/analysis/walerr"
@@ -37,6 +38,7 @@ var analyzers = []*analysis.Analyzer{
 	detord.Analyzer,
 	ctxwrite.Analyzer,
 	walerr.Analyzer,
+	exportdoc.Analyzer,
 }
 
 func main() {

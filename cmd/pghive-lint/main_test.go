@@ -118,6 +118,7 @@ func work(ctx context.Context) error { return ctx.Err() }
 		"[detord]", "range over map reaches append",
 		"[lockdisc]", "use of applyLocked in Ingest",
 		"[ctxwrite]", "context.Background in Ingest",
+		"[exportdoc]", "exported type Service has no doc comment",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q\n%s", want, out)
@@ -131,14 +132,18 @@ func TestSmokeClean(t *testing.T) {
 	bin := buildLint(t)
 	dir := writeModule(t, map[string]string{
 		"go.mod": "module example.com/clean\n\ngo 1.23\n",
-		"pghive/service.go": `package pghive
+		"pghive/service.go": `// Package pghive is the smoke fixture of blessed idioms.
+package pghive
 
 import "context"
 
+// Service is a documented export.
 type Service struct{}
 
+// IngestContext ingests under the caller's context.
 func (s *Service) IngestContext(ctx context.Context) error { return ctx.Err() }
 
+// Ingest is the context-free convenience wrapper.
 func (s *Service) Ingest() error {
 	return s.IngestContext(context.Background())
 }

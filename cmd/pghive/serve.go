@@ -32,6 +32,21 @@ package main
 //
 //	pghive serve -data-dir /var/lib/pghive
 //	curl -X POST localhost:8080/checkpoint   # force a compaction
+//
+// A durable leader can additionally ship its artifacts — sealed WAL
+// segments and checkpoint generations — into an object store, either
+// a local directory it then serves at /v1/objects (-ship-dir, with
+// -object-token guarding the mutating verbs) or a remote object
+// endpoint (-ship-to). A second process started with -follow tails
+// that store as a read-only replica: it bootstraps from the newest
+// shipped checkpoint generation, applies shipped WAL segments in
+// order, serves the same read endpoints plus GET /lag, and answers
+// writes with the machine-readable read-only contract (409, reason
+// "follower"):
+//
+//	pghive serve -data-dir /var/lib/pghive -ship-dir /var/lib/pghive-objects -object-token s3cret
+//	pghive serve -listen :8081 -follow http://leader:8080
+//	curl localhost:8081/lag
 
 import (
 	"bytes"
@@ -51,6 +66,7 @@ import (
 	pghive "github.com/pghive/pghive"
 	"github.com/pghive/pghive/internal/admission"
 	"github.com/pghive/pghive/internal/lsh"
+	"github.com/pghive/pghive/internal/store"
 )
 
 // runServe parses the serve-mode flags and blocks serving HTTP.
@@ -72,6 +88,13 @@ func runServe(args []string) {
 		compact   = fs.Duration("compact-interval", 0, "background WAL compaction cadence (0 = default 1m; durable mode only)")
 		maxRuns   = fs.Int("max-runs", 0, "delta runs kept on top of the base image before compaction folds a fresh base (0 = default 6; durable mode only)")
 		noSync    = fs.Bool("no-sync", false, "skip the per-append WAL fsync: survives kill -9 but not power loss (durable mode only)")
+
+		groupCommit = fs.Bool("group-commit", false, "batch concurrent writes into shared WAL fsyncs; same acked-prefix durability, fewer flushes (durable mode only)")
+		shipDir     = fs.String("ship-dir", "", "ship sealed WAL segments and checkpoint generations into this local directory and serve them at /v1/objects (durable mode only)")
+		shipTo      = fs.String("ship-to", "", "ship artifacts to the object endpoints under this base URL instead of a local directory (durable mode only)")
+		objectToken = fs.String("object-token", "", "bearer token guarding mutating /v1/objects verbs (with -ship-dir), and sent when shipping to -ship-to")
+		follow      = fs.String("follow", "", "follower mode: serve a read-only replica tailing the object store under this base URL (e.g. the leader's address)")
+		followPoll  = fs.Duration("follow-poll", 0, "cadence of the follower's segment poll (0 = default 500ms; follower mode only)")
 
 		maxBody    = fs.Int64("max-body-bytes", admission.DefaultMaxBodyBytes, "request-body cap in bytes, answered with 413 past it (-1 disables)")
 		reqTimeout = fs.Duration("request-timeout", admission.DefaultRequestTimeout, "per-request deadline propagated into the service (-1s disables)")
@@ -95,12 +118,53 @@ func runServe(args []string) {
 		opts.NodeParams, opts.EdgeParams = p, p
 	}
 
+	// Replication flag surface: a follower owns no log and ships
+	// nothing; shipping needs a log and exactly one destination.
+	if *follow != "" && (*dataDir != "" || *restore != "" || *shipDir != "" || *shipTo != "") {
+		fmt.Fprintln(os.Stderr, "pghive serve: -follow is exclusive with -data-dir, -restore, -ship-dir, and -ship-to (a follower replicates a leader's log; it does not own one)")
+		os.Exit(2)
+	}
+	if *shipDir != "" && *shipTo != "" {
+		fmt.Fprintln(os.Stderr, "pghive serve: -ship-dir and -ship-to are mutually exclusive")
+		os.Exit(2)
+	}
+	if (*shipDir != "" || *shipTo != "" || *groupCommit) && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "pghive serve: -group-commit, -ship-dir, and -ship-to require durable mode (serve with -data-dir)")
+		os.Exit(2)
+	}
+	var shipBackend store.Backend
+	switch {
+	case *shipDir != "":
+		shipBackend = store.NewDir(nil, *shipDir)
+	case *shipTo != "":
+		var err error
+		shipBackend, err = store.NewHTTP(*shipTo, *objectToken, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pghive serve:", err)
+			os.Exit(2)
+		}
+	}
+
 	var svc *pghive.Service
 	var dur *pghive.DurableService
+	var fol *pghive.Follower
 	switch {
 	case *dataDir != "" && *restore != "":
 		fmt.Fprintln(os.Stderr, "pghive serve: -data-dir and -restore are mutually exclusive (a data directory recovers itself)")
 		os.Exit(2)
+	case *follow != "":
+		backend, err := store.NewHTTP(*follow, "", nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pghive serve:", err)
+			os.Exit(2)
+		}
+		fol = pghive.NewFollower(opts, backend, pghive.FollowerOptions{
+			PollInterval: *followPoll,
+			LeaderLSN:    leaderLSNProbe(*follow),
+		})
+		fol.Start()
+		svc = fol.Service
+		fmt.Fprintf(os.Stderr, "pghive serve: following %s (read-only replica)\n", *follow)
 	case *dataDir != "":
 		var err error
 		dur, err = pghive.OpenDurable(*dataDir, opts, pghive.DurableOptions{
@@ -108,6 +172,8 @@ func runServe(args []string) {
 			CompactInterval: *compact,
 			MaxRuns:         *maxRuns,
 			NoSync:          *noSync,
+			GroupCommit:     *groupCommit,
+			ShipTo:          shipBackend,
 			OnCompactError: func(err error) {
 				fmt.Fprintln(os.Stderr, "pghive serve: compaction:", err)
 			},
@@ -159,9 +225,26 @@ func runServe(args []string) {
 	if *reqTimeout > 0 {
 		rwTimeout = *reqTimeout + 10*time.Second
 	}
+	var handler http.Handler
+	if fol != nil {
+		handler = newFollowerMux(fol, gate)
+	} else {
+		mux := newServeMux(svc, dur, *batchSize, gate)
+		if *shipDir != "" {
+			// The replication plane: followers (and backups) fetch the
+			// shipped artifacts from here. Reads are open; the mutating
+			// verbs the leader itself uses to ship require -object-token.
+			// Ungated on purpose — replication must keep flowing even
+			// when client traffic has the admission gate at capacity.
+			oh := store.Handler(shipBackend, *objectToken)
+			mux.Handle(store.ObjectsRoute, oh)
+			mux.Handle(store.ObjectsRoute+"/", oh)
+		}
+		handler = mux
+	}
 	server := &http.Server{
 		Addr:              *listen,
-		Handler:           newServeMux(svc, dur, *batchSize, gate),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       rwTimeout,
 		WriteTimeout:      rwTimeout,
@@ -186,6 +269,9 @@ func runServe(args []string) {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		server.Shutdown(ctx)
+		if fol != nil {
+			fol.Close()
+		}
 		if dur != nil {
 			if err := dur.Compact(); err != nil {
 				fmt.Fprintln(os.Stderr, "pghive serve: final checkpoint:", err)
@@ -350,71 +436,8 @@ func newServeMux(svc *pghive.Service, dur *pghive.DurableService, batchSize int,
 		}
 		writeJSON(w, map[string]any{"replayed": replayed, "stats": svc.Stats()})
 	})
-	handleRead("GET /schema", func(w http.ResponseWriter, r *http.Request) {
-		mode := pghive.Strict
-		switch strings.ToLower(r.URL.Query().Get("mode")) {
-		case "", "strict":
-		case "loose":
-			mode = pghive.Loose
-		default:
-			httpError(w, http.StatusBadRequest,
-				fmt.Errorf("unknown mode %q (want strict or loose)", r.URL.Query().Get("mode")))
-			return
-		}
-		name := r.URL.Query().Get("name")
-		if name == "" {
-			name = "DiscoveredGraphType"
-		}
-		switch schemaFormat(r) {
-		case "json":
-			w.Header().Set("Content-Type", "application/json")
-			svc.WriteSchemaJSON(w)
-		case "pgschema":
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			fmt.Fprint(w, svc.PGSchema(mode, name))
-		case "xsd":
-			w.Header().Set("Content-Type", "application/xml")
-			fmt.Fprint(w, svc.XSD())
-		case "dot":
-			w.Header().Set("Content-Type", "text/vnd.graphviz")
-			fmt.Fprint(w, svc.DOT(name))
-		default:
-			// Only an explicit ?format= can land here (Accept
-			// negotiation always falls back to pgschema), and a bad
-			// query parameter is the client's request error, not failed
-			// content negotiation.
-			httpError(w, http.StatusBadRequest,
-				fmt.Errorf("unknown schema format (want json, pgschema, xsd, or dot)"))
-		}
-	})
-	handleRead("POST /validate", func(w http.ResponseWriter, r *http.Request) {
-		g, err := pghive.ReadJSONL(r.Body, true)
-		if err != nil {
-			requestError(w, r, err)
-			return
-		}
-		mode := pghive.ValidateLoose
-		switch strings.ToLower(r.URL.Query().Get("mode")) {
-		case "", "loose":
-		case "strict":
-			mode = pghive.ValidateStrict
-		default:
-			// A typo'd mode must not silently validate loosely — the
-			// client would read valid=true as a strict pass.
-			httpError(w, http.StatusBadRequest,
-				fmt.Errorf("unknown mode %q (want loose or strict)", r.URL.Query().Get("mode")))
-			return
-		}
-		rep := svc.Validate(g, mode)
-		violations := make([]string, len(rep.Violations))
-		for i, v := range rep.Violations {
-			violations[i] = v.String()
-		}
-		writeJSON(w, map[string]any{
-			"checked": rep.Checked, "valid": rep.Valid(),
-			"violations": violations, "truncated": rep.Truncated,
-		})
-	})
+	handleRead("GET /schema", schemaHandler(svc))
+	handleRead("POST /validate", validateHandler(svc))
 	handleRead("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		if dur != nil {
 			writeJSON(w, map[string]any{
@@ -502,6 +525,193 @@ func newServeMux(svc *pghive.Service, dur *pghive.DurableService, batchSize int,
 		w.Write(buf.Bytes())
 	})
 	return mux
+}
+
+// schemaHandler serves the published schema document in the format
+// the request negotiates. Shared between the leader and follower
+// muxes: a replica answers schema reads from its own snapshot exactly
+// like a leader would.
+func schemaHandler(svc *pghive.Service) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		mode := pghive.Strict
+		switch strings.ToLower(r.URL.Query().Get("mode")) {
+		case "", "strict":
+		case "loose":
+			mode = pghive.Loose
+		default:
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("unknown mode %q (want strict or loose)", r.URL.Query().Get("mode")))
+			return
+		}
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			name = "DiscoveredGraphType"
+		}
+		switch schemaFormat(r) {
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+			svc.WriteSchemaJSON(w)
+		case "pgschema":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, svc.PGSchema(mode, name))
+		case "xsd":
+			w.Header().Set("Content-Type", "application/xml")
+			fmt.Fprint(w, svc.XSD())
+		case "dot":
+			w.Header().Set("Content-Type", "text/vnd.graphviz")
+			fmt.Fprint(w, svc.DOT(name))
+		default:
+			// Only an explicit ?format= can land here (Accept
+			// negotiation always falls back to pgschema), and a bad
+			// query parameter is the client's request error, not failed
+			// content negotiation.
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("unknown schema format (want json, pgschema, xsd, or dot)"))
+		}
+	}
+}
+
+// validateHandler checks a posted batch against the published schema
+// without ingesting it. Validation never mutates, so a follower
+// serves it too — against its replicated schema.
+func validateHandler(svc *pghive.Service) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		g, err := pghive.ReadJSONL(r.Body, true)
+		if err != nil {
+			requestError(w, r, err)
+			return
+		}
+		mode := pghive.ValidateLoose
+		switch strings.ToLower(r.URL.Query().Get("mode")) {
+		case "", "loose":
+		case "strict":
+			mode = pghive.ValidateStrict
+		default:
+			// A typo'd mode must not silently validate loosely — the
+			// client would read valid=true as a strict pass.
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("unknown mode %q (want loose or strict)", r.URL.Query().Get("mode")))
+			return
+		}
+		rep := svc.Validate(g, mode)
+		violations := make([]string, len(rep.Violations))
+		for i, v := range rep.Violations {
+			violations[i] = v.String()
+		}
+		writeJSON(w, map[string]any{
+			"checked": rep.Checked, "valid": rep.Valid(),
+			"violations": violations, "truncated": rep.Truncated,
+		})
+	}
+}
+
+// newFollowerMux wires the read-only replica surface: the same read
+// endpoints a leader serves (answered from the follower's replicated
+// snapshot), GET /lag for replication health, and — on every write
+// route — the machine-readable read-only refusal, so a client that
+// was misdirected at a replica gets PR 7's 409 contract rather than
+// a 404 it might mistake for a missing feature. Factored out of
+// runServe so tests can drive a replica end to end via httptest.
+func newFollowerMux(fol *pghive.Follower, gate *admission.Gate) *http.ServeMux {
+	if gate == nil {
+		gate = admission.New(admission.Config{})
+	}
+	svc := fol.Service
+	refuse := func(w http.ResponseWriter, r *http.Request) {
+		serviceError(w, &pghive.ReadOnlyError{Reason: pghive.ReadOnlyFollower})
+	}
+
+	mux := http.NewServeMux()
+	// Writes keep their leader routes but are refused up front —
+	// before reading the body, which may be large and is doomed.
+	mux.Handle("POST /ingest", gate.WrapWrite(http.HandlerFunc(refuse)))
+	mux.Handle("POST /retract", gate.WrapWrite(http.HandlerFunc(refuse)))
+	mux.Handle("POST /rearm", gate.Wrap(http.HandlerFunc(refuse)))
+
+	mux.Handle("GET /schema", gate.Wrap(schemaHandler(svc)))
+	mux.Handle("POST /validate", gate.Wrap(validateHandler(svc)))
+	mux.Handle("GET /stats", gate.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"stats":     svc.Stats(),
+			"lag":       fol.Lag(r.Context()),
+			"admission": gate.Stats(),
+		})
+	})))
+	// POST /checkpoint streams the replica's state image, exactly like
+	// a non-durable leader: the follower owns no WAL to fold, and the
+	// streamed image is how operators (and CI) verify bit-identity
+	// with the leader at the same LSN.
+	mux.Handle("POST /checkpoint", gate.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var buf bytes.Buffer
+		if err := svc.WriteCheckpoint(&buf); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf.Bytes())
+	})))
+
+	// Probes and the lag endpoint bypass the gate: an orchestrator
+	// must see the truth even at capacity or while draining.
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"status": "ok", "role": "follower"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if gate.Draining() {
+			w.Header().Set("Retry-After", "1")
+			writeJSONStatus(w, http.StatusServiceUnavailable,
+				map[string]any{"ready": false, "reason": "draining"})
+			return
+		}
+		// Not ready until the bootstrap image is applied: routing reads
+		// to an empty replica would serve the initial snapshot as truth.
+		if !fol.Ready() {
+			w.Header().Set("Retry-After", "1")
+			writeJSONStatus(w, http.StatusServiceUnavailable,
+				map[string]any{"ready": false, "reason": "bootstrapping", "role": "follower"})
+			return
+		}
+		writeJSON(w, map[string]any{"ready": true, "role": "follower"})
+	})
+	mux.HandleFunc("GET /lag", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, fol.Lag(r.Context()))
+	})
+	return mux
+}
+
+// leaderLSNProbe builds the follower's leader-position callback: read
+// the leader's /stats and report its last acknowledged WAL LSN, which
+// GET /lag subtracts from the replica's applied LSN. Best effort —
+// when -follow points at a bare object store with no /stats endpoint,
+// /lag simply omits the leader position.
+func leaderLSNProbe(base string) func(context.Context) (uint64, error) {
+	base = strings.TrimRight(base, "/")
+	return func(ctx context.Context) (uint64, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/stats", nil)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("leader /stats: %s", resp.Status)
+		}
+		var doc struct {
+			Durable struct {
+				WALNextLSN uint64 `json:"walNextLSN"`
+			} `json:"durable"`
+		}
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&doc); err != nil {
+			return 0, err
+		}
+		if doc.Durable.WALNextLSN == 0 {
+			return 0, errors.New("leader /stats reports no WAL position")
+		}
+		return doc.Durable.WALNextLSN - 1, nil
+	}
 }
 
 // schemaFormat resolves ?format= (authoritative) or the Accept header

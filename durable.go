@@ -77,6 +77,7 @@ import (
 	"github.com/pghive/pghive/internal/core"
 	"github.com/pghive/pghive/internal/pg"
 	"github.com/pghive/pghive/internal/runfile"
+	"github.com/pghive/pghive/internal/store"
 	"github.com/pghive/pghive/internal/vfs"
 	"github.com/pghive/pghive/internal/wal"
 )
@@ -155,6 +156,21 @@ type DurableOptions struct {
 	// the real OS. Fault-injection tests substitute vfs.MemFS /
 	// vfs.InjectFS to prove recovery survives hostile disks.
 	FS vfs.FS
+	// GroupCommit routes writes through a committer goroutine that
+	// coalesces concurrent appends into shared fsyncs (up to
+	// GroupCommitMaxBatch acknowledgments per flush). The durability
+	// contract is unchanged — no write is acknowledged before the
+	// fsync covering its record returns — only the fsync count drops
+	// under concurrency. Off by default.
+	GroupCommit bool
+	// GroupCommitMaxBatch bounds one commit group (default 64).
+	GroupCommitMaxBatch int
+	// ShipTo, when non-nil, enables WAL shipping: sealed segments and
+	// checkpoint generations are uploaded to the backend after every
+	// compaction so followers can bootstrap and tail. While set, local
+	// pruning and GC never reclaim artifacts the backend does not yet
+	// hold (see Manifest.ShippedLSN).
+	ShipTo store.Backend
 }
 
 func (o DurableOptions) withDefaults() DurableOptions {
@@ -172,6 +188,9 @@ func (o DurableOptions) withDefaults() DurableOptions {
 	}
 	if o.MaxTombstoneRatio <= 0 {
 		o.MaxTombstoneRatio = 0.5
+	}
+	if o.GroupCommitMaxBatch <= 0 {
+		o.GroupCommitMaxBatch = 64
 	}
 	return o
 }
@@ -233,6 +252,16 @@ type DurableService struct {
 	gcFailures atomic.Int64
 	lastGCErr  atomic.Pointer[string]
 
+	// ship, when non-nil, tracks what the shipping backend durably
+	// holds (see ship.go). Guarded by compactMu.
+	ship *shipper
+
+	// commitCh / commitDone exist only with DurableOptions.GroupCommit:
+	// the committer goroutine's queue and exit signal (see
+	// groupcommit.go).
+	commitCh   chan *commitReq
+	commitDone chan struct{}
+
 	stop      chan struct{}
 	done      chan struct{}
 	closeOnce sync.Once
@@ -288,17 +317,29 @@ func OpenDurable(dir string, opts Options, dopts DurableOptions) (*DurableServic
 		stop:       make(chan struct{}),
 	}
 	d.log.Store(rec.log)
+	if dopts.ShipTo != nil {
+		// The persisted watermark keeps the prune gate honest before
+		// the first shipping round of this incarnation completes.
+		d.ship = &shipper{backend: dopts.ShipTo, watermark: rec.man.ShippedLSN}
+	}
 	// Segments below the generation's WAL floor may survive a crash
-	// between manifest swap and pruning; finish the job, then sweep
-	// the files no kept generation references (stale images, orphaned
-	// runs, superseded manifests, temp residue).
-	if _, err := rec.log.Prune(rec.man.WALFloor); err != nil {
+	// between manifest swap and pruning; finish the job (gated by the
+	// ship watermark — never reclaim what the backend does not hold),
+	// then sweep the files no kept generation references (stale
+	// images, orphaned runs, superseded manifests, temp residue).
+	if _, err := rec.log.Prune(d.pruneFloorLocked(rec.man.WALFloor)); err != nil {
 		_ = rec.log.Close()
 		return nil, err
 	}
-	d.mu.Lock()
+	d.compactMu.Lock()
 	d.sweepLocked()
-	d.mu.Unlock()
+	_ = d.shipRoundLocked(context.Background()) // best effort; retried each compaction
+	d.compactMu.Unlock()
+	if dopts.GroupCommit {
+		d.commitCh = make(chan *commitReq, 4*dopts.GroupCommitMaxBatch)
+		d.commitDone = make(chan struct{})
+		go d.commitLoop()
+	}
 	if !dopts.DisableAutoCompact {
 		d.done = make(chan struct{})
 		go d.compactLoop()
@@ -569,25 +610,51 @@ func (d *DurableService) clearDegradeIfWritable() {
 	}
 }
 
-// appendLocked serializes g (behind the idempotency key, for keyed
-// record types) and logs it as one WAL record, returning the record's
-// LSN. Callers must hold the service write lock so the log order
-// equals the apply order — replay preserves exactly that order.
-// Failures are wrapped in DurabilityError; unrecoverable ones degrade
-// the service to read-only.
-func (d *DurableService) appendLocked(t byte, key string, g *Graph) (uint64, error) {
+// walRecTypeFor selects the WAL record type for a write: keyed
+// variants when an idempotency key rides along.
+func walRecTypeFor(key string, retract bool) byte {
+	switch {
+	case key != "" && retract:
+		return walRecRetractKeyed
+	case key != "":
+		return walRecIngestKeyed
+	case retract:
+		return walRecRetract
+	default:
+		return walRecIngest
+	}
+}
+
+// encodeWALRecordPayload serializes g (behind the idempotency key, for
+// keyed record types) into one WAL record payload — the inverse of
+// decodeWALRecord. Encode failures are wrapped in DurabilityError; a
+// malformed key is the caller's fault and returned plain.
+func encodeWALRecordPayload(t byte, key string, g *Graph) ([]byte, error) {
 	var buf bytes.Buffer
 	if t == walRecIngestKeyed || t == walRecRetractKeyed {
 		if len(key) == 0 || len(key) > MaxIdempotencyKeyLen {
-			return 0, fmt.Errorf("pghive: durable: idempotency key must be 1..%d bytes, got %d", MaxIdempotencyKeyLen, len(key))
+			return nil, fmt.Errorf("pghive: durable: idempotency key must be 1..%d bytes, got %d", MaxIdempotencyKeyLen, len(key))
 		}
 		buf.WriteByte(byte(len(key)))
 		buf.WriteString(key)
 	}
 	if err := WriteJSONL(&buf, g); err != nil {
-		return 0, &DurabilityError{Err: fmt.Errorf("pghive: durable: encode batch: %w", err)}
+		return nil, &DurabilityError{Err: fmt.Errorf("pghive: durable: encode batch: %w", err)}
 	}
-	lsn, err := d.wal().Append(t, buf.Bytes())
+	return buf.Bytes(), nil
+}
+
+// appendLocked encodes g and logs it as one WAL record, returning the
+// record's LSN. Callers must hold the service write lock so the log
+// order equals the apply order — replay preserves exactly that order.
+// Failures are wrapped in DurabilityError; unrecoverable ones degrade
+// the service to read-only.
+func (d *DurableService) appendLocked(t byte, key string, g *Graph) (uint64, error) {
+	payload, err := encodeWALRecordPayload(t, key, g)
+	if err != nil {
+		return 0, err
+	}
+	lsn, err := d.wal().Append(t, payload)
 	if err != nil {
 		d.maybeDegradeLocked(err)
 		return 0, &DurabilityError{Err: err}
@@ -650,8 +717,12 @@ func (d *DurableService) RetractIdempotent(ctx context.Context, key string, g *G
 
 // writeIdempotent is the single durable write path: admission (with
 // ctx deadline), replay detection, read-only fail-fast, WAL append,
-// apply, publish.
+// apply, publish. With GroupCommit enabled the same steps run inside
+// the committer goroutine instead, batched with concurrent writers.
 func (d *DurableService) writeIdempotent(ctx context.Context, key string, g *Graph, retract bool) (BatchTiming, bool, error) {
+	if d.commitCh != nil {
+		return d.submitCommit(ctx, key, g, retract)
+	}
 	if err := d.mu.LockContext(ctx); err != nil {
 		return BatchTiming{}, false, err
 	}
@@ -664,17 +735,7 @@ func (d *DurableService) writeIdempotent(ctx context.Context, key string, g *Gra
 	if err := d.failFastLocked(); err != nil {
 		return BatchTiming{}, false, err
 	}
-	t := walRecIngest
-	if retract {
-		t = walRecRetract
-	}
-	if key != "" {
-		t = walRecIngestKeyed
-		if retract {
-			t = walRecRetractKeyed
-		}
-	}
-	lsn, err := d.appendLocked(t, key, g)
+	lsn, err := d.appendLocked(walRecTypeFor(key, retract), key, g)
 	if err != nil {
 		return BatchTiming{}, false, err
 	}
@@ -758,10 +819,12 @@ func (d *DurableService) Compact() error {
 	}
 	covered := d.man.Covered()
 	if target <= covered {
-		// Nothing new sealed since the last fold; still prune any
-		// already-covered segments a crash may have left behind, and
+		// Nothing new sealed since the last fold; still ship anything
+		// the backend is missing, prune any already-covered segments a
+		// crash may have left behind (gated by the ship watermark), and
 		// retry any sweep removals that failed last time.
-		if _, err := lg.Prune(d.man.WALFloor); err != nil {
+		_ = d.shipRoundLocked(context.Background())
+		if _, err := lg.Prune(d.pruneFloorLocked(d.man.WALFloor)); err != nil {
 			return err
 		}
 		d.sweepLocked()
@@ -802,6 +865,11 @@ func (d *DurableService) Compact() error {
 		// One generation of WAL retention: floor at the PREVIOUS
 		// coverage so recovery can fall back past this round's files.
 		WALFloor: covered,
+	}
+	if d.ship != nil {
+		// Persist the upload watermark so a restart keeps gating prunes
+		// before its first shipping round completes.
+		newMan.ShippedLSN = d.ship.watermark
 	}
 	baseElems := max(d.man.BaseElements, 1)
 	fold := len(d.man.Runs)+1 > d.dopts.MaxRuns ||
@@ -844,8 +912,13 @@ func (d *DurableService) Compact() error {
 	d.prevMan = d.man
 	d.man = newMan
 	d.manSeq = newMan.Seq
+	// Ship the new generation (and any sealed segments) before pruning:
+	// a successful round advances the watermark, so the prune below can
+	// reclaim what the backend now holds. Ship failures never fail the
+	// round — the gated prune simply retains more, loudly (ShipFailures).
+	_ = d.shipRoundLocked(context.Background())
 	d.sweepLocked()
-	if _, err := lg.Prune(newMan.WALFloor); err != nil {
+	if _, err := lg.Prune(d.pruneFloorLocked(newMan.WALFloor)); err != nil {
 		return err
 	}
 	d.clearDegradeIfWritable()
@@ -999,6 +1072,18 @@ type DurableStats struct {
 	// WALNextLSN is the sequence number the next mutation will carry;
 	// NextLSN-1-CheckpointLSN records replay on recovery today.
 	WALNextLSN uint64 `json:"walNextLSN"`
+	// WALSyncs counts the fsyncs the log has issued; with GroupCommit
+	// enabled, acknowledged writes divided by WALSyncs is the group-
+	// commit amplification win.
+	WALSyncs uint64 `json:"walSyncs"`
+	// ShippedLSN is the WAL shipping watermark: every record at or
+	// below it is durable in the configured backend (zero when
+	// shipping is disabled). Local pruning never passes it.
+	ShippedLSN uint64 `json:"shippedLSN,omitempty"`
+	// ShipFailures counts failed backend uploads/GC deletions (each is
+	// retried on a later round); LastShipError is the most recent.
+	ShipFailures  int64  `json:"shipFailures,omitempty"`
+	LastShipError string `json:"lastShipError,omitempty"`
 	// WALSealedSegments / WALSealedBytes count the sealed segments
 	// waiting for compaction.
 	WALSealedSegments int   `json:"walSealedSegments"`
@@ -1022,6 +1107,7 @@ func (d *DurableService) DurableStats() DurableStats {
 	st := DurableStats{
 		Dir:        d.dir,
 		WALNextLSN: lg.NextLSN(), WALBroken: lg.Broken(),
+		WALSyncs:        lg.Syncs(),
 		IdempotencyKeys: d.keys.len(),
 		GCFailures:      d.gcFailures.Load(),
 	}
@@ -1035,6 +1121,11 @@ func (d *DurableService) DurableStats() DurableStats {
 	}
 	st.RunTombstones = d.man.Tombstones()
 	st.RecoveryFallbacks = d.fallbacks
+	if d.ship != nil {
+		st.ShippedLSN = d.ship.watermark
+		st.ShipFailures = d.ship.failures
+		st.LastShipError = d.ship.lastErr
+	}
 	d.compactMu.Unlock()
 	if msg := d.lastGCErr.Load(); msg != nil {
 		st.LastGCError = *msg
@@ -1057,6 +1148,9 @@ func (d *DurableService) Close() error {
 		close(d.stop)
 		if d.done != nil {
 			<-d.done
+		}
+		if d.commitDone != nil {
+			<-d.commitDone
 		}
 		d.compactMu.Lock()
 		defer d.compactMu.Unlock()

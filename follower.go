@@ -1,0 +1,446 @@
+package pghive
+
+// follower.go is the read-replica side of WAL shipping: a Follower
+// bootstraps from the newest consistent checkpoint generation a
+// storage backend holds (same fallback walk as local recovery) and
+// then tails the shipped WAL segments, applying records through
+// exactly the code path the leader's recovery uses and publishing each
+// batch with the same atomic-pointer snapshot swap. Reads on a
+// follower are therefore indistinguishable from reads on the leader at
+// the same LSN — WriteCheckpoint produces bit-identical images — they
+// just lag by the shipping horizon (the leader uploads sealed segments
+// at each compaction round, never the active one).
+//
+// Divergence is structurally impossible: a record is applied only when
+// its LSN is exactly appliedLSN+1. A torn or missing segment therefore
+// stops the tail — counted in FollowerLag.FetchFaults, retried next
+// poll — and when the gap can no longer be filled from segments (the
+// backend GC already reclaimed them) the follower re-bootstraps from a
+// newer shipped generation. The one thing a follower never does is
+// skip a record and keep serving.
+//
+// Followers refuse writes with the same machine-readable ReadOnlyError
+// contract declared read-only degradation uses, under the dedicated
+// ReadOnlyFollower reason.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pghive/pghive/internal/core"
+	"github.com/pghive/pghive/internal/pg"
+	"github.com/pghive/pghive/internal/runfile"
+	"github.com/pghive/pghive/internal/store"
+	"github.com/pghive/pghive/internal/vfs"
+	"github.com/pghive/pghive/internal/wal"
+)
+
+// ReadOnlyFollower is the ReadOnlyError reason every follower write
+// rejection carries: the service is a read replica, not a degraded
+// leader — writes belong on the leader.
+const ReadOnlyFollower = "follower"
+
+// FollowerOptions tunes a read replica.
+type FollowerOptions struct {
+	// PollInterval is the tail cadence of Start's background loop
+	// (default 500ms).
+	PollInterval time.Duration
+	// LeaderLSN, when set, lets Lag report how far behind the leader
+	// the replica is (typically a closure fetching the leader's
+	// DurableStats.WALNextLSN). Optional; without it Lag reports only
+	// the applied LSN.
+	LeaderLSN func(context.Context) (uint64, error)
+}
+
+// Follower is a read-only replica of a leader that ships its WAL and
+// checkpoints to a storage backend. The embedded Service's read side —
+// Snapshot, Schema, Stats, Validate, renders — serves lock-free
+// exactly as on the leader; the write methods are shadowed to fail
+// fast with ReadOnlyError(ReadOnlyFollower). Construct with
+// NewFollower, then either call Start for the managed
+// bootstrap-and-tail loop or drive Bootstrap/TailOnce directly.
+type Follower struct {
+	*Service
+	backend store.Backend
+	opts    Options
+	fopts   FollowerOptions
+
+	// ready flips true once a bootstrap completes; until then the
+	// replica serves the empty snapshot and /readyz-style probes
+	// should report not-ready.
+	ready atomic.Bool
+	// applied is the LSN of the last WAL record absorbed into the
+	// published state — atomic so Lag never takes the write lock.
+	applied atomic.Uint64
+
+	// bootGen / bootFallbacks describe the last bootstrap: the
+	// manifest generation restored and how many newer-but-broken
+	// generations were skipped to find it.
+	bootGen       atomic.Uint64
+	bootFallbacks atomic.Int64
+
+	// fetchFaults counts tail rounds stopped by a fetch failure, a
+	// torn segment, or an LSN discontinuity; lastFault is the most
+	// recent. Every fault is retried on the next round.
+	fetchFaults atomic.Int64
+	lastFault   atomic.Pointer[string]
+
+	stop      chan struct{}
+	done      chan struct{}
+	startOnce sync.Once
+	closeOnce sync.Once
+}
+
+func (o FollowerOptions) withDefaults() FollowerOptions {
+	if o.PollInterval <= 0 {
+		o.PollInterval = 500 * time.Millisecond
+	}
+	return o
+}
+
+// NewFollower returns a follower serving the empty snapshot; no
+// backend IO happens until Bootstrap or Start.
+func NewFollower(opts Options, backend store.Backend, fopts FollowerOptions) *Follower {
+	return &Follower{
+		Service: newService(opts, NewIncremental(opts), nil),
+		backend: backend,
+		opts:    opts,
+		fopts:   fopts.withDefaults(),
+		stop:    make(chan struct{}),
+	}
+}
+
+// Ready reports whether a bootstrap has completed — before that the
+// replica serves the empty snapshot and should answer readiness probes
+// negatively.
+func (f *Follower) Ready() bool { return f.ready.Load() }
+
+// AppliedLSN returns the LSN of the last WAL record the published
+// state has absorbed.
+func (f *Follower) AppliedLSN() uint64 { return f.applied.Load() }
+
+// FollowerLag describes how far a replica trails its leader.
+type FollowerLag struct {
+	// Ready mirrors Follower.Ready.
+	Ready bool `json:"ready"`
+	// AppliedLSN is the replica's replication position.
+	AppliedLSN uint64 `json:"appliedLSN"`
+	// LeaderLSN is the last WAL LSN the leader has acknowledged, and
+	// Lag the record count between them — both zero when no LeaderLSN
+	// source is configured or the leader is unreachable.
+	LeaderLSN uint64 `json:"leaderLSN,omitempty"`
+	Lag       uint64 `json:"lag,omitempty"`
+	// BootstrapGeneration is the shipped manifest generation the
+	// replica restored; BootstrapFallbacks counts the newer
+	// generations it had to skip (torn or incompletely shipped).
+	BootstrapGeneration uint64 `json:"bootstrapGeneration"`
+	BootstrapFallbacks  int64  `json:"bootstrapFallbacks,omitempty"`
+	// FetchFaults counts tail rounds stopped by a fetch failure, torn
+	// segment, or LSN gap (each retried); LastFault is the most
+	// recent.
+	FetchFaults int64  `json:"fetchFaults,omitempty"`
+	LastFault   string `json:"lastFault,omitempty"`
+}
+
+// Lag snapshots the replica's replication position. When a LeaderLSN
+// source is configured its failure is not an error — the position is
+// still reported, with LeaderLSN zero.
+func (f *Follower) Lag(ctx context.Context) FollowerLag {
+	lag := FollowerLag{
+		Ready:               f.ready.Load(),
+		AppliedLSN:          f.applied.Load(),
+		BootstrapGeneration: f.bootGen.Load(),
+		BootstrapFallbacks:  f.bootFallbacks.Load(),
+		FetchFaults:         f.fetchFaults.Load(),
+	}
+	if msg := f.lastFault.Load(); msg != nil {
+		lag.LastFault = *msg
+	}
+	if f.fopts.LeaderLSN != nil {
+		if lsn, err := f.fopts.LeaderLSN(ctx); err == nil {
+			lag.LeaderLSN = lsn
+			if lsn > lag.AppliedLSN {
+				lag.Lag = lsn - lag.AppliedLSN
+			}
+		}
+	}
+	return lag
+}
+
+// Ingest fails fast: followers are read-only replicas.
+func (f *Follower) Ingest(*Graph) (BatchTiming, error) {
+	return BatchTiming{}, &ReadOnlyError{Reason: ReadOnlyFollower}
+}
+
+// Retract fails fast: followers are read-only replicas.
+func (f *Follower) Retract(*Graph) (BatchTiming, error) {
+	return BatchTiming{}, &ReadOnlyError{Reason: ReadOnlyFollower}
+}
+
+// DrainStream fails fast: followers are read-only replicas.
+func (f *Follower) DrainStream(StreamReader, func(BatchTiming)) error {
+	return &ReadOnlyError{Reason: ReadOnlyFollower}
+}
+
+// noteFault records one tail/bootstrap fault and returns err.
+func (f *Follower) noteFault(err error) error {
+	f.fetchFaults.Add(1)
+	msg := err.Error()
+	f.lastFault.Store(&msg)
+	return err
+}
+
+// fetchGeneration materializes one shipped generation into a scratch
+// filesystem and merges it through the same reader recovery uses, so
+// every integrity check — manifest checksums, base/run CRCs, chain
+// contiguity, LSN cross-checks — applies to fetched bytes too.
+func (f *Follower) fetchGeneration(ctx context.Context, seq uint64) (*core.Image, *runfile.Manifest, error) {
+	scratch := vfs.NewMemFS()
+	const dir = "/replica"
+	if err := scratch.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	fetch := func(obj string) error {
+		data, err := f.backend.Get(ctx, obj)
+		if err != nil {
+			return fmt.Errorf("pghive: follower: fetch %s: %w", obj, err)
+		}
+		return vfs.WriteFileAtomic(scratch, dir+"/"+obj, func(w io.Writer) error {
+			_, werr := w.Write(data)
+			return werr
+		})
+	}
+	mf := runfile.ManifestName(seq)
+	if err := fetch(mf); err != nil {
+		return nil, nil, err
+	}
+	man, err := runfile.ReadManifest(scratch, dir+"/"+mf)
+	if err != nil {
+		return nil, nil, err
+	}
+	for obj := range man.Files() {
+		if err := fetch(obj); err != nil {
+			return nil, nil, err
+		}
+	}
+	img, err := mergedImage(scratch, dir, f.opts, man)
+	if err != nil {
+		return nil, nil, err
+	}
+	return img, man, nil
+}
+
+// Bootstrap restores the replica from the newest shipped generation
+// that fully validates, walking older generations on failure exactly
+// like local recovery (the backend keeps the previous generation for
+// this). A backend with no manifest yet bootstraps the empty state and
+// tails from LSN 1. On success the replica is Ready and positioned at
+// the generation's covered LSN; TailOnce picks up from there.
+func (f *Follower) Bootstrap(ctx context.Context) error {
+	names, err := f.backend.List(ctx, "")
+	if err != nil {
+		return f.noteFault(fmt.Errorf("pghive: follower: list backend: %w", err))
+	}
+	var seqs []uint64
+	for _, n := range names {
+		if seq, ok := runfile.ParseManifestSeq(n); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+
+	var img *core.Image
+	var man *runfile.Manifest
+	var notes []string
+	for _, seq := range seqs {
+		var gerr error
+		img, man, gerr = f.fetchGeneration(ctx, seq)
+		if gerr == nil {
+			break
+		}
+		notes = append(notes, gerr.Error())
+		img, man = nil, nil
+	}
+	if man == nil && len(notes) > 0 {
+		return f.noteFault(fmt.Errorf("pghive: follower: no shipped generation recovers: %s", strings.Join(notes, "; ")))
+	}
+	f.bootFallbacks.Store(int64(len(notes)))
+
+	var inc *Incremental
+	var resolver *Graph
+	var nextEdgeID ID
+	var covered, gen uint64
+	if man == nil {
+		inc = NewIncremental(f.opts)
+	} else {
+		restored, extras, rerr := core.RestoreImage(f.opts, img)
+		if rerr != nil {
+			return f.noteFault(fmt.Errorf("pghive: follower: restore image: %w", rerr))
+		}
+		inc, resolver, nextEdgeID = restored, extras.Resolver, extras.NextEdgeID
+		covered, gen = man.Covered(), man.Seq
+	}
+
+	f.mu.Lock()
+	f.inc = inc
+	if resolver != nil {
+		f.resolver = resolver
+	} else {
+		f.resolver = pg.NewGraph()
+		f.resolver.AllowDanglingEdges(true)
+	}
+	f.nextEdgeID = nextEdgeID
+	f.publish()
+	f.applied.Store(covered)
+	f.mu.Unlock()
+	f.bootGen.Store(gen)
+	f.ready.Store(true)
+	return nil
+}
+
+// applyShippedRecord folds one tailed WAL record into the live state
+// and publishes, under the write lock — the same per-batch snapshot
+// cadence the leader has.
+func (f *Follower) applyShippedRecord(rec wal.Record) error {
+	g, _, retract, err := decodeWALRecord(rec)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if retract {
+		f.retractLocked(g)
+	} else {
+		f.ingestLocked(g)
+	}
+	f.applied.Store(rec.LSN)
+	f.mu.Unlock()
+	return nil
+}
+
+// TailOnce fetches and applies every shipped WAL record above the
+// replica's position, in strict LSN order. Three outcomes per round:
+// fully caught up with the shipped horizon (nil); a fetch fault or LSN
+// discontinuity, counted and left for the next round to retry (error);
+// or a gap below the oldest retained segment — the backend GC has
+// reclaimed records the replica never saw — which triggers a
+// re-bootstrap from a newer shipped generation. Records are applied
+// one at a time, each checked to be exactly the successor of the
+// last; a record that is not simply ends the round. The replica can
+// lag; it cannot diverge.
+func (f *Follower) TailOnce(ctx context.Context) error {
+	if !f.ready.Load() {
+		if err := f.Bootstrap(ctx); err != nil {
+			return err
+		}
+	}
+	names, err := f.backend.List(ctx, shipObjectPrefix)
+	if err != nil {
+		return f.noteFault(fmt.Errorf("pghive: follower: list segments: %w", err))
+	}
+	type seg struct {
+		obj   string
+		first uint64
+	}
+	var segs []seg
+	for _, n := range names {
+		if first, ok := segObjectFirstLSN(n); ok {
+			segs = append(segs, seg{obj: n, first: first})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+
+	// Start at the newest segment that can contain applied+1: segment
+	// names carry only their first LSN, so the containing segment is
+	// the last one starting at or below the target.
+	want := f.applied.Load() + 1
+	start := -1
+	for i, s := range segs {
+		if s.first <= want {
+			start = i
+		}
+	}
+	if start == -1 {
+		if len(segs) == 0 {
+			return nil // nothing shipped yet
+		}
+		// Every retained segment starts above the record the replica
+		// needs: the backend GC reclaimed the gap. A newer shipped
+		// generation must cover it — re-bootstrap from there.
+		f.noteFault(fmt.Errorf("pghive: follower: need LSN %d, oldest shipped segment starts at %d", want, segs[0].first))
+		f.ready.Store(false)
+		return f.Bootstrap(ctx)
+	}
+
+	for _, s := range segs[start:] {
+		data, err := f.backend.Get(ctx, s.obj)
+		if err != nil {
+			return f.noteFault(fmt.Errorf("pghive: follower: fetch %s: %w", s.obj, err))
+		}
+		applied := f.applied.Load()
+		var gap error
+		if _, err := wal.ScanSegment(bytes.NewReader(data), func(rec wal.Record) error {
+			if rec.LSN <= applied {
+				return nil
+			}
+			if rec.LSN != applied+1 {
+				gap = fmt.Errorf("pghive: follower: %s jumps LSN %d -> %d", s.obj, applied, rec.LSN)
+				return wal.ErrStopReplay
+			}
+			if err := f.applyShippedRecord(rec); err != nil {
+				return err
+			}
+			applied = rec.LSN
+			return nil
+		}); err != nil && err != wal.ErrStopReplay {
+			return f.noteFault(err)
+		}
+		if gap != nil {
+			return f.noteFault(gap)
+		}
+	}
+	return nil
+}
+
+// Start launches the managed replication loop: bootstrap (retried on
+// the poll cadence until the backend yields a consistent generation),
+// then TailOnce every PollInterval until Close. Faults never stop the
+// loop — they are counted in Lag and retried.
+func (f *Follower) Start() {
+	f.startOnce.Do(func() {
+		f.done = make(chan struct{})
+		go func() {
+			defer close(f.done)
+			t := time.NewTicker(f.fopts.PollInterval)
+			defer t.Stop()
+			ctx := context.Background()
+			_ = f.TailOnce(ctx)
+			for {
+				select {
+				case <-f.stop:
+					return
+				case <-t.C:
+					_ = f.TailOnce(ctx)
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the replication loop. The follower keeps serving its
+// last published snapshot.
+func (f *Follower) Close() error {
+	f.closeOnce.Do(func() {
+		close(f.stop)
+		if f.done != nil {
+			<-f.done
+		}
+	})
+	return nil
+}

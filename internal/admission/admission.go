@@ -61,6 +61,8 @@ type Config struct {
 	OnPanic func(val any)
 }
 
+// Defaults applied by New when the corresponding Config field is
+// zero; see the Config field docs for what each limit governs.
 const (
 	DefaultMaxConcurrent  = 64
 	DefaultMaxWriteQueue  = 8

@@ -1,0 +1,203 @@
+// Package exportdoc enforces the documentation contract on the
+// module's exported API: every exported top-level symbol — function,
+// method on an exported type, type, constant, variable — carries a
+// doc comment, and function/type docs lead with the symbol's name in
+// the godoc convention, so `go doc` renders a sentence rather than a
+// fragment.
+//
+// The rule exists because the replication and durability surface
+// (package store, package client, the Durable/Follower API) is
+// contract-heavy: which methods are safe for concurrent use, what an
+// acked write survives, what a follower refuses. Those contracts live
+// in doc comments, and an undocumented export is a contract nobody
+// wrote down. Test files and package main are exempt (a command's
+// exports are not an API), as are methods on unexported types, and —
+// following the convention of documenting the interface rather than
+// every implementation — methods that satisfy an exported interface
+// declared in the same package, the builtin error interface, or
+// fmt.Stringer.
+package exportdoc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/pghive/pghive/internal/analysis"
+)
+
+// Analyzer enforces doc comments on exported symbols.
+var Analyzer = &analysis.Analyzer{
+	Name: "exportdoc",
+	Doc: "every exported symbol must carry a doc comment, name-leading for funcs and types, " +
+		"so the API's concurrency and durability contracts are written down where godoc shows them",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.FileName(f), "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFunc(pass, d)
+			case *ast.GenDecl:
+				checkGen(pass, d)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc applies the rule to a function or method declaration.
+func checkFunc(pass *analysis.Pass, d *ast.FuncDecl) {
+	if !d.Name.IsExported() {
+		return
+	}
+	kind := "function"
+	if d.Recv != nil {
+		kind = "method"
+		if !exportedReceiver(d) {
+			return // methods on unexported types are not API surface
+		}
+		if implementsInterface(pass, d) {
+			return // the interface's doc is the contract
+		}
+	}
+	checkNamedDoc(pass, d.Name, d.Doc, kind)
+}
+
+// implementsInterface reports whether the method satisfies a
+// same-name method of an exported interface declared in this package,
+// the builtin error interface, or fmt.Stringer — the cases where
+// convention puts the doc on the interface, not each implementation.
+func implementsInterface(pass *analysis.Pass, d *ast.FuncDecl) bool {
+	fn, ok := pass.TypesInfo.Defs[d.Name].(*types.Func)
+	if ok {
+		sig := fn.Type().(*types.Signature)
+		switch d.Name.Name {
+		case "Error", "String":
+			// error's Error and fmt.Stringer's String: () string.
+			if sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+				types.Identical(sig.Results().At(0).Type(), types.Typ[types.String]) {
+				return true
+			}
+		case "Unwrap":
+			// The errors.Unwrap convention: () error.
+			if sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+				types.Identical(sig.Results().At(0).Type(), types.Universe.Lookup("error").Type()) {
+				return true
+			}
+		}
+		recv := sig.Recv().Type()
+		scope := pass.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || !tn.Exported() {
+				continue
+			}
+			iface, ok := tn.Type().Underlying().(*types.Interface)
+			if !ok || !hasMethod(iface, d.Name.Name) {
+				continue
+			}
+			if types.Implements(recv, iface) || types.Implements(types.NewPointer(recv), iface) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func hasMethod(iface *types.Interface, name string) bool {
+	for i := 0; i < iface.NumMethods(); i++ {
+		if iface.Method(i).Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// checkGen applies the rule to a type/const/var declaration. A spec
+// inside a grouped const or var block may be covered by the group's
+// doc comment (the usual idiom for enumerations and sentinel sets);
+// types always document each spec and lead with the name.
+func checkGen(pass *analysis.Pass, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			doc := s.Doc
+			if doc == nil && len(d.Specs) == 1 {
+				doc = d.Doc
+			}
+			checkNamedDoc(pass, s.Name, doc, "type")
+		case *ast.ValueSpec:
+			// A trailing line comment documents a spec only inside a
+			// grouped block, where it is the enumeration idiom godoc
+			// renders; a standalone decl needs a leading doc comment.
+			covered := s.Doc != nil || d.Doc != nil || (d.Lparen.IsValid() && s.Comment != nil)
+			for _, name := range s.Names {
+				if !name.IsExported() {
+					continue
+				}
+				if !covered {
+					pass.Reportf(name.Pos(), "exported %s %s has no doc comment (neither its own nor its group's); document what it means and when it applies", kindOf(d), name.Name)
+				}
+			}
+		}
+	}
+}
+
+func kindOf(d *ast.GenDecl) string {
+	if d.Tok.String() == "const" {
+		return "constant"
+	}
+	return "variable"
+}
+
+// checkNamedDoc requires a non-empty doc comment whose first word is
+// the symbol's name (after an optional leading article), the form
+// godoc and doc links rely on.
+func checkNamedDoc(pass *analysis.Pass, name *ast.Ident, doc *ast.CommentGroup, kind string) {
+	text := ""
+	if doc != nil {
+		text = strings.TrimSpace(doc.Text())
+	}
+	if text == "" {
+		pass.Reportf(name.Pos(), "exported %s %s has no doc comment; write the contract down where godoc shows it", kind, name.Name)
+		return
+	}
+	for _, article := range []string{"A ", "An ", "The "} {
+		if strings.HasPrefix(text, article) {
+			text = text[len(article):]
+			break
+		}
+	}
+	first, _, _ := strings.Cut(text, " ")
+	if strings.TrimRight(first, ".,:;") != name.Name {
+		pass.Reportf(name.Pos(), "doc comment for %s %s should lead with the symbol name (got %q); name-leading docs keep `go doc %s` readable", kind, name.Name, first, name.Name)
+	}
+}
+
+// exportedReceiver reports whether the method's receiver names an
+// exported type.
+func exportedReceiver(d *ast.FuncDecl) bool {
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return false
+}

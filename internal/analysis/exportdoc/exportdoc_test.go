@@ -1,0 +1,12 @@
+package exportdoc_test
+
+import (
+	"testing"
+
+	"github.com/pghive/pghive/internal/analysis/analysistest"
+	"github.com/pghive/pghive/internal/analysis/exportdoc"
+)
+
+func TestExportDoc(t *testing.T) {
+	analysistest.Run(t, "testdata/src/fix", exportdoc.Analyzer)
+}

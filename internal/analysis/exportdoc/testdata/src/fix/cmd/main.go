@@ -1,0 +1,9 @@
+// Command cmd proves package main is exempt: a command's exports are
+// not an API surface.
+package main
+
+type Undocumented struct{}
+
+func Helper() {}
+
+func main() {}

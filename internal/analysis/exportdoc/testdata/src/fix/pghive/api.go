@@ -1,0 +1,56 @@
+// Package pghive seeds export-documentation violations beside the
+// blessed idioms: documented symbols, interface implementations, and
+// group-documented constants all stay quiet.
+package pghive
+
+// Backend is a documented exported interface; implementations of its
+// methods inherit this contract and need no doc of their own.
+type Backend interface {
+	Put(name string, data []byte) error
+}
+
+// Store is a documented implementation of Backend.
+type Store struct{}
+
+func (s *Store) Put(name string, data []byte) error { return nil } // quiet: implements Backend
+
+func (s *Store) Extra() int { return 0 } // want `exported method Extra has no doc comment`
+
+// Error satisfies the builtin error convention without a doc.
+type opError struct{}
+
+func (opError) Error() string { return "" } // quiet: unexported receiver anyway
+
+// StoreError is a documented error type.
+type StoreError struct{}
+
+func (*StoreError) Error() string  { return "" }  // quiet: implements error
+func (*StoreError) Unwrap() error  { return nil } // quiet: errors.Unwrap convention
+func (*StoreError) String() string { return "" }  // quiet: fmt.Stringer convention
+
+type Widget struct{} // want `exported type Widget has no doc comment`
+
+// The Gadget form: an article-leading doc is still name-leading.
+type Gadget struct{}
+
+// Creates a widget — a fragment, not a sentence about MakeWidget.
+func MakeWidget() *Widget { return nil } // want `doc comment for function MakeWidget should lead with the symbol name`
+
+func UndocumentedFunc() {} // want `exported function UndocumentedFunc has no doc comment`
+
+// Defaults for the store; a group doc covers every name inside.
+const (
+	DefaultLimit  = 8
+	DefaultBudget = 64
+)
+
+const LooseEnd = 3 // want `exported constant LooseEnd has no doc comment`
+
+// MaxNameLen caps object names.
+var MaxNameLen = 255
+
+var Tuning = 7 // want `exported variable Tuning has no doc comment`
+
+type counter struct{}
+
+func (c *counter) Bump() {} // quiet: method on unexported type

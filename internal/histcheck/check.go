@@ -59,6 +59,14 @@ func Check(h *History) error {
 		return &Violation{Kind: KindMalformed, Detail: "nil history"}
 	}
 
+	replicas := make(map[string]bool, len(h.Replicas))
+	for _, r := range h.Replicas {
+		if r == "" {
+			return &Violation{Kind: KindMalformed, Detail: "empty replica name declared"}
+		}
+		replicas[r] = true
+	}
+
 	// Well-formedness: every event belongs to a session, has a
 	// coherent stamp window, and is either an ack or an observation.
 	// Acks must name a scripted writer and arrive in 1..n order per
@@ -73,6 +81,16 @@ func Check(h *History) error {
 		if e.Start >= e.End {
 			return &Violation{Kind: KindMalformed, Session: e.Session,
 				Detail: fmt.Sprintf("event %d stamp window [%d,%d) is empty or inverted", i, e.Start, e.End)}
+		}
+		if e.Server != "" {
+			if !replicas[e.Server] {
+				return &Violation{Kind: KindMalformed, Session: e.Session,
+					Detail: fmt.Sprintf("event %d names undeclared server %q", i, e.Server)}
+			}
+			if e.Writer != "" {
+				return &Violation{Kind: KindMalformed, Session: e.Session,
+					Detail: fmt.Sprintf("write acknowledged by read-only replica %q", e.Server)}
+			}
 		}
 		switch {
 		case e.Writer != "" && e.Obs == nil:
@@ -118,7 +136,7 @@ func Check(h *History) error {
 		if v := checkConservation(e); v != nil {
 			return v
 		}
-		if v := checkVisibility(h, byWriter, e); v != nil {
+		if v := checkVisibility(h, byWriter, e, replicas[e.Server]); v != nil {
 			return v
 		}
 	}
@@ -127,37 +145,52 @@ func Check(h *History) error {
 
 // checkSessionMonotonicity: within one session, in stamp order, the
 // observed snapshot sequence number never decreases. A client that
-// reads snapshot 7 and then snapshot 5 has time-travelled.
+// reads snapshot 7 and then snapshot 5 has time-travelled. Sequence
+// numbers are per-server registers, so a session that reads from
+// several servers is held to the rule independently per server.
 func checkSessionMonotonicity(perSession map[string][]Event) *Violation {
 	for session, events := range perSession {
 		sort.SliceStable(events, func(i, j int) bool { return events[i].Start < events[j].Start })
-		last, have := uint64(0), false
+		last := make(map[string]uint64)
 		for _, e := range events {
 			if e.Obs == nil || !e.Obs.HasSnapshot {
 				continue
 			}
-			if have && e.Obs.Snapshot < last {
+			if prev, have := last[e.Server]; have && e.Obs.Snapshot < prev {
 				return &Violation{Kind: KindMonotonicity, Session: session,
-					Detail: fmt.Sprintf("snapshot went backwards: %d after %d", e.Obs.Snapshot, last)}
+					Detail: fmt.Sprintf("snapshot went backwards: %d after %d", e.Obs.Snapshot, prev)}
 			}
-			last, have = e.Obs.Snapshot, true
+			last[e.Server] = e.Obs.Snapshot
 		}
 	}
 	return nil
 }
 
 // checkRealtimeMonotonicity: across ALL sessions, an observation that
-// finished before another began must not carry a newer snapshot —
-// the publication sequence is a single register and reads of it must
-// be consistent with real time. Sweep in Start order, folding in the
-// maximum snapshot among observations that have fully completed.
+// finished before another began must not carry a newer snapshot of
+// the SAME server — each server's publication sequence is a single
+// register and reads of it must be consistent with real time.
+// Different servers are different registers: a replica lawfully
+// trails the leader, so the sweep runs per server.
 func checkRealtimeMonotonicity(observations []Event) *Violation {
-	snaps := make([]Event, 0, len(observations))
+	perServer := make(map[string][]Event)
 	for _, e := range observations {
 		if e.Obs.HasSnapshot {
-			snaps = append(snaps, e)
+			perServer[e.Server] = append(perServer[e.Server], e)
 		}
 	}
+	for _, snaps := range perServer {
+		if v := realtimeSweep(snaps); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// realtimeSweep runs the single-register real-time check over one
+// server's snapshot observations: sweep in Start order, folding in
+// the maximum snapshot among observations that have fully completed.
+func realtimeSweep(snaps []Event) *Violation {
 	byStart := append([]Event(nil), snaps...)
 	sort.SliceStable(byStart, func(i, j int) bool { return byStart[i].Start < byStart[j].Start })
 	byEnd := append([]Event(nil), snaps...)
@@ -183,10 +216,26 @@ func checkRealtimeMonotonicity(observations []Event) *Violation {
 }
 
 // checkSnapshotDeterminism: a snapshot sequence number names exactly
-// one published state, so every observation of it must report the
-// same stats — and, ordering snapshots by sequence, the batch counter
-// must be non-decreasing (batches are never un-processed).
+// one published state on its server, so every observation of it must
+// report the same stats — and, ordering one server's snapshots by
+// sequence, the batch counter must be non-decreasing (batches are
+// never un-processed). Sequence numbers are scoped per server: a
+// follower's snapshot 7 and the leader's snapshot 7 are unrelated
+// registers and are never compared.
 func checkSnapshotDeterminism(observations []Event) *Violation {
+	perServer := make(map[string][]Event)
+	for _, e := range observations {
+		perServer[e.Server] = append(perServer[e.Server], e)
+	}
+	for _, obs := range perServer {
+		if v := determinismSweep(obs); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+func determinismSweep(observations []Event) *Violation {
 	type statsAt struct {
 		batches, nodes, edges int
 		session               string
@@ -248,7 +297,15 @@ func checkConservation(e Event) *Violation {
 // acks that started before it ended. Batches apply atomically, so a
 // count that no reachable vector explains means a reader saw a torn
 // or fabricated state.
-func checkVisibility(h *History, byWriter map[string][]ack, e Event) *Violation {
+//
+// Replica observations keep the upper bound — a follower replays the
+// leader's log, so it can never show a batch whose ingest had not
+// even started by the time the read returned — but drop the lower
+// bound to zero: asynchronous shipping means arbitrary lag is legal.
+// The snapshot-equals-batches pin is also leader-only; a follower's
+// publication counter starts from its bootstrap image, not from the
+// scripted history's origin.
+func checkVisibility(h *History, byWriter map[string][]ack, e Event, replica bool) *Violation {
 	o := e.Obs
 	if !o.HasStats && !o.HasInstances {
 		return nil
@@ -265,7 +322,7 @@ func checkVisibility(h *History, byWriter map[string][]ack, e Event) *Violation 
 	combos := 1
 	for i, w := range writers {
 		for _, a := range byWriter[w] {
-			if a.end < e.Start {
+			if a.end < e.Start && !replica {
 				low[i]++
 			}
 			if a.start < e.End {
@@ -296,13 +353,17 @@ func checkVisibility(h *History, byWriter map[string][]ack, e Event) *Violation 
 			if nodes != wantNodes || edges != wantEdges {
 				return false
 			}
-			if o.HasStats && batches != o.Batches {
+			// The batch-counter and snapshot pins are leader-only:
+			// a follower counts batches and publications from its
+			// bootstrap image onward, so only its element totals are
+			// tied to the scripted prefix lattice.
+			if !replica && o.HasStats && batches != o.Batches {
 				return false
 			}
 			// In the ingest-only-from-empty model each mutation
 			// publishes exactly one snapshot, so the sequence number
 			// equals the visible batch count.
-			if o.HasStats && o.HasSnapshot && uint64(batches) != o.Snapshot {
+			if !replica && o.HasStats && o.HasSnapshot && uint64(batches) != o.Snapshot {
 				return false
 			}
 			return true

@@ -42,6 +42,16 @@ type Config struct {
 	Readers          int // concurrent reader sessions (default 2)
 	ReadsPerReader   int // observations each (default 16)
 
+	// Replicas names the read-only follower servers a RunReplicated
+	// workload also reads from; the names end up in History.Replicas
+	// so the checker applies replica semantics to those reads. Run
+	// ignores this field.
+	Replicas []string
+	// ReplicaReaders is the number of concurrent reader sessions per
+	// replica (default 1 when Replicas is non-empty), each issuing
+	// ReadsPerReader observations.
+	ReplicaReaders int
+
 	// IDStride separates writer ID namespaces (default 1 << 20).
 	IDStride pghive.ID
 }
@@ -60,6 +70,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReadsPerReader <= 0 {
 		c.ReadsPerReader = 16
+	}
+	if c.ReplicaReaders <= 0 && len(c.Replicas) > 0 {
+		c.ReplicaReaders = 1
 	}
 	if c.IDStride <= 0 {
 		c.IDStride = 1 << 20
@@ -104,8 +117,21 @@ func (r *recorder) record(e Event) {
 // returns the recorded History. newClient is called once per session
 // (sessions "w0".. write, "r0".. read) and may return the same
 // underlying service wrapped per call. The first transport error
-// aborts the run.
+// aborts the run. Config.Replicas is ignored; use RunReplicated to
+// also read from followers.
 func Run(newClient func(session string) Client, cfg Config) (*History, error) {
+	cfg.Replicas = nil
+	return RunReplicated(func(session, _ string) Client { return newClient(session) }, cfg)
+}
+
+// RunReplicated is Run extended across a replication topology: the
+// scripted writers and the plain readers target the leader (server
+// ""), and for every name in cfg.Replicas, cfg.ReplicaReaders extra
+// reader sessions observe that follower, with their events stamped
+// Server so the checker holds them to replica semantics (atomicity
+// mandatory, freshness per server). newClient receives the session
+// name and the server it must talk to ("" = leader).
+func RunReplicated(newClient func(session, server string) Client, cfg Config) (*History, error) {
 	cfg = cfg.withDefaults()
 	script := cfg.Script()
 	rec := &recorder{}
@@ -121,7 +147,7 @@ func Run(newClient func(session string) Client, cfg Config) (*History, error) {
 	for w := 0; w < cfg.Writers; w++ {
 		name := fmt.Sprintf("w%d", w)
 		base := pghive.ID(w+1) * cfg.IDStride
-		c := newClient(name)
+		c := newClient(name, "")
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -143,7 +169,7 @@ func Run(newClient func(session string) Client, cfg Config) (*History, error) {
 
 				// Read-your-writes probe: a stats read issued after
 				// the ack must (per the stamps) include this batch.
-				if _, err := observe(rec, name, c, k); err != nil {
+				if _, err := observe(rec, name, "", c, k); err != nil {
 					fail(err)
 					return
 				}
@@ -152,7 +178,7 @@ func Run(newClient func(session string) Client, cfg Config) (*History, error) {
 	}
 	for r := 0; r < cfg.Readers; r++ {
 		name := fmt.Sprintf("r%d", r)
-		c := newClient(name)
+		c := newClient(name, "")
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -160,24 +186,44 @@ func Run(newClient func(session string) Client, cfg Config) (*History, error) {
 				if firstErr.Load() != nil {
 					return
 				}
-				if _, err := observe(rec, name, c, i); err != nil {
+				if _, err := observe(rec, name, "", c, i); err != nil {
 					fail(err)
 					return
 				}
 			}
 		}()
 	}
+	for _, server := range cfg.Replicas {
+		for r := 0; r < cfg.ReplicaReaders; r++ {
+			name := fmt.Sprintf("%s/r%d", server, r)
+			c := newClient(name, server)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < cfg.ReadsPerReader; i++ {
+					if firstErr.Load() != nil {
+						return
+					}
+					if _, err := observe(rec, name, server, c, i); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}()
+		}
+	}
 	wg.Wait()
 	if ep := firstErr.Load(); ep != nil {
 		return nil, *ep
 	}
-	return &History{Writers: script, Events: rec.events}, nil
+	return &History{Writers: script, Events: rec.events, Replicas: cfg.Replicas}, nil
 }
 
-// observe issues the i-th read for a session, rotating across the
-// three read shapes so every run exercises stats, schema-document,
-// and (when the transport supports it) atomic-snapshot observations.
-func observe(rec *recorder, session string, c Client, i int) (Observation, error) {
+// observe issues the i-th read for a session against server, rotating
+// across the three read shapes so every run exercises stats,
+// schema-document, and (when the transport supports it)
+// atomic-snapshot observations.
+func observe(rec *recorder, session, server string, c Client, i int) (Observation, error) {
 	var obs Observation
 	var err error
 	switch i % 3 {
@@ -186,14 +232,14 @@ func observe(rec *recorder, session string, c Client, i int) (Observation, error
 		obs, err = c.Stats()
 		end := rec.tick()
 		if err == nil {
-			rec.record(Event{Session: session, Start: start, End: end, Obs: &obs})
+			rec.record(Event{Session: session, Server: server, Start: start, End: end, Obs: &obs})
 		}
 	case 1:
 		start := rec.tick()
 		obs, err = c.Schema()
 		end := rec.tick()
 		if err == nil {
-			rec.record(Event{Session: session, Start: start, End: end, Obs: &obs})
+			rec.record(Event{Session: session, Server: server, Start: start, End: end, Obs: &obs})
 		}
 	default:
 		start := rec.tick()
@@ -207,7 +253,7 @@ func observe(rec *recorder, session string, c Client, i int) (Observation, error
 			end = rec.tick()
 		}
 		if err == nil {
-			rec.record(Event{Session: session, Start: start, End: end, Obs: &obs})
+			rec.record(Event{Session: session, Server: server, Start: start, End: end, Obs: &obs})
 		}
 	}
 	if err != nil {

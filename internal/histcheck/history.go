@@ -17,18 +17,35 @@
 // two prefixes) is arithmetically unreachable and a single off-by-one
 // in an observed node count is a detected violation, not noise.
 //
+// Histories may span replicas: every event carries the name of the
+// server it was recorded against (empty = the leader), and
+// History.Replicas declares which names are read-only followers.
+// A follower serves an asynchronously replicated prefix of the
+// leader's log, so the contract splits per server: snapshot
+// sequence numbers order reads only within one server (a replica
+// may lawfully trail the leader in real time), while atomicity is
+// universal — every state any server ever serves must still be a
+// sum of whole scripted batches. A replica observation therefore
+// keeps the visibility upper bound (it cannot show a write the
+// leader had not even begun) but drops the lower bound to zero
+// (lag is legal, tearing is not).
+//
 // Checked invariants (see Check):
-//   - per-session snapshot monotonicity: a client never sees the
-//     publication sequence number move backwards;
-//   - real-time snapshot monotonicity: an observation that finished
-//     before another began cannot carry a newer snapshot;
-//   - snapshot determinism: two observations of the same snapshot
-//     sequence number report identical stats;
+//   - per-session snapshot monotonicity: a client never sees one
+//     server's publication sequence number move backwards;
+//   - real-time snapshot monotonicity, per server: an observation
+//     that finished before another began cannot carry a newer
+//     snapshot of the same server;
+//   - snapshot determinism, per server: two observations of the same
+//     server's snapshot sequence number report identical stats;
 //   - atomic batch visibility: every observed (nodes, edges, batches)
 //     triple is a sum of whole scripted batches, within the
-//     prefix-vector bounds implied by ack/observation stamps;
+//     prefix-vector bounds implied by ack/observation stamps
+//     (replica reads: lower bounds zero, upper bounds unchanged);
 //   - instance conservation: an atomic snapshot's per-type instance
-//     counts sum to its own node and edge totals.
+//     counts sum to its own node and edge totals;
+//   - writes are acknowledged only by the leader: an ack attributed
+//     to a declared replica is malformed, never explainable.
 package histcheck
 
 // BatchSpec is the externally visible size of one scripted ingest
@@ -76,6 +93,12 @@ type Event struct {
 	Start   int64  `json:"start"`
 	End     int64  `json:"end"`
 
+	// Server names the server this event was recorded against; empty
+	// means the leader. A non-empty Server must be declared in
+	// History.Replicas, and only observations may carry one — a
+	// replica never acknowledges a write.
+	Server string `json:"server,omitempty"`
+
 	// Acknowledgement fields: Writer's batch number Seq (1-based
 	// index into History.Writers[Writer]) was durably applied and
 	// published before End.
@@ -92,4 +115,10 @@ type Event struct {
 type History struct {
 	Writers map[string][]BatchSpec `json:"writers"`
 	Events  []Event                `json:"events"`
+
+	// Replicas declares the read-only follower names that events may
+	// attribute reads to via Event.Server. Declaring them up front
+	// (rather than inferring from events) keeps a typo'd Server a
+	// detected malformation instead of a silently weakened check.
+	Replicas []string `json:"replicas,omitempty"`
 }

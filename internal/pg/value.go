@@ -85,7 +85,7 @@ func Bool(v bool) Value {
 	return Value{kind: KindBool, num: n}
 }
 
-// String returns a string value.
+// Str returns a string value.
 func Str(v string) Value { return Value{kind: KindString, str: v} }
 
 // Date returns a date value (time-of-day truncated).

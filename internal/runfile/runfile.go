@@ -105,6 +105,15 @@ type Manifest struct {
 	// generation so recovery can fall back to the PREVIOUS manifest
 	// and still find every WAL record above that older coverage.
 	WALFloor uint64 `json:"walFloor"`
+	// ShippedLSN is the shipping upload watermark at the time this
+	// generation was written: every WAL record at or below it was
+	// durable in the configured storage backend. Pruning must never
+	// pass min(WALFloor, ShippedLSN) while shipping is enabled — a
+	// segment deleted before it is uploaded is a record followers can
+	// never fetch. Zero when shipping is disabled or nothing has
+	// shipped; may exceed Covered() when sealed segments beyond the
+	// fold have already been uploaded.
+	ShippedLSN uint64 `json:"shippedLSN,omitempty"`
 }
 
 // Covered returns the WAL LSN the generation's base + runs reach.

@@ -1,0 +1,93 @@
+package store
+
+// Golden-file snapshot test pinning the object-store wire protocol: a
+// follower built against one release must keep bootstrapping from a
+// leader built against another, so the request lines the HTTP backend
+// emits and the list-response body the handler returns are frozen byte
+// for byte. Regenerate after an intentional protocol change with:
+//
+//	go test ./internal/store -run Golden -update
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/pghive/pghive/internal/vfs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+func TestGoldenWirePaths(t *testing.T) {
+	var trace bytes.Buffer
+	back := NewDir(vfs.NewMemFS(), "/obj")
+	inner := Handler(back, "sekrit")
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(&trace, "%s %s\n", r.Method, r.URL.RequestURI())
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	hb, err := NewHTTP(srv.URL, "sekrit", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One request of each kind, over each artifact kind the shipper
+	// produces, in a fixed order.
+	ctx := context.Background()
+	steps := []func() error{
+		func() error { return hb.Put(ctx, "wal/00000000000000000001.wal", []byte("seg")) },
+		func() error { return hb.Put(ctx, "checkpoint-00000000000000000005.ckpt", []byte("base")) },
+		func() error {
+			return hb.Put(ctx, "run-00000000000000000005-00000000000000000009.run", []byte("run"))
+		},
+		func() error { return hb.Put(ctx, "manifest-00000000000000000002.mft", []byte("mft")) },
+		func() error { _, err := hb.Get(ctx, "manifest-00000000000000000002.mft"); return err },
+		func() error { _, err := hb.Get(ctx, "wal/00000000000000000001.wal"); return err },
+		func() error { _, err := hb.List(ctx, ""); return err },
+		func() error { _, err := hb.List(ctx, "wal/"); return err },
+		func() error { _, err := hb.List(ctx, "manifest-"); return err },
+		func() error { return hb.Delete(ctx, "wal/00000000000000000001.wal") },
+	}
+	for i, step := range steps {
+		if err := step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+
+	// The list-response body rides along in the same golden file, after
+	// the request lines.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+ListPath("manifest-"), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	trace.WriteString("-- list response body --\n")
+	trace.Write(body.Bytes())
+
+	goldenPath := filepath.Join("testdata", "wire.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, trace.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.String() != string(want) {
+		t.Errorf("object-store wire paths drifted from %s:\n got:\n%s\nwant:\n%s", goldenPath, trace.String(), want)
+	}
+}

@@ -1,0 +1,146 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"github.com/pghive/pghive/internal/vfs"
+)
+
+// testBackends builds one of each Backend implementation over a fresh
+// store, so every conformance test runs against both.
+func testBackends(t *testing.T) map[string]Backend {
+	t.Helper()
+	dir := NewDir(vfs.NewMemFS(), "/obj")
+
+	srv := httptest.NewServer(Handler(NewDir(vfs.NewMemFS(), "/obj"), "sekrit"))
+	t.Cleanup(srv.Close)
+	hb, err := NewHTTP(srv.URL, "sekrit", nil)
+	if err != nil {
+		t.Fatalf("NewHTTP: %v", err)
+	}
+	return map[string]Backend{"dir": dir, "http": hb}
+}
+
+func TestBackendConformance(t *testing.T) {
+	for name, b := range testBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+
+			if _, err := b.Get(ctx, "manifest-1.mft"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get missing: err = %v, want ErrNotFound", err)
+			}
+			if err := b.Delete(ctx, "manifest-1.mft"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Delete missing: err = %v, want ErrNotFound", err)
+			}
+
+			objects := map[string][]byte{
+				"manifest-00000000000000000001.mft":                 []byte("mft one"),
+				"manifest-00000000000000000002.mft":                 []byte("mft two"),
+				"checkpoint-00000000000000000007.ckpt":              []byte("base"),
+				"wal/00000000000000000001.wal":                      []byte("seg one"),
+				"wal/00000000000000000009.wal":                      []byte("seg nine"),
+				"run-00000000000000000001-00000000000000000005.run": []byte("run"),
+			}
+			for name, data := range objects {
+				if err := b.Put(ctx, name, data); err != nil {
+					t.Fatalf("Put %s: %v", name, err)
+				}
+			}
+			for name, want := range objects {
+				got, err := b.Get(ctx, name)
+				if err != nil {
+					t.Fatalf("Get %s: %v", name, err)
+				}
+				if string(got) != string(want) {
+					t.Fatalf("Get %s = %q, want %q", name, got, want)
+				}
+			}
+
+			// Overwrite replaces atomically.
+			if err := b.Put(ctx, "manifest-00000000000000000001.mft", []byte("mft one v2")); err != nil {
+				t.Fatalf("Put overwrite: %v", err)
+			}
+			if got, _ := b.Get(ctx, "manifest-00000000000000000001.mft"); string(got) != "mft one v2" {
+				t.Fatalf("Get after overwrite = %q", got)
+			}
+
+			// Prefix listing: directory level and name prefix.
+			wantWal := []string{"wal/00000000000000000001.wal", "wal/00000000000000000009.wal"}
+			if got, err := b.List(ctx, "wal/"); err != nil || !reflect.DeepEqual(got, wantWal) {
+				t.Fatalf("List wal/ = %v, %v; want %v", got, err, wantWal)
+			}
+			wantMft := []string{"manifest-00000000000000000001.mft", "manifest-00000000000000000002.mft"}
+			if got, err := b.List(ctx, "manifest-"); err != nil || !reflect.DeepEqual(got, wantMft) {
+				t.Fatalf("List manifest- = %v, %v; want %v", got, err, wantMft)
+			}
+			if got, err := b.List(ctx, ""); err != nil || len(got) != len(objects) {
+				t.Fatalf("List all = %v, %v; want %d names", got, err, len(objects))
+			}
+			if got, err := b.List(ctx, "nothing-"); err != nil || len(got) != 0 {
+				t.Fatalf("List nothing- = %v, %v; want empty", got, err)
+			}
+
+			// Delete removes exactly the named object.
+			if err := b.Delete(ctx, "wal/00000000000000000001.wal"); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if got, _ := b.List(ctx, "wal/"); !reflect.DeepEqual(got, wantWal[1:]) {
+				t.Fatalf("List after delete = %v, want %v", got, wantWal[1:])
+			}
+
+			// Invalid names are rejected, never touching the store.
+			for _, bad := range []string{"", "../evil", "a//b", "a/./b", "dir/", "sp ace", "q?x"} {
+				if err := b.Put(ctx, bad, []byte("x")); err == nil {
+					t.Fatalf("Put %q accepted", bad)
+				}
+				if _, err := b.Get(ctx, bad); err == nil {
+					t.Fatalf("Get %q accepted", bad)
+				}
+			}
+		})
+	}
+}
+
+// TestDirListSkipsStaging proves an interrupted atomic Put's staging
+// file is never listed as an object.
+func TestDirListSkipsStaging(t *testing.T) {
+	ctx := context.Background()
+	mem := vfs.NewMemFS()
+	d := NewDir(mem, "/obj")
+	if err := d.Put(ctx, "manifest-00000000000000000001.mft", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate residue from a crashed atomic write.
+	f, err := mem.CreateTemp("/obj", "manifest-00000000000000000002.mft-*"+vfs.TmpSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("partial"))
+	f.Close()
+	names, err := d.List(ctx, "manifest-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "manifest-00000000000000000001.mft" {
+		t.Fatalf("List = %v, staging residue leaked", names)
+	}
+}
+
+func TestValidateName(t *testing.T) {
+	good := []string{"a", "wal/00000000000000000001.wal", "manifest-1.mft", "A-b_c.d"}
+	for _, n := range good {
+		if err := ValidateName(n); err != nil {
+			t.Errorf("ValidateName(%q) = %v, want nil", n, err)
+		}
+	}
+	bad := []string{"", ".", "..", "a/", "/a", "a//b", "a/../b", "a b", "a%2f", "käse", "a\\b"}
+	for _, n := range bad {
+		if err := ValidateName(n); err == nil {
+			t.Errorf("ValidateName(%q) = nil, want error", n)
+		}
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/pghive/pghive/internal/vfs"
 )
@@ -144,6 +145,10 @@ type Log struct {
 	sealed      []SegmentInfo
 	nextLSN     uint64
 	dirSyncedAt uint64 // last nextLSN at which the directory was fsynced
+
+	// syncs counts successful fsyncs of the active segment — the
+	// denominator of group-commit efficiency (records acked per fsync).
+	syncs atomic.Uint64
 }
 
 // Open scans dir (creating it if needed), truncates the torn tail of
@@ -230,10 +235,45 @@ func segmentName(dir string, first uint64) string {
 }
 
 // Append writes one record, fsyncs it (unless Options.NoSync), and
-// returns its LSN. The payload is not retained.
+// returns its LSN. The payload is not retained. Equivalent to an
+// AppendBatch of one record.
 func (l *Log) Append(t byte, payload []byte) (uint64, error) {
-	if len(payload) > MaxRecordBytes-bodyFixedLen {
-		return 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecordBytes", len(payload))
+	return l.AppendBatch([]BatchRecord{{Type: t, Payload: payload}})
+}
+
+// BatchRecord is one record of an AppendBatch group: a caller-defined
+// type byte and an opaque payload (not retained).
+type BatchRecord struct {
+	Type    byte
+	Payload []byte
+}
+
+// AppendBatch writes the records as one durability group — all frames
+// in a single write to the active segment followed by a single fsync
+// (unless Options.NoSync) — and returns the LSN of the first record;
+// the rest follow consecutively. This is the group-commit primitive:
+// N concurrent writers coalesced into one group pay one fsync instead
+// of N, and the durability contract is unchanged because no caller is
+// acknowledged before the shared fsync returns.
+//
+// The group is all-or-nothing: on a write or sync failure every frame
+// is rolled back together (truncate to the group's start), so either
+// all records are durable or none is; a rollback that itself fails
+// marks the log broken, exactly as for a single append. A group never
+// spans a rotation — if it does not fit the active segment, the
+// segment is sealed first and the whole group lands in the next one
+// (an oversized group gets a segment to itself, like an oversized
+// record). An empty recs is a no-op returning (0, nil).
+func (l *Log) AppendBatch(recs []BatchRecord) (uint64, error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	var total int64
+	for _, r := range recs {
+		if len(r.Payload) > MaxRecordBytes-bodyFixedLen {
+			return 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecordBytes", len(r.Payload))
+		}
+		total += int64(frameHeaderLen + bodyFixedLen + len(r.Payload))
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -243,8 +283,7 @@ func (l *Log) Append(t byte, payload []byte) (uint64, error) {
 	if l.broken {
 		return 0, fmt.Errorf("wal: log broken by an earlier append failure that could not be rolled back")
 	}
-	frameLen := int64(frameHeaderLen + bodyFixedLen + len(payload))
-	if l.active != nil && l.activeInfo.Records > 0 && l.activeInfo.Bytes+frameLen > l.opts.SegmentBytes {
+	if l.active != nil && l.activeInfo.Records > 0 && l.activeInfo.Bytes+total > l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
 			return 0, err
 		}
@@ -255,37 +294,43 @@ func (l *Log) Append(t byte, payload []byte) (uint64, error) {
 		}
 	}
 
-	lsn := l.nextLSN
-	frame := make([]byte, frameHeaderLen+bodyFixedLen+len(payload))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(bodyFixedLen+len(payload)))
-	body := frame[frameHeaderLen:]
-	binary.LittleEndian.PutUint64(body[0:8], lsn)
-	body[8] = t
-	copy(body[bodyFixedLen:], payload)
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(body, castagnoli))
+	first := l.nextLSN
+	buf := make([]byte, total)
+	off := 0
+	for i, r := range recs {
+		frame := buf[off : off+frameHeaderLen+bodyFixedLen+len(r.Payload)]
+		binary.LittleEndian.PutUint32(frame[0:4], uint32(bodyFixedLen+len(r.Payload)))
+		body := frame[frameHeaderLen:]
+		binary.LittleEndian.PutUint64(body[0:8], first+uint64(i))
+		body[8] = r.Type
+		copy(body[bodyFixedLen:], r.Payload)
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(body, castagnoli))
+		off += len(frame)
+	}
 
-	if _, err := l.active.Write(frame); err != nil {
+	if _, err := l.active.Write(buf); err != nil {
 		l.rollbackAppendLocked()
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	if !l.opts.NoSync {
 		if err := l.active.Sync(); err != nil {
-			// The frame may be fully on disk even though its
-			// durability is unknown; it MUST NOT survive — a retry
-			// would write a second frame with the same LSN and the
+			// The frames may be fully on disk even though their
+			// durability is unknown; they MUST NOT survive — a retry
+			// would write second frames with the same LSNs and the
 			// continuity check would reject the log on recovery.
 			l.rollbackAppendLocked()
 			return 0, fmt.Errorf("wal: sync: %w", err)
 		}
+		l.syncs.Add(1)
 	}
 	if l.activeInfo.Records == 0 {
-		l.activeInfo.First = lsn
+		l.activeInfo.First = first
 	}
-	l.activeInfo.Last = lsn
-	l.activeInfo.Records++
-	l.activeInfo.Bytes += frameLen
-	l.nextLSN = lsn + 1
-	return lsn, nil
+	l.activeInfo.Last = first + uint64(len(recs)-1)
+	l.activeInfo.Records += len(recs)
+	l.activeInfo.Bytes += total
+	l.nextLSN = l.activeInfo.Last + 1
+	return first, nil
 }
 
 // rollbackAppendLocked discards the bytes of a failed append so the
@@ -506,8 +551,15 @@ func (l *Log) Sync() error {
 	if err := l.active.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	l.syncs.Add(1)
 	return nil
 }
+
+// Syncs returns the number of successful fsyncs the log has issued on
+// its append path (AppendBatch groups and explicit Sync calls). With
+// group commit, acked-records/Syncs is the batching efficiency; the
+// benchmark suite reports it.
+func (l *Log) Syncs() uint64 { return l.syncs.Load() }
 
 // Close syncs and closes the active segment. Further operations
 // return ErrClosed.

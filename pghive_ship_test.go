@@ -1,0 +1,447 @@
+package pghive_test
+
+// Group commit and WAL shipping. Group commit's contract: identical
+// semantics to the ungrouped write path — same bytes on disk for
+// sequential writes, same idempotency and read-only behavior — with
+// strictly fewer fsyncs under concurrency. Shipping's contract: after
+// a compaction round, the backend holds everything a follower needs
+// (manifest last, so a fetchable manifest implies fetchable files),
+// and NOTHING local is pruned or swept past what the backend durably
+// holds — a dead backend stalls reclamation loudly, it never creates
+// records a follower can no longer fetch.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	pghive "github.com/pghive/pghive"
+	"github.com/pghive/pghive/internal/runfile"
+	"github.com/pghive/pghive/internal/store"
+	"github.com/pghive/pghive/internal/vfs"
+)
+
+// flakyBackend wraps a store.Backend with a Put budget: after `allow`
+// successful Puts (negative = unlimited), every Put fails. Get/List
+// and Delete pass through so shipping state stays observable.
+type flakyBackend struct {
+	inner store.Backend
+
+	mu    sync.Mutex
+	allow int
+	puts  int
+}
+
+var errBackendDown = errors.New("backend down")
+
+func (b *flakyBackend) Put(ctx context.Context, name string, data []byte) error {
+	b.mu.Lock()
+	if b.allow >= 0 && b.puts >= b.allow {
+		b.mu.Unlock()
+		return errBackendDown
+	}
+	b.puts++
+	b.mu.Unlock()
+	return b.inner.Put(ctx, name, data)
+}
+
+func (b *flakyBackend) setAllow(n int) {
+	b.mu.Lock()
+	b.allow = n
+	b.mu.Unlock()
+}
+
+func (b *flakyBackend) Get(ctx context.Context, name string) ([]byte, error) {
+	return b.inner.Get(ctx, name)
+}
+func (b *flakyBackend) List(ctx context.Context, prefix string) ([]string, error) {
+	return b.inner.List(ctx, prefix)
+}
+func (b *flakyBackend) Delete(ctx context.Context, name string) error {
+	return b.inner.Delete(ctx, name)
+}
+
+func backendObjects(t *testing.T, b store.Backend) map[string]bool {
+	t.Helper()
+	names, err := b.List(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	return set
+}
+
+// backendManifest fetches and decodes one shipped manifest through the
+// same checksummed reader recovery uses.
+func backendManifest(t *testing.T, b store.Backend, obj string) *runfile.Manifest {
+	t.Helper()
+	data, err := b.Get(context.Background(), obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := vfs.NewMemFS()
+	if err := mem.MkdirAll("/x", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeMemFile(t, mem, "/x/"+obj, data)
+	m, err := runfile.ReadManifest(mem, "/x/"+obj)
+	if err != nil {
+		t.Fatalf("shipped manifest %s does not decode: %v", obj, err)
+	}
+	return m
+}
+
+// gateReader is a StreamReader whose first Next signals entry and then
+// blocks until released, ending the (empty) stream. Draining it holds
+// the service write lock for exactly the gated window — the test's
+// deterministic way to pile a burst of writers onto the committer's
+// queue regardless of scheduler or core count.
+type gateReader struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (r *gateReader) Next() (*pghive.Batch, error) {
+	close(r.entered)
+	<-r.release
+	return nil, io.EOF
+}
+
+func TestGroupCommitCoalescesFsyncs(t *testing.T) {
+	mem := vfs.NewMemFS()
+	d, err := pghive.OpenDurable("data", pghive.Options{Seed: 3, Parallelism: 1}, pghive.DurableOptions{
+		FS: mem, DisableAutoCompact: true, GroupCommit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := d.DurableStats().WALSyncs
+
+	// Hold the write lock via a gated stream drain while a burst of
+	// writers enqueues: the committer cannot start a group until the
+	// gate opens, so the whole burst must commit in at most two groups
+	// (the request the committer already picked, then the drained
+	// rest) — a handful of fsyncs for 64 acknowledged writes.
+	gate := &gateReader{entered: make(chan struct{}), release: make(chan struct{})}
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- d.DrainStream(gate, nil) }()
+	<-gate.entered
+
+	const writers = 64
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = d.Ingest(stressGraph(t, pghive.ID(1000*(i+1)), 50))
+		}(i)
+	}
+	time.Sleep(100 * time.Millisecond) // let every writer reach the queue
+	close(gate.release)
+	if err := <-drainDone; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	st := d.DurableStats()
+	if got := st.WALNextLSN - 1; got != writers {
+		t.Fatalf("logged %d records, want %d", got, writers)
+	}
+	syncs := st.WALSyncs - base
+	if syncs > 4 {
+		t.Fatalf("%d gated concurrent writes issued %d fsyncs, want at most 4", writers, syncs)
+	}
+	t.Logf("group commit: %d acked writes over %d fsyncs", writers, syncs)
+	live := serviceImage(t, d)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The grouped log recovers on a plain (ungrouped) service to the
+	// byte-identical state: grouping changed fsync scheduling, not the
+	// log's contents.
+	d2, err := pghive.OpenDurable("data", pghive.Options{Seed: 3, Parallelism: 1}, pghive.DurableOptions{
+		FS: mem, DisableAutoCompact: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if !bytes.Equal(live, serviceImage(t, d2)) {
+		t.Fatal("recovered image differs from the live grouped service")
+	}
+}
+
+func TestGroupCommitSemanticsMatchUngrouped(t *testing.T) {
+	run := func(group bool) ([]byte, []bool) {
+		mem := vfs.NewMemFS()
+		d, err := pghive.OpenDurable("data", pghive.Options{Seed: 3, Parallelism: 1}, pghive.DurableOptions{
+			FS: mem, DisableAutoCompact: true, GroupCommit: group,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		ctx := context.Background()
+		var replays []bool
+		for i := 0; i < 4; i++ {
+			key := fmt.Sprintf("write-%d", i%3) // keys 0..2; i=3 replays key 0
+			_, replayed, err := d.IngestIdempotent(ctx, key, stressGraph(t, pghive.ID(1000*(i%3+1)), 10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			replays = append(replays, replayed)
+		}
+		if _, err := d.Retract(stressGraph(t, 2000, 10)); err != nil {
+			t.Fatal(err)
+		}
+		return serviceImage(t, d), replays
+	}
+	plainImg, plainReplays := run(false)
+	groupImg, groupReplays := run(true)
+	if !bytes.Equal(plainImg, groupImg) {
+		t.Fatal("grouped and ungrouped write paths produced different states")
+	}
+	for i := range plainReplays {
+		if plainReplays[i] != groupReplays[i] {
+			t.Fatalf("replay flags diverge at write %d: plain=%v group=%v", i, plainReplays[i], groupReplays[i])
+		}
+	}
+	if !groupReplays[3] {
+		t.Fatal("replayed key not detected under group commit")
+	}
+}
+
+func TestGroupCommitDegradesAndFailsFast(t *testing.T) {
+	// The second write's WAL fsync reports a full disk; the committer
+	// must degrade the service exactly like the ungrouped path.
+	plan := vfs.NewPlan(vfs.Fault{Op: vfs.OpSync, N: syncsThroughFirstIngest(t) + 1, Mode: vfs.FailEarly, Err: syscall.ENOSPC})
+	d, err := pghive.OpenDurable("data", pghive.Options{Seed: 3, Parallelism: 1}, pghive.DurableOptions{
+		FS: vfs.NewInjectFS(vfs.NewMemFS(), plan), DisableAutoCompact: true, GroupCommit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Ingest(stressGraph(t, 0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.Ingest(stressGraph(t, 1000, 5))
+	var de *pghive.DurabilityError
+	if !errors.As(err, &de) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("ENOSPC append returned %v, want DurabilityError wrapping ENOSPC", err)
+	}
+	if reason, degraded := d.Degraded(); !degraded || reason != pghive.DegradeDiskFull {
+		t.Fatalf("Degraded() = %q, %v; want %q, true", reason, degraded, pghive.DegradeDiskFull)
+	}
+	_, err = d.Ingest(stressGraph(t, 2000, 5))
+	var ro *pghive.ReadOnlyError
+	if !errors.As(err, &ro) || ro.Reason != pghive.DegradeDiskFull {
+		t.Fatalf("degraded write returned %v, want ReadOnlyError(disk-full)", err)
+	}
+}
+
+func TestShipRoundUploadsGenerationManifestLast(t *testing.T) {
+	mem := vfs.NewMemFS()
+	backend := store.NewDir(vfs.NewMemFS(), "/backend")
+	d, err := pghive.OpenDurable("data", pghive.Options{Seed: 3, Parallelism: 1}, pghive.DurableOptions{
+		FS: mem, DisableAutoCompact: true, SegmentBytes: 4096, ShipTo: backend,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < 6; i++ {
+		if _, err := d.Ingest(stressGraph(t, pghive.ID(1000*(i+1)), 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := d.DurableStats()
+	if st.ShipFailures != 0 {
+		t.Fatalf("healthy backend saw %d ship failures (%s)", st.ShipFailures, st.LastShipError)
+	}
+	if st.ShippedLSN != st.CheckpointLSN {
+		t.Fatalf("ShippedLSN = %d, want the compacted coverage %d", st.ShippedLSN, st.CheckpointLSN)
+	}
+
+	objs := backendObjects(t, backend)
+	mf := runfile.ManifestName(st.ManifestSeq)
+	if !objs[mf] {
+		t.Fatalf("backend is missing the current manifest %s; has %v", mf, objs)
+	}
+	man := backendManifest(t, backend, mf)
+	for f := range man.Files() {
+		if !objs[f] {
+			t.Fatalf("shipped manifest %s references %s, absent from the backend", mf, f)
+		}
+	}
+	var segs int
+	for o := range objs {
+		if strings.HasPrefix(o, "wal/") {
+			segs++
+		}
+	}
+	if segs == 0 {
+		t.Fatal("no sealed WAL segments shipped")
+	}
+}
+
+// TestShipManifestNeverDanglesOnPartialFailure cuts the backend off
+// after every possible number of successful uploads and verifies the
+// manifest-last invariant each time: any manifest the backend holds
+// references only objects the backend also holds.
+func TestShipManifestNeverDanglesOnPartialFailure(t *testing.T) {
+	// Count the uploads of a fully successful round first.
+	probe := &flakyBackend{inner: store.NewDir(vfs.NewMemFS(), "/b"), allow: -1}
+	mem := vfs.NewMemFS()
+	d, err := pghive.OpenDurable("data", pghive.Options{Seed: 3, Parallelism: 1}, pghive.DurableOptions{
+		FS: mem, DisableAutoCompact: true, SegmentBytes: 4096, ShipTo: probe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := d.Ingest(stressGraph(t, pghive.ID(1000*(i+1)), 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.puts
+	d.Close()
+	if total < 2 {
+		t.Fatalf("probe round uploaded %d objects, need at least a file and a manifest", total)
+	}
+
+	for allow := 0; allow < total; allow++ {
+		backend := &flakyBackend{inner: store.NewDir(vfs.NewMemFS(), "/b"), allow: allow}
+		mem := vfs.NewMemFS()
+		d, err := pghive.OpenDurable("data", pghive.Options{Seed: 3, Parallelism: 1}, pghive.DurableOptions{
+			FS: mem, DisableAutoCompact: true, SegmentBytes: 4096, ShipTo: backend,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 6; i++ {
+			if _, err := d.Ingest(stressGraph(t, pghive.ID(1000*(i+1)), 40)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.Compact(); err != nil {
+			t.Fatalf("allow=%d: compaction must not fail on a ship failure: %v", allow, err)
+		}
+		if st := d.DurableStats(); st.ShipFailures == 0 {
+			t.Fatalf("allow=%d: cut-off backend reported no ship failures", allow)
+		}
+		objs := backendObjects(t, backend)
+		for o := range objs {
+			if _, ok := runfile.ParseManifestSeq(o); !ok {
+				continue
+			}
+			man := backendManifest(t, backend, o)
+			for f := range man.Files() {
+				if !objs[f] {
+					t.Fatalf("allow=%d: backend manifest %s dangles: %s missing", allow, o, f)
+				}
+			}
+		}
+		d.Close()
+	}
+}
+
+// TestPruneRetainsUnshippedSegments is the regression test for the
+// upload-watermark gate: with shipping enabled and the backend down,
+// compaction must NOT prune WAL segments (or let a restart prune them)
+// past what the backend holds, no matter how far the manifest's WAL
+// floor advances. Without the gate this test fails at the first-
+// segment check: two compaction rounds push the floor past segment 1
+// and the ungated prune deletes it.
+func TestPruneRetainsUnshippedSegments(t *testing.T) {
+	mem := vfs.NewMemFS()
+	backend := &flakyBackend{inner: store.NewDir(vfs.NewMemFS(), "/b"), allow: 0} // down from the start
+	d, err := pghive.OpenDurable("data", pghive.Options{Seed: 3, Parallelism: 1}, pghive.DurableOptions{
+		FS: mem, DisableAutoCompact: true, SegmentBytes: 2048, ShipTo: backend,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two write+compact rounds: the second manifest's WAL floor is the
+	// first round's coverage, so an ungated prune would reclaim every
+	// first-round segment.
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 4; i++ {
+			if _, err := d.Ingest(stressGraph(t, pghive.ID(10000*round+1000*(i+1)), 40)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.Compact(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.DurableStats()
+	if st.ShipFailures == 0 {
+		t.Fatal("dead backend reported no ship failures")
+	}
+	if st.ShippedLSN != 0 {
+		t.Fatalf("ShippedLSN = %d with a backend that never stored anything", st.ShippedLSN)
+	}
+	firstSeg := filepath.Join("data", "wal", fmt.Sprintf("%020d.wal", 1))
+	if !memExists(t, mem, firstSeg) {
+		t.Fatalf("segment %s pruned while the backend holds nothing — shipped-watermark gate broken", firstSeg)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A restart with the backend still down must keep honoring the
+	// persisted watermark through its startup prune.
+	d, err = pghive.OpenDurable("data", pghive.Options{Seed: 3, Parallelism: 1}, pghive.DurableOptions{
+		FS: mem, DisableAutoCompact: true, SegmentBytes: 2048, ShipTo: backend,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !memExists(t, mem, firstSeg) {
+		t.Fatalf("restart pruned %s despite the persisted ship watermark", firstSeg)
+	}
+
+	// Backend recovers: the next round ships everything and only then
+	// reclaims the backlog.
+	backend.setAllow(-1)
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st = d.DurableStats()
+	if st.ShippedLSN < st.CheckpointLSN {
+		t.Fatalf("after recovery ShippedLSN = %d, want at least %d", st.ShippedLSN, st.CheckpointLSN)
+	}
+	if memExists(t, mem, firstSeg) {
+		t.Fatalf("segment %s still retained after the backend caught up", firstSeg)
+	}
+	objs := backendObjects(t, backend)
+	mf := runfile.ManifestName(st.ManifestSeq)
+	if !objs[mf] {
+		t.Fatalf("recovered backend is missing manifest %s; has %v", mf, objs)
+	}
+	d.Close()
+}

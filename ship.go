@@ -1,0 +1,284 @@
+package pghive
+
+// ship.go uploads the durable layer's artifacts to a storage backend
+// (internal/store) so read-only followers can bootstrap and tail the
+// leader without sharing its filesystem. A shipping round runs under
+// compactMu — at OpenDurable and inside every Compact — and uploads,
+// in this order: sealed WAL segments (under "wal/"), then the current
+// checkpoint generation's data files (base image, delta runs), then
+// its manifest LAST, so a follower that can fetch a manifest can
+// always fetch every file it references; a torn round leaves at worst
+// an unreferenced data object, never a dangling manifest.
+//
+// The ship watermark is the highest LSN L such that every record up
+// to L is durable in the backend — the shipped generation's coverage
+// extended by the contiguous uploaded sealed segments above it. While
+// shipping is enabled, nothing below min(WAL floor, watermark) may be
+// pruned locally (and the GC sweep keeps the shipped generations'
+// files): a backend outage must stall reclamation loudly, never
+// create records followers can no longer fetch. The watermark is
+// persisted in each new manifest (Manifest.ShippedLSN) so a restart
+// keeps honoring it before the first round completes.
+//
+// Shipping failures never fail a compaction and never degrade the
+// write path — they are counted in DurableStats (ShipFailures /
+// LastShipError) and retried next round, while the retained WAL keeps
+// the backend recoverable.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/pghive/pghive/internal/runfile"
+	"github.com/pghive/pghive/internal/store"
+	"github.com/pghive/pghive/internal/vfs"
+	"github.com/pghive/pghive/internal/wal"
+)
+
+// shipObjectPrefix is the backend namespace for WAL segment objects.
+const shipObjectPrefix = walSubdir + "/"
+
+// shipper tracks what the backend durably holds. All fields are
+// guarded by DurableService.compactMu (shipping rounds and compaction
+// serialize on it).
+type shipper struct {
+	backend store.Backend
+	// uploaded is the set of object names present in the backend,
+	// seeded from a List on the first round, maintained by every Put
+	// and Delete after that.
+	uploaded map[string]bool
+	// watermark is the highest LSN proven durable in the backend (see
+	// the file comment); it only advances.
+	watermark uint64
+	// man / prevMan are the newest and previous fully-uploaded
+	// generations — the sweep and the backend GC keep both, mirroring
+	// the local two-generation fallback rule.
+	man     *runfile.Manifest
+	prevMan *runfile.Manifest
+
+	failures int64
+	lastErr  string
+}
+
+// note records a shipping failure and returns it.
+func (s *shipper) note(err error) error {
+	s.failures++
+	s.lastErr = err.Error()
+	return err
+}
+
+// shipWatermarkLocked returns the upload watermark, or ^0 when
+// shipping is disabled (no gate). Callers must hold compactMu.
+func (d *DurableService) shipWatermarkLocked() uint64 {
+	if d.ship == nil {
+		return ^uint64(0)
+	}
+	return d.ship.watermark
+}
+
+// pruneFloorLocked gates a proposed WAL prune floor by the ship
+// watermark: while shipping is enabled, segments the backend does not
+// yet hold are retained no matter what the manifest's floor permits.
+// Callers must hold compactMu.
+func (d *DurableService) pruneFloorLocked(floor uint64) uint64 {
+	return min(floor, d.shipWatermarkLocked())
+}
+
+// shipRoundLocked uploads everything the backend is missing and advances
+// the watermark. The first error stops the current step (later rounds
+// retry) but the watermark still advances over what did upload.
+// Callers must hold compactMu.
+func (d *DurableService) shipRoundLocked(ctx context.Context) error {
+	s := d.ship
+	if s == nil {
+		return nil
+	}
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+		s.note(err)
+	}
+
+	// Seed the uploaded set from the backend once per process: objects
+	// a previous incarnation shipped need not ship again.
+	if s.uploaded == nil {
+		names, err := s.backend.List(ctx, "")
+		if err != nil {
+			return s.note(fmt.Errorf("pghive: ship: list backend: %w", err))
+		}
+		s.uploaded = make(map[string]bool, len(names))
+		for _, n := range names {
+			s.uploaded[n] = true
+		}
+	}
+
+	// Sealed segments, in LSN order (sealed files are immutable, so an
+	// object present in the backend is complete and final).
+	sealed := d.wal().Sealed()
+	for _, seg := range sealed {
+		obj := shipObjectPrefix + filepath.Base(seg.Path)
+		if s.uploaded[obj] {
+			continue
+		}
+		data, err := readFileAll(d.fs, seg.Path)
+		if err == nil {
+			err = s.backend.Put(ctx, obj, data)
+		}
+		if err != nil {
+			fail(fmt.Errorf("pghive: ship: segment %s: %w", obj, err))
+			break
+		}
+		s.uploaded[obj] = true
+	}
+
+	// The current generation: data files first, manifest last.
+	if cur := d.man; cur.Seq > 0 && (s.man == nil || s.man.Seq < cur.Seq) {
+		shipped := true
+		for f := range cur.Files() {
+			if s.uploaded[f] {
+				continue
+			}
+			data, err := readFileAll(d.fs, filepath.Join(d.dir, f))
+			if err == nil {
+				err = s.backend.Put(ctx, f, data)
+			}
+			if err != nil {
+				fail(fmt.Errorf("pghive: ship: %s: %w", f, err))
+				shipped = false
+				break
+			}
+			s.uploaded[f] = true
+		}
+		if shipped {
+			mf := runfile.ManifestName(cur.Seq)
+			data, err := readFileAll(d.fs, filepath.Join(d.dir, mf))
+			if err == nil {
+				err = s.backend.Put(ctx, mf, data)
+			}
+			if err != nil {
+				fail(fmt.Errorf("pghive: ship: %s: %w", mf, err))
+				shipped = false
+			} else {
+				s.uploaded[mf] = true
+			}
+		}
+		if shipped {
+			s.prevMan, s.man = s.man, cur
+		}
+	}
+
+	// Advance the watermark over what is now proven durable: the
+	// shipped generation's coverage plus the contiguous uploaded
+	// segments above it.
+	if s.man != nil && s.man.Covered() > s.watermark {
+		s.watermark = s.man.Covered()
+	}
+	for _, seg := range sealed {
+		if !s.uploaded[shipObjectPrefix+filepath.Base(seg.Path)] {
+			break
+		}
+		if seg.First <= s.watermark+1 && seg.Last > s.watermark {
+			s.watermark = seg.Last
+		}
+	}
+
+	d.shipGCLocked(ctx)
+	return firstErr
+}
+
+// shipGCLocked deletes backend objects no follower can need anymore:
+// checkpoint-layout objects outside the two newest shipped
+// generations, and segment objects wholly below the shipped
+// generation's WAL floor (the floor a follower falling back one
+// generation still replays from). Best effort — failures are counted
+// and the objects retried next round. Callers must hold compactMu.
+func (d *DurableService) shipGCLocked(ctx context.Context) {
+	s := d.ship
+	if s == nil || s.man == nil {
+		return
+	}
+	keep := s.man.Files()
+	keep[runfile.ManifestName(s.man.Seq)] = true
+	if s.prevMan != nil && s.prevMan.Seq > 0 {
+		for f := range s.prevMan.Files() {
+			keep[f] = true
+		}
+		keep[runfile.ManifestName(s.prevMan.Seq)] = true
+	}
+	var segObjs []string
+	for obj := range s.uploaded {
+		if strings.HasPrefix(obj, shipObjectPrefix) {
+			segObjs = append(segObjs, obj)
+			continue
+		}
+		if keep[obj] || !isShippedArtifact(obj) {
+			continue
+		}
+		if err := s.backend.Delete(ctx, obj); err != nil && !errors.Is(err, store.ErrNotFound) {
+			s.note(fmt.Errorf("pghive: ship: gc %s: %w", obj, err))
+			continue
+		}
+		delete(s.uploaded, obj)
+	}
+	// A segment object is deletable when its successor starts at or
+	// below floor+1 — everything it holds is then below the floor.
+	sort.Strings(segObjs)
+	floor := s.man.WALFloor
+	for i := 0; i+1 < len(segObjs); i++ {
+		next, ok := segObjectFirstLSN(segObjs[i+1])
+		if !ok || next > floor+1 {
+			break
+		}
+		if err := s.backend.Delete(ctx, segObjs[i]); err != nil && !errors.Is(err, store.ErrNotFound) {
+			s.note(fmt.Errorf("pghive: ship: gc %s: %w", segObjs[i], err))
+			break
+		}
+		delete(s.uploaded, segObjs[i])
+	}
+}
+
+// isShippedArtifact reports whether a backend object name is one of
+// the checkpoint-layout kinds the shipper manages (and may therefore
+// garbage-collect). Foreign objects in a shared bucket are never
+// touched.
+func isShippedArtifact(obj string) bool {
+	if _, ok := runfile.ParseManifestSeq(obj); ok {
+		return true
+	}
+	if runfile.IsRun(obj) {
+		return true
+	}
+	return strings.HasPrefix(obj, ckptPrefix) && strings.HasSuffix(obj, ckptSuffix)
+}
+
+// segObjectFirstLSN parses the first LSN out of a segment object name
+// ("wal/<%020d>.wal").
+func segObjectFirstLSN(obj string) (uint64, bool) {
+	base := strings.TrimPrefix(obj, shipObjectPrefix)
+	if !wal.IsSegment(base) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(base, ".wal"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// readFileAll reads one file through the service's vfs.
+func readFileAll(fsys vfs.FS, path string) ([]byte, error) {
+	f, err := vfs.Open(fsys, path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
