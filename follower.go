@@ -189,6 +189,23 @@ func (f *Follower) DrainStream(StreamReader, func(BatchTiming)) error {
 	return &ReadOnlyError{Reason: ReadOnlyFollower}
 }
 
+// IngestContext fails fast: followers are read-only replicas. Shadowed
+// alongside Ingest so no write variant of the embedded Service can
+// mutate the replica and diverge it from the leader.
+func (f *Follower) IngestContext(context.Context, *Graph) (BatchTiming, error) {
+	return BatchTiming{}, &ReadOnlyError{Reason: ReadOnlyFollower}
+}
+
+// RetractContext fails fast: followers are read-only replicas.
+func (f *Follower) RetractContext(context.Context, *Graph) (BatchTiming, error) {
+	return BatchTiming{}, &ReadOnlyError{Reason: ReadOnlyFollower}
+}
+
+// DrainStreamContext fails fast: followers are read-only replicas.
+func (f *Follower) DrainStreamContext(context.Context, StreamReader, func(BatchTiming)) error {
+	return &ReadOnlyError{Reason: ReadOnlyFollower}
+}
+
 // noteFault records one tail/bootstrap fault and returns err.
 func (f *Follower) noteFault(err error) error {
 	f.fetchFaults.Add(1)

@@ -60,8 +60,24 @@ func (d *DurableService) submitCommit(ctx context.Context, key string, g *Graph,
 	case <-d.stop:
 		return BatchTiming{}, false, &DurabilityError{Err: wal.ErrClosed}
 	}
-	res := <-req.res
-	return res.bt, res.replayed, res.err
+	// The enqueue select can win the buffered commitCh send even after
+	// d.stop closed (select picks among ready cases arbitrarily); if the
+	// committer's shutdown drain already ran, this request will never be
+	// answered. Waiting on commitDone as well converts that into a clean
+	// refusal — and since the committer answers every request it dequeues
+	// before exiting, a final non-blocking read distinguishes "answered
+	// during drain" from "stranded in the queue".
+	select {
+	case res := <-req.res:
+		return res.bt, res.replayed, res.err
+	case <-d.commitDone:
+		select {
+		case res := <-req.res:
+			return res.bt, res.replayed, res.err
+		default:
+			return BatchTiming{}, false, &DurabilityError{Err: wal.ErrClosed}
+		}
+	}
 }
 
 // commitLoop is the committer goroutine: drain a group, commit it,
@@ -101,10 +117,14 @@ func (d *DurableService) commitGroup(group []*commitReq) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 
-	// Admission per request. groupKeys catches two requests carrying
-	// the same idempotency key inside one group: the first proceeds,
-	// the second is a replay even though the first has not applied yet.
-	var pend []*commitReq
+	// Admission per request. A key already in d.keys is durably applied
+	// from an earlier group — safe to ack replayed immediately. groupKeys
+	// catches two requests carrying the same idempotency key inside one
+	// group: the first proceeds; the second is a replay of a write that
+	// is not durable yet, so its ack is deferred until the group's fsync
+	// succeeds (and it fails with the group on append error) — never an
+	// ack without durability.
+	var pend, dups []*commitReq
 	var recs []wal.BatchRecord
 	groupKeys := make(map[string]bool)
 	for _, req := range group {
@@ -113,8 +133,12 @@ func (d *DurableService) commitGroup(group []*commitReq) {
 			continue
 		}
 		if req.key != "" {
-			if _, seen := d.keys.seen(req.key); seen || groupKeys[req.key] {
+			if _, seen := d.keys.seen(req.key); seen {
 				req.res <- commitRes{replayed: true}
+				continue
+			}
+			if groupKeys[req.key] {
+				dups = append(dups, req)
 				continue
 			}
 		}
@@ -140,11 +164,15 @@ func (d *DurableService) commitGroup(group []*commitReq) {
 
 	// One durability point for the whole group. Failure is group-wide
 	// (AppendBatch rolled every frame back): each caller gets the
-	// error and may retry individually.
+	// error and may retry individually — including the in-group
+	// duplicates, whose originals are not durable either.
 	first, err := d.wal().AppendBatch(recs)
 	if err != nil {
 		d.maybeDegradeLocked(err)
 		for _, p := range pend {
+			p.res <- commitRes{err: &DurabilityError{Err: err}}
+		}
+		for _, p := range dups {
 			p.res <- commitRes{err: &DurabilityError{Err: err}}
 		}
 		return
@@ -161,5 +189,10 @@ func (d *DurableService) commitGroup(group []*commitReq) {
 			bt = d.ingestLocked(p.g)
 		}
 		p.res <- commitRes{bt: bt}
+	}
+	// In-group duplicates ack only now: their originals are durable
+	// (the group fsync returned) and applied.
+	for _, p := range dups {
+		p.res <- commitRes{replayed: true}
 	}
 }

@@ -106,6 +106,24 @@ func TestFollowerBitIdenticalToLeader(t *testing.T) {
 	if _, err := f.Retract(stressGraph(t, 999000, 3)); !errors.As(err, &ro) {
 		t.Fatalf("follower Retract returned %v, want ReadOnlyError", err)
 	}
+	if err := f.DrainStream(nil, nil); !errors.As(err, &ro) {
+		t.Fatalf("follower DrainStream returned %v, want ReadOnlyError", err)
+	}
+	// The *Context write variants must be shadowed too — an unshadowed
+	// promotion of the embedded Service's method would mutate the
+	// replica and silently diverge it from the leader.
+	if _, err := f.IngestContext(ctx, stressGraph(t, 999000, 3)); !errors.As(err, &ro) || ro.Reason != pghive.ReadOnlyFollower {
+		t.Fatalf("follower IngestContext returned %v, want ReadOnlyError(%q)", err, pghive.ReadOnlyFollower)
+	}
+	if _, err := f.RetractContext(ctx, stressGraph(t, 999000, 3)); !errors.As(err, &ro) {
+		t.Fatalf("follower RetractContext returned %v, want ReadOnlyError", err)
+	}
+	if err := f.DrainStreamContext(ctx, nil, nil); !errors.As(err, &ro) {
+		t.Fatalf("follower DrainStreamContext returned %v, want ReadOnlyError", err)
+	}
+	if !bytes.Equal(serviceImage(t, w.leader), serviceImage(t, f)) {
+		t.Fatal("write refusals mutated the follower")
+	}
 
 	lag := f.Lag(ctx)
 	if !lag.Ready || lag.AppliedLSN != leaderLSN || lag.FetchFaults != 0 {

@@ -257,6 +257,165 @@ func TestGroupCommitDegradesAndFailsFast(t *testing.T) {
 	}
 }
 
+// TestGroupCommitInGroupDuplicateFailsWithGroup is the regression test
+// for acking an in-group idempotency duplicate before the group's
+// fsync: when two requests carrying the same key land in one group and
+// the group's AppendBatch fails, BOTH must get the error — a
+// replayed:true ack for the duplicate would be an acknowledgment with
+// nothing durable behind it.
+func TestGroupCommitInGroupDuplicateFailsWithGroup(t *testing.T) {
+	plan := vfs.NewPlan(vfs.Fault{Op: vfs.OpSync, N: syncsThroughFirstIngest(t) + 1, Mode: vfs.FailEarly, Err: syscall.ENOSPC})
+	d, err := pghive.OpenDurable("data", pghive.Options{Seed: 3, Parallelism: 1}, pghive.DurableOptions{
+		FS: vfs.NewInjectFS(vfs.NewMemFS(), plan), DisableAutoCompact: true, GroupCommit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// Hold the write lock via a gated drain; a dummy write occupies the
+	// committer (blocked on the lock), so the two keyed writes queue up
+	// and drain into one group when the gate opens.
+	gate := &gateReader{entered: make(chan struct{}), release: make(chan struct{})}
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- d.DrainStream(gate, nil) }()
+	<-gate.entered
+	dummyDone := make(chan error, 1)
+	go func() {
+		_, err := d.Ingest(stressGraph(t, 0, 5))
+		dummyDone <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	type keyedRes struct {
+		replayed bool
+		err      error
+	}
+	results := make(chan keyedRes, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, replayed, err := d.IngestIdempotent(context.Background(), "same-key", stressGraph(t, 1000, 5))
+			results <- keyedRes{replayed, err}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(gate.release)
+	if err := <-drainDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-dummyDone; err != nil {
+		t.Fatal(err)
+	}
+	// The keyed group's fsync failed: no ack of any kind may have gone
+	// out — not a success, and above all not a replayed:true.
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.replayed {
+			t.Fatal("in-group duplicate acked replayed:true though the group fsync failed — ack without durability")
+		}
+		if r.err == nil {
+			t.Fatal("keyed write acked success though the group fsync failed")
+		}
+	}
+	if got := d.DurableStats().WALNextLSN - 1; got != 1 {
+		t.Fatalf("%d records durable, want only the pre-fault dummy", got)
+	}
+}
+
+// TestGroupCommitInGroupDuplicateReplaysOnce: the success side of the
+// same scenario — two concurrent writes with one key yield exactly one
+// applied record and exactly one replayed:true, whether they shared a
+// group or not.
+func TestGroupCommitInGroupDuplicateReplaysOnce(t *testing.T) {
+	d, err := pghive.OpenDurable("data", pghive.Options{Seed: 3, Parallelism: 1}, pghive.DurableOptions{
+		FS: vfs.NewMemFS(), DisableAutoCompact: true, GroupCommit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	gate := &gateReader{entered: make(chan struct{}), release: make(chan struct{})}
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- d.DrainStream(gate, nil) }()
+	<-gate.entered
+	dummyDone := make(chan error, 1)
+	go func() {
+		_, err := d.Ingest(stressGraph(t, 0, 5))
+		dummyDone <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	results := make(chan bool, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, replayed, err := d.IngestIdempotent(context.Background(), "same-key", stressGraph(t, 1000, 5))
+			if err != nil {
+				t.Error(err)
+			}
+			results <- replayed
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(gate.release)
+	if err := <-drainDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-dummyDone; err != nil {
+		t.Fatal(err)
+	}
+	replays := 0
+	for i := 0; i < 2; i++ {
+		if <-results {
+			replays++
+		}
+	}
+	if replays != 1 {
+		t.Fatalf("%d of 2 same-key writes replayed, want exactly 1", replays)
+	}
+	if got := d.DurableStats().WALNextLSN - 1; got != 2 {
+		t.Fatalf("%d records logged, want 2 (dummy + one keyed)", got)
+	}
+}
+
+// TestGroupCommitCloseNeverStrandsWriters is the regression test for
+// the submitCommit/Close race: a request whose enqueue select won the
+// buffered commitCh send after d.stop closed could be left forever
+// unanswered once the committer's shutdown drain had already run.
+// Every writer racing Close must return — with success or ErrClosed,
+// never a hang.
+func TestGroupCommitCloseNeverStrandsWriters(t *testing.T) {
+	for iter := 0; iter < 30; iter++ {
+		d, err := pghive.OpenDurable("data", pghive.Options{Seed: 3, Parallelism: 1}, pghive.DurableOptions{
+			FS: vfs.NewMemFS(), DisableAutoCompact: true, GroupCommit: true, GroupCommitMaxBatch: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const writers = 8
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < writers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				// Success and refusal are both fine; returning is the
+				// assertion.
+				_, _ = d.Ingest(stressGraph(t, pghive.ID(1000*(i+1)), 3))
+			}(i)
+		}
+		close(start)
+		go d.Close()
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("iter %d: writer stranded after Close — submitCommit never answered", iter)
+		}
+		d.Close()
+	}
+}
+
 func TestShipRoundUploadsGenerationManifestLast(t *testing.T) {
 	mem := vfs.NewMemFS()
 	backend := store.NewDir(vfs.NewMemFS(), "/backend")
@@ -444,4 +603,86 @@ func TestPruneRetainsUnshippedSegments(t *testing.T) {
 		t.Fatalf("recovered backend is missing manifest %s; has %v", mf, objs)
 	}
 	d.Close()
+}
+
+// TestShipGCRetainsFallbackGenerationTail is the regression test for
+// the backend segment-GC floor: when a shipping round fails and a
+// checkpoint generation is skipped, the retained fallback generation
+// (prevMan) is OLDER than the one the newest manifest's WALFloor
+// protects. Segment GC must then keep the WAL tail above the
+// fallback's coverage — a follower whose fetch of the newest shipped
+// generation fails has to bootstrap from the fallback and tail from
+// its covered LSN, not loop re-bootstrapping.
+func TestShipGCRetainsFallbackGenerationTail(t *testing.T) {
+	backend := &flakyBackend{inner: store.NewDir(vfs.NewMemFS(), "/b"), allow: -1}
+	opts := pghive.Options{Seed: 3, Parallelism: 1}
+	d, err := pghive.OpenDurable("data", opts, pghive.DurableOptions{
+		FS: vfs.NewMemFS(), DisableAutoCompact: true, SegmentBytes: 2048, ShipTo: backend,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx := context.Background()
+	round := func(r int) {
+		t.Helper()
+		for i := 0; i < 4; i++ {
+			if _, err := d.Ingest(stressGraph(t, pghive.ID(100000*(r+1)+1000*(i+1)), 30)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.Compact(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Round 1 ships generation A; round 2's shipping fails (generation
+	// skipped); round 3 ships the current generation, whose WALFloor is
+	// round 2's coverage — above what the retained fallback A covers.
+	round(0)
+	genA := d.DurableStats().ManifestSeq
+	coveredA := d.DurableStats().CheckpointLSN
+	backend.setAllow(0)
+	round(1)
+	backend.setAllow(-1)
+	round(2)
+	leaderLSN := d.DurableStats().WALNextLSN - 1
+
+	objs := backendObjects(t, backend)
+	if !objs[runfile.ManifestName(genA)] {
+		t.Fatalf("fallback generation %d's manifest GC'd from the backend", genA)
+	}
+
+	// Simulate the newest shipped generation being unfetchable (the
+	// exact case the fallback exists for) and replicate: the follower
+	// must bootstrap from generation A and tail all the way to the
+	// leader — which requires every segment above coveredA to still be
+	// in the backend.
+	cur := runfile.ManifestName(d.DurableStats().ManifestSeq)
+	if cur == runfile.ManifestName(genA) {
+		t.Fatal("test setup: current generation did not advance past the fallback")
+	}
+	if err := backend.Delete(ctx, cur); err != nil {
+		t.Fatal(err)
+	}
+	f := pghive.NewFollower(opts, backend, pghive.FollowerOptions{})
+	defer f.Close()
+	if err := f.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Lag(ctx).BootstrapGeneration; got != genA {
+		t.Fatalf("follower bootstrapped generation %d, want fallback %d", got, genA)
+	}
+	if f.AppliedLSN() != coveredA {
+		t.Fatalf("fallback bootstrap positioned at LSN %d, want %d", f.AppliedLSN(), coveredA)
+	}
+	if err := f.TailOnce(ctx); err != nil {
+		t.Fatalf("tail from the fallback generation: %v (segments above LSN %d GC'd?)", err, coveredA)
+	}
+	if got := f.AppliedLSN(); got != leaderLSN {
+		t.Fatalf("follower caught up to LSN %d, want leader's %d — fallback tail GC'd from the backend", got, leaderLSN)
+	}
+	if !bytes.Equal(serviceImage(t, d), serviceImage(t, f)) {
+		t.Fatal("follower image differs from leader after fallback bootstrap + tail")
+	}
 }

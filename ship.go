@@ -229,9 +229,17 @@ func (d *DurableService) shipGCLocked(ctx context.Context) {
 		delete(s.uploaded, obj)
 	}
 	// A segment object is deletable when its successor starts at or
-	// below floor+1 — everything it holds is then below the floor.
+	// below floor+1 — everything it holds is then below the floor. The
+	// floor is the newest generation's WAL floor gated by the retained
+	// fallback generation's coverage: when a shipping round skipped a
+	// generation, prevMan can be older than what WALFloor protects, and
+	// a follower falling back to it must still be able to tail from
+	// prevMan.Covered()+1.
 	sort.Strings(segObjs)
 	floor := s.man.WALFloor
+	if s.prevMan != nil && s.prevMan.Covered() < floor {
+		floor = s.prevMan.Covered()
+	}
 	for i := 0; i+1 < len(segObjs); i++ {
 		next, ok := segObjectFirstLSN(segObjs[i+1])
 		if !ok || next > floor+1 {
